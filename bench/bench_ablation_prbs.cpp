@@ -1,0 +1,66 @@
+// A2 — ablation: PRBS sequence length vs detection quality and test time.
+//
+// The paper fixes a 15-bit sequence (4-stage LFSR) with 250 us steps; this
+// ablation sweeps the register length 3..6 stages (7..63-bit sequences)
+// and reports the mean detection over the 16-fault circuit-1 universe and
+// the implied test time, quantifying the length/coverage trade.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/report.h"
+#include "dsp/prbs.h"
+#include "faults/universe.h"
+#include "tsrt/transient_test.h"
+
+namespace {
+
+using namespace msbist;
+using namespace msbist::tsrt;
+
+void print_reproduction() {
+  const CircuitKind kind = CircuitKind::kOp1Follower;
+  const auto universe = faults::op1_fault_universe();
+
+  core::Table table({"stages", "sequence bits", "test time [ms]",
+                     "mean corr det [%]", "min corr det [%]", "detected"});
+  for (unsigned stages : {3u, 4u, 5u, 6u}) {
+    TsrtOptions opts = paper_options(kind);
+    opts.prbs_stages = stages;
+    const TsrtRun golden = run_transient_test(kind, std::nullopt, opts);
+    double sum = 0.0, lo = 100.0;
+    std::size_t detected = 0;
+    for (const auto& f : universe) {
+      const TsrtRun faulty = run_transient_test(kind, f, opts);
+      const double det = correlation_detection_percent(golden, faulty);
+      sum += det;
+      lo = std::min(lo, det);
+      if (is_detected(det)) ++detected;
+    }
+    const std::size_t bits = (std::size_t{1} << stages) - 1;
+    table.add_row({std::to_string(stages), std::to_string(bits),
+                   core::Table::num(static_cast<double>(bits) * opts.bit_time * 1e3, 2),
+                   core::Table::num(sum / static_cast<double>(universe.size()), 1),
+                   core::Table::num(lo, 1),
+                   std::to_string(detected) + "/" + std::to_string(universe.size())});
+  }
+  std::printf("A2: PRBS length ablation on circuit 1 (paper uses 15 bits)\n%s\n",
+              table.to_string().c_str());
+}
+
+void BM_PrbsGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::prbs_stimulus(
+        static_cast<unsigned>(state.range(0)), 250e-6, 2e-6, 5.0));
+  }
+}
+BENCHMARK(BM_PrbsGeneration)->Arg(4)->Arg(8)->Arg(15);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

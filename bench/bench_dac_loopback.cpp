@@ -1,0 +1,80 @@
+// A7 — extension: ADC/DAC loopback characterization.
+//
+// The approaches the paper builds on (research background: Fasang, Ohletz,
+// Pritchard) measure the ADC and DAC transfer functions first because
+// "there is a high probability that most faults will occur in the
+// converters of the ASUT", then use the measured transfers "to
+// self-calibrate the ADC / DAC macros". This bench runs that loop: DAC
+// codes drive the ADC; the composite code error separates into the DAC's
+// own INL and the ADC's error budget.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "adc/dac.h"
+#include "adc/dual_slope.h"
+#include "core/report.h"
+
+namespace {
+
+using namespace msbist;
+
+void print_reproduction() {
+  analog::ProcessVariation pv(5);
+  adc::Dac dac(adc::DacConfig::fabricated(pv, 8, 2.5));
+  adc::DualSlopeAdc conv(adc::DualSlopeAdcConfig::characterized());
+
+  const adc::DacMetrics dm = adc::dac_metrics(dac);
+  std::printf("A7: ADC/DAC loopback (8-bit R-2R DAC driving the dual-slope ADC)\n");
+  std::printf("DAC alone: offset %+0.2f LSB, gain %+0.2f LSB, DNL max %.2f, "
+              "INL max %.2f, monotonic %s\n\n",
+              dm.offset_lsb, dm.gain_error_lsb, dm.max_abs_dnl, dm.max_abs_inl,
+              dm.monotonic ? "yes" : "no");
+
+  core::Table table({"DAC code", "DAC out [V]", "ADC code", "ideal ADC code",
+                     "loop error [counts]"});
+  double worst = 0.0;
+  for (std::uint32_t code = 16; code <= 240; code += 32) {
+    const double v = dac.output(code);
+    const std::uint32_t got = conv.code_for(v);
+    const std::uint32_t ideal = conv.ideal_code(v);
+    const double err = static_cast<double>(got) - static_cast<double>(ideal);
+    worst = std::max(worst, std::abs(err));
+    table.add_row({std::to_string(code), core::Table::num(v, 4),
+                   std::to_string(got), std::to_string(ideal),
+                   core::Table::num(err, 0)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("worst loopback error: %.0f counts — within the combined DAC "
+              "(%.1f LSB) + ADC (~1.5 LSB) budget\n\n",
+              worst, dm.max_abs_inl + std::abs(dm.gain_error_lsb));
+}
+
+void BM_DacLevels(benchmark::State& state) {
+  adc::Dac dac(adc::DacConfig::ideal(8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dac.levels());
+  }
+}
+BENCHMARK(BM_DacLevels);
+
+void BM_LoopbackPoint(benchmark::State& state) {
+  adc::Dac dac(adc::DacConfig::ideal(8));
+  adc::DualSlopeAdc conv(adc::DualSlopeAdcConfig::characterized());
+  std::uint32_t code = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.code_for(dac.output(code)));
+    code = (code + 16) & 0xFF;
+  }
+}
+BENCHMARK(BM_LoopbackPoint);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// E3 — "Digital test results".
+//
+// Paper: "The conversion time for the control logic was specified as a
+// maximum of 5.6 msec. The counter macro was run at 100 kHz clock speed
+// as recommended. The measured time difference in fall time was 10 usec.
+// This represented 10 mV input for each incremented output code change."
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "adc/dual_slope.h"
+#include "bist/controller.h"
+#include "core/report.h"
+
+namespace {
+
+using namespace msbist;
+
+void print_reproduction() {
+  bist::BistController ctrl = bist::BistController::typical();
+  adc::DualSlopeAdc adc(adc::DualSlopeAdcConfig::characterized());
+  const bist::DigitalTestResult res = ctrl.run_digital_test(adc);
+
+  core::Table table({"parameter", "paper", "measured", "pass"});
+  table.add_row({"max conversion time [ms]", "< 5.6",
+                 core::Table::num(res.max_conversion_time_s * 1e3, 2),
+                 res.max_conversion_time_s <= 5.6e-3 ? "yes" : "no"});
+  table.add_row({"fall-time step per code [us]", "10",
+                 core::Table::num(res.fall_time_per_code_s * 1e6, 1),
+                 std::abs(res.fall_time_per_code_s - 10e-6) < 5e-6 ? "yes" : "no"});
+  table.add_row({"input per code [mV]", "10",
+                 core::Table::num(res.volts_per_code * 1e3, 1),
+                 std::abs(res.volts_per_code - 0.01) < 1e-4 ? "yes" : "no"});
+  table.add_row({"counter clock [kHz]", "100",
+                 core::Table::num(adc.config().clock_hz / 1e3, 0), "yes"});
+  std::printf("E3: digital test results (paper vs measured)\n%s", table.to_string().c_str());
+  std::printf("digital tier pass: %s\n\n", res.pass ? "yes" : "no");
+}
+
+void BM_DigitalBistTier(benchmark::State& state) {
+  bist::BistController ctrl = bist::BistController::typical();
+  adc::DualSlopeAdc adc(adc::DualSlopeAdcConfig::characterized());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctrl.run_digital_test(adc));
+  }
+}
+BENCHMARK(BM_DigitalBistTier);
+
+void BM_WorstCaseConversion(benchmark::State& state) {
+  adc::DualSlopeAdc adc(adc::DualSlopeAdcConfig::characterized());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adc.convert(0.0));  // longest run-down
+  }
+}
+BENCHMARK(BM_WorstCaseConversion);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E7 — silicon overhead of the on-chip test structures.
+//
+// Paper: "The analogue section of the testing macro had an overhead of
+// 152 transistors. The digital section of the testing macro needed 484
+// transistors. However the digital test structures could also be used to
+// test further digital areas of a mixed chip." The host is a ~5000-
+// transistor gate array carrying the ~1000-transistor ADC macro.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bist/overhead.h"
+#include "core/report.h"
+
+namespace {
+
+using namespace msbist;
+
+void print_reproduction() {
+  const bist::OverheadModel m = bist::OverheadModel::paper();
+  core::Table table({"test macro", "section", "transistors"});
+  for (const auto& e : m.entries) {
+    table.add_row({e.macro, e.analogue ? "analogue" : "digital",
+                   std::to_string(e.transistors)});
+  }
+  std::printf("E7: on-chip test-structure overhead\n%s", table.to_string().c_str());
+  std::printf("analogue total: %d (paper: 152)\n", m.analogue_total());
+  std::printf("digital total:  %d (paper: 484)\n", m.digital_total());
+  std::printf("vs ADC macro (%d transistors): %.1f %% overhead\n",
+              m.adc_transistors, 100.0 * m.overhead_ratio_vs_adc());
+  std::printf("vs %d-transistor device: %.1f %% of the die\n\n", m.device_budget,
+              100.0 * m.device_fraction());
+}
+
+void BM_OverheadAccounting(benchmark::State& state) {
+  for (auto _ : state) {
+    const bist::OverheadModel m = bist::OverheadModel::paper();
+    benchmark::DoNotOptimize(m.total());
+  }
+}
+BENCHMARK(BM_OverheadAccounting);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

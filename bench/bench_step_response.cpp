@@ -1,0 +1,70 @@
+// E1 — "Analogue test results" (step-input table).
+//
+// Paper: "The step input macro produced voltage steps of 0, 0.59, 0.96,
+// 1.41, 1.8 and 2.5 volts. This gave a measured integrator fall time of
+// 2.6, 2.2, 1.9, 1.2, 0.8, and 0.1 msec."
+//
+// The bench regenerates the table with the on-chip step macro driving the
+// dual-slope ADC macro and prints paper-vs-measured, then times a full
+// conversion and the analogue BIST tier.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "adc/dual_slope.h"
+#include "bist/controller.h"
+#include "core/report.h"
+
+namespace {
+
+using namespace msbist;
+
+const std::vector<double> kPaperFallTimesMs = {2.6, 2.2, 1.9, 1.2, 0.8, 0.1};
+
+void print_reproduction() {
+  bist::StepGenerator steps = bist::StepGenerator::typical();
+  adc::DualSlopeAdc adc(adc::DualSlopeAdcConfig::characterized());
+
+  core::Table table({"step [V]", "paper fall [ms]", "measured fall [ms]",
+                     "output code", "conv time [ms]"});
+  for (std::size_t i = 0; i < steps.tap_count(); ++i) {
+    const double v = steps.level(i);
+    const adc::ConversionResult r = adc.convert(v);
+    table.add_row({core::Table::num(v, 2),
+                   core::Table::num(kPaperFallTimesMs[i], 1),
+                   core::Table::num(r.fall_time_s * 1e3, 2),
+                   std::to_string(r.code),
+                   core::Table::num(r.conversion_time_s * 1e3, 2)});
+  }
+  std::printf("E1: step-input analogue test (paper vs measured)\n%s\n",
+              table.to_string().c_str());
+}
+
+void BM_SingleConversion(benchmark::State& state) {
+  adc::DualSlopeAdc adc(adc::DualSlopeAdcConfig::characterized());
+  double v = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adc.convert(v));
+    v += 0.1;
+    if (v > 2.5) v = 0.0;
+  }
+}
+BENCHMARK(BM_SingleConversion);
+
+void BM_AnalogBistTier(benchmark::State& state) {
+  bist::BistController ctrl = bist::BistController::typical();
+  adc::DualSlopeAdc adc(adc::DualSlopeAdcConfig::characterized());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctrl.run_analog_test(adc));
+  }
+}
+BENCHMARK(BM_AnalogBistTier);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Transient-response fault diagnosis on the switched-capacitor integrator
+// (the paper's circuit 3) — the "second technique" walkthrough.
+//
+//   $ ./example_fault_diagnosis [paper-node]
+//
+// Builds the 15-transistor SC integrator, injects a stuck-at fault at the
+// given op-amp node (default: node 7, the first-stage output), runs the
+// PRBS transient, extracts the z-domain model by ARX fit (the HSPICE ->
+// Matlab substitute), and compares impulse responses against the golden
+// circuit. Also prints the correlation-signature view and the dynamic-Idd
+// view so the three detection channels can be compared on one fault.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/msbist.h"
+
+int main(int argc, char** argv) {
+  using namespace msbist;
+  using namespace msbist::tsrt;
+
+  const int node = argc > 1 ? std::atoi(argv[1]) : 7;
+  if (node < 1 || node > 9) {
+    std::fprintf(stderr, "usage: %s [paper-node 1..9]\n", argv[0]);
+    return 2;
+  }
+  const auto fault = faults::FaultSpec::stuck_at(node, /*high=*/false);
+
+  std::printf("== transient-response diagnosis: %s on circuit 3 ==\n\n",
+              fault.label.c_str());
+
+  const TsrtOptions opts = paper_options(CircuitKind::kScIntegratorAlone);
+  const TsrtRun golden =
+      run_transient_test(CircuitKind::kScIntegratorAlone, std::nullopt, opts);
+  const TsrtRun faulty =
+      run_transient_test(CircuitKind::kScIntegratorAlone, fault, opts);
+
+  // Model extraction (approach 2).
+  const ArxFit gfit =
+      fit_sc_cycles(golden.stimulus, golden.response, golden.dt, kScCycleSeconds, 2.5);
+  const ArxFit ffit =
+      fit_sc_cycles(faulty.stimulus, faulty.response, faulty.dt, kScCycleSeconds, 2.5);
+
+  std::printf("golden model:  H(z) = %+.4f z^-1 / (1 %+.4f z^-1)\n", gfit.b, -gfit.a);
+  std::printf("               (design equation: -1/6.8 = -0.1471, pole at 1)\n");
+  std::printf("faulty model:  H(z) = %+.4f z^-1 / (1 %+.4f z^-1)\n\n", ffit.b, -ffit.a);
+
+  // Impulse responses side by side.
+  const auto gh = gfit.impulse(12);
+  const auto fh = ffit.impulse(12);
+  std::printf("impulse responses (first 12 cycles):\n  n   golden    faulty\n");
+  for (std::size_t n = 0; n < gh.size(); ++n) {
+    std::printf("  %2zu  %+.4f  %+.4f\n", n, gh[n], fh[n]);
+  }
+
+  const double imp = impulse_detection_percent(gfit, ffit);
+  const double corr = correlation_detection_percent(golden, faulty);
+  const double idd = idd_detection_percent(golden, faulty);
+  std::printf("\ndetection instances:\n");
+  std::printf("  approach 2 (impulse response):   %5.1f %%\n", imp);
+  std::printf("  approach 1 (correlation):        %5.1f %%\n", corr);
+  std::printf("  dynamic Idd (refs [10, 11]):     %5.1f %%\n", idd);
+
+  const bool caught = is_detected(std::max({imp, corr, idd}));
+  std::printf("\nverdict: fault %s\n", caught ? "DETECTED" : "escaped");
+
+  if (std::abs(ffit.b) < 0.02) {
+    std::printf("diagnosis: integrator signal path dead (b ~ 0) — op-amp "
+                "internal node clamped\n");
+  } else if (std::abs(ffit.b - gfit.b) > 0.02) {
+    std::printf("diagnosis: integration gain shifted — capacitor ratio or "
+                "charge-transfer fault\n");
+  } else if (std::abs(ffit.a - gfit.a) > 0.02) {
+    std::printf("diagnosis: integrator pole moved — leakage or feedback fault\n");
+  } else {
+    std::printf("diagnosis: transfer intact; check bias/supply current\n");
+  }
+  return caught ? 0 : 1;
+}

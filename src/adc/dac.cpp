@@ -1,0 +1,87 @@
+#include "adc/dac.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace msbist::adc {
+
+DacConfig DacConfig::ideal(unsigned bits, double vref) {
+  DacConfig cfg;
+  cfg.bits = bits;
+  cfg.vref = vref;
+  return cfg;
+}
+
+DacConfig DacConfig::fabricated(analog::ProcessVariation& pv, unsigned bits,
+                                double vref) {
+  DacConfig cfg = ideal(bits, vref);
+  cfg.offset_v = pv.vary_abs(0.0, 1e-3);
+  cfg.weight_errors.resize(bits);
+  for (double& e : cfg.weight_errors) e = pv.vary_abs(0.0, 2e-3);
+  return cfg;
+}
+
+Dac::Dac(DacConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.bits == 0 || cfg_.bits > 16) {
+    throw std::invalid_argument("Dac: bits must be in [1, 16]");
+  }
+  if (cfg_.vref <= 0) throw std::invalid_argument("Dac: vref must be > 0");
+  if (!cfg_.weight_errors.empty() && cfg_.weight_errors.size() != cfg_.bits) {
+    throw std::invalid_argument("Dac: weight_errors size must match bits");
+  }
+  bit_weights_.resize(cfg_.bits);
+  for (unsigned b = 0; b < cfg_.bits; ++b) {
+    // MSB-first: weight of bit (bits-1-b) is vref / 2^(b+1).
+    const double nominal = cfg_.vref / std::pow(2.0, static_cast<double>(b + 1));
+    const double err = cfg_.weight_errors.empty() ? 0.0 : cfg_.weight_errors[b];
+    bit_weights_[b] = nominal * (1.0 + err);
+  }
+}
+
+double Dac::output(std::uint32_t code) const {
+  code = std::min(code, max_code());
+  double v = cfg_.offset_v;
+  for (unsigned b = 0; b < cfg_.bits; ++b) {
+    const unsigned bit_pos = cfg_.bits - 1 - b;  // MSB first
+    if (code & (1u << bit_pos)) v += bit_weights_[b];
+  }
+  return v;
+}
+
+double Dac::lsb_volts() const {
+  return cfg_.vref / std::pow(2.0, static_cast<double>(cfg_.bits));
+}
+
+std::vector<double> Dac::levels() const {
+  std::vector<double> out(max_code() + 1);
+  for (std::uint32_t c = 0; c <= max_code(); ++c) out[c] = output(c);
+  return out;
+}
+
+DacMetrics dac_metrics(const Dac& dac) {
+  const std::vector<double> v = dac.levels();
+  DacMetrics m;
+  const std::size_t n = v.size();
+  if (n < 3) return m;
+  const double lsb_ideal = dac.lsb_volts();
+  m.lsb_measured = (v.back() - v.front()) / static_cast<double>(n - 1);
+  m.offset_lsb = v.front() / lsb_ideal;
+  m.gain_error_lsb =
+      (m.lsb_measured - lsb_ideal) * static_cast<double>(n - 1) / lsb_ideal;
+  m.dnl_lsb.resize(n - 1);
+  m.inl_lsb.resize(n);
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    m.dnl_lsb[k] = (v[k + 1] - v[k]) / m.lsb_measured - 1.0;
+    m.max_abs_dnl = std::max(m.max_abs_dnl, std::abs(m.dnl_lsb[k]));
+    if (v[k + 1] < v[k]) m.monotonic = false;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ideal = v.front() + static_cast<double>(k) * m.lsb_measured;
+    m.inl_lsb[k] = (v[k] - ideal) / m.lsb_measured;
+    m.max_abs_inl = std::max(m.max_abs_inl, std::abs(m.inl_lsb[k]));
+  }
+  return m;
+}
+
+}  // namespace msbist::adc

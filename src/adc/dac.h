@@ -1,0 +1,66 @@
+// Digital-to-analogue converter macro.
+//
+// The research-background approaches the paper builds on (Fasang, Ohletz,
+// Pritchard) "treat the Analogue Section Under Test as the ADC macro, the
+// DAC macro and the other analogue macros", and use the measured ADC/DAC
+// transfer functions to self-calibrate the pair. This module provides the
+// DAC macro: a binary-weighted (R-2R) converter with per-bit weight
+// errors, plus its own INL/DNL metrics, enabling the ADC<->DAC loopback
+// test of the examples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analog/macro.h"
+
+namespace msbist::adc {
+
+struct DacConfig {
+  unsigned bits = 8;
+  double vref = 2.5;
+  double offset_v = 0.0;
+  /// Relative error on each binary weight, MSB first (empty = ideal).
+  std::vector<double> weight_errors;
+
+  static DacConfig ideal(unsigned bits = 8, double vref = 2.5);
+  /// Weight errors and offset drawn from process variation (the R-2R
+  /// string matching of a 5 um gate array, ~0.2 % per leg).
+  static DacConfig fabricated(analog::ProcessVariation& pv, unsigned bits = 8,
+                              double vref = 2.5);
+};
+
+class Dac {
+ public:
+  explicit Dac(DacConfig cfg);
+
+  /// Output voltage for a code in [0, 2^bits - 1] (clamped).
+  double output(std::uint32_t code) const;
+
+  std::uint32_t max_code() const { return (1u << cfg_.bits) - 1u; }
+  double lsb_volts() const;
+  const DacConfig& config() const { return cfg_; }
+
+  /// All output levels, code 0 .. max.
+  std::vector<double> levels() const;
+
+ private:
+  DacConfig cfg_;
+  std::vector<double> bit_weights_;  ///< MSB-first actual weights [V]
+};
+
+/// DAC linearity metrics from its measured levels (endpoint method).
+struct DacMetrics {
+  double lsb_measured = 0.0;
+  double offset_lsb = 0.0;
+  double gain_error_lsb = 0.0;
+  std::vector<double> dnl_lsb;
+  std::vector<double> inl_lsb;
+  double max_abs_dnl = 0.0;
+  double max_abs_inl = 0.0;
+  bool monotonic = true;
+};
+
+DacMetrics dac_metrics(const Dac& dac);
+
+}  // namespace msbist::adc

@@ -1,0 +1,149 @@
+#include "adc/dual_slope.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace msbist::adc {
+
+DualSlopeAdcConfig DualSlopeAdcConfig::ideal() {
+  DualSlopeAdcConfig cfg;
+  cfg.comparator_noise_v = 0.0;
+  cfg.integrator.cap_ratio = static_cast<double>(cfg.integrate_counts);
+  cfg.integrator.vout_min = 0.0;
+  cfg.integrator.vout_max = 5.0;
+  cfg.comparator.delay_s = 0.0;
+  cfg.comparator.hysteresis_v = 0.0;
+  cfg.comparator.offset_v = 0.0;
+  return cfg;
+}
+
+DualSlopeAdcConfig DualSlopeAdcConfig::characterized() {
+  DualSlopeAdcConfig cfg = ideal();
+  // Non-idealities generating the published error budget over the
+  // characterized 0..100-code span (single-shot ramp measurement, the
+  // protocol a 1996 bench characterization would use):
+  //  * input-path (sampling switch) nonlinearity — INL curvature; the
+  //    symmetric integrator nonlinearity cancels in dual slope
+  //  * run-down gain mismatch (asymmetric charge injection) — gain error
+  //    ~0.5 LSB; the symmetric capacitor-ratio error also cancels
+  //  * comparator offset — zero offset (with pedestal rounding) < 0.2 LSB
+  //  * per-conversion comparator noise — the DNL wiggle of Figure 2
+  //    (~1.2 LSB peaks) and its random-walk accumulation into INL (~1.3)
+  cfg.integrator.input_nonlinearity = 2e-3;
+  cfg.integrator.invert_gain_mismatch = -2e-3;
+  cfg.comparator.offset_v = 4e-3;
+  cfg.comparator_noise_v = 5.5e-3;
+  cfg.noise_seed = 9;
+  return cfg;
+}
+
+DualSlopeAdcConfig DualSlopeAdcConfig::varied(analog::ProcessVariation& pv) const {
+  DualSlopeAdcConfig cfg = *this;
+  cfg.integrator = integrator.varied(pv);
+  cfg.comparator = comparator.varied(pv);
+  return cfg;
+}
+
+DualSlopeAdc::DualSlopeAdc(DualSlopeAdcConfig cfg)
+    : cfg_(cfg), noise_rng_(cfg.noise_seed) {
+  if (cfg_.vref <= 0 || cfg_.clock_hz <= 0) {
+    throw std::invalid_argument("DualSlopeAdc: vref and clock must be > 0");
+  }
+  if (cfg_.integrate_counts == 0) {
+    throw std::invalid_argument("DualSlopeAdc: integrate_counts must be > 0");
+  }
+}
+
+double DualSlopeAdc::lsb_volts() const {
+  return cfg_.vref / static_cast<double>(cfg_.integrate_counts);
+}
+
+std::uint32_t DualSlopeAdc::pedestal_counts() const {
+  // Pedestal volts divided by the per-count de-integration step g*vref,
+  // with g = 1/cap_ratio.
+  const double step = cfg_.vref / cfg_.integrator.cap_ratio;
+  return static_cast<std::uint32_t>(std::llround(cfg_.pedestal_v / step));
+}
+
+std::uint32_t DualSlopeAdc::full_scale_code() const {
+  return cfg_.integrate_counts + pedestal_counts();
+}
+
+std::uint32_t DualSlopeAdc::ideal_code(double vin) const {
+  const double clamped = std::clamp(vin, 0.0, cfg_.vref);
+  const double counts =
+      static_cast<double>(cfg_.integrate_counts) * (1.0 - clamped / cfg_.vref);
+  return pedestal_counts() + static_cast<std::uint32_t>(std::llround(counts));
+}
+
+void DualSlopeAdc::reseed_noise(std::uint64_t seed) {
+  noise_rng_.seed(seed);
+}
+
+ConversionResult DualSlopeAdc::convert(double vin) {
+  const double t_clk = 1.0 / cfg_.clock_hz;
+
+  // Sub-macros are rebuilt per conversion: a conversion is a complete
+  // auto-zeroed cycle, so no analogue state survives between conversions.
+  analog::ScIntegratorModel integrator(cfg_.integrator);
+  analog::ComparatorModel comparator(cfg_.comparator);
+  digital::BinaryCounter counter(10, cfg_.counter_faults);
+  digital::OutputLatch latch(10, cfg_.latch_faults);
+  digital::DualSlopeControl control(cfg_.integrate_counts, cfg_.timeout_counts,
+                                    cfg_.control_faults);
+
+  // Per-conversion comparator noise (drawn even when unused so the stream
+  // stays aligned across configurations with the same seed).
+  std::normal_distribution<double> noise_dist(0.0, 1.0);
+  const double noise =
+      cfg_.comparator_noise_v > 0.0 ? cfg_.comparator_noise_v * noise_dist(noise_rng_)
+                                    : (noise_dist(noise_rng_), 0.0);
+
+  ConversionResult res;
+  control.start();
+  comparator.reset(false);
+
+  // Hard cycle budget: a stuck control FSM must not hang the caller.
+  const std::uint64_t max_cycles =
+      2ull + cfg_.integrate_counts + cfg_.timeout_counts + 8ull;
+  const double g = 1.0;  // integrator update handles its own 1/k gain
+
+  for (std::uint64_t cycle = 0; cycle < max_cycles; ++cycle) {
+    // Comparator watches the integrator against the baseline threshold:
+    // output high once the integrator has fallen back below Vth.
+    const bool comp_high =
+        comparator.step(cfg_.comparator_threshold + noise, integrator.output(),
+                        t_clk) > 2.5;
+    const digital::ControlOutputs out = control.clock(comp_high);
+
+    if (out.counter_clear) {
+      counter.clear();
+      // Auto-zero: integrator preset to the baseline plus pedestal.
+      integrator.reset(cfg_.comparator_threshold + cfg_.pedestal_v);
+    }
+    counter.set_enable(out.counter_enable);
+    if (out.connect_input) {
+      // Integrate phase: slope proportional to (Vref - Vin).
+      integrator.update(g * (cfg_.vref - vin));
+    } else if (out.connect_ref) {
+      // De-integration: constant downward slope proportional to Vref.
+      integrator.update(g * cfg_.vref, /*invert=*/true);
+    }
+    if (out.counter_enable) counter.clock();
+    res.integrator_peak_v = std::max(res.integrator_peak_v, integrator.output());
+    if (out.latch_strobe) {
+      latch.load(counter.count());
+      res.completed = true;
+      res.conversion_time_s = static_cast<double>(cycle + 1) * t_clk;
+      break;
+    }
+  }
+
+  res.code = latch.q();
+  res.timed_out = control.timed_out();
+  res.fall_time_s = static_cast<double>(control.deintegrate_clocks()) * t_clk;
+  return res;
+}
+
+}  // namespace msbist::adc

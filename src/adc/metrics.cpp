@@ -1,0 +1,142 @@
+#include "adc/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace msbist::adc {
+
+TransitionLevels measure_transitions_ramp(const AdcTransferFn& adc, double v_lo,
+                                          double v_hi, double step_v,
+                                          int samples_per_point) {
+  if (step_v <= 0 || v_hi <= v_lo || samples_per_point < 1) {
+    throw std::invalid_argument("measure_transitions_ramp: bad sweep parameters");
+  }
+  const auto mean_code = [&](double v) {
+    double acc = 0.0;
+    for (int s = 0; s < samples_per_point; ++s) acc += static_cast<double>(adc(v));
+    return acc / static_cast<double>(samples_per_point);
+  };
+
+  TransitionLevels out;
+  double v = v_lo;
+  double prev_mean = mean_code(v);
+  out.base_code = static_cast<std::uint32_t>(std::llround(prev_mean));
+  // The next half-level the mean code must cross upward.
+  double next_level = std::floor(prev_mean) + 0.5;
+  if (prev_mean >= next_level) next_level += 1.0;
+
+  v += step_v;
+  while (v <= v_hi) {
+    const double mean = mean_code(v);
+    // Record one transition per half-level crossed this step; a multi-code
+    // jump (missing code) deposits several transitions at the same voltage,
+    // which shows up as DNL = -1 at the skipped step.
+    while (mean >= next_level) {
+      // Linear interpolation between the two ramp points for sub-step
+      // transition placement.
+      const double frac =
+          mean > prev_mean ? (next_level - prev_mean) / (mean - prev_mean) : 0.5;
+      out.transitions.push_back(v - step_v + frac * step_v);
+      next_level += 1.0;
+    }
+    prev_mean = mean;
+    v += step_v;
+  }
+  return out;
+}
+
+double measure_transition_servo(const AdcTransferFn& adc, std::uint32_t target_code,
+                                double v_lo, double v_hi, int votes,
+                                int iterations) {
+  if (v_hi <= v_lo || votes < 1 || iterations < 1) {
+    throw std::invalid_argument("measure_transition_servo: bad parameters");
+  }
+  const auto at_or_above = [&](double v) {
+    int hits = 0;
+    for (int k = 0; k < votes; ++k) {
+      if (adc(v) >= target_code) ++hits;
+    }
+    return hits * 2 >= votes;
+  };
+  double lo = v_lo, hi = v_hi;
+  for (int it = 0; it < iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (at_or_above(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+AdcMetrics compute_metrics(const TransitionLevels& t, double lsb_ideal,
+                           double ideal_first_transition_v) {
+  if (lsb_ideal <= 0) throw std::invalid_argument("compute_metrics: lsb_ideal must be > 0");
+  if (t.transitions.size() < 3) {
+    throw std::invalid_argument("compute_metrics: need at least 3 transitions");
+  }
+  AdcMetrics m;
+  m.lsb_ideal = lsb_ideal;
+  const auto& tr = t.transitions;
+  const std::size_t n = tr.size();
+  const double span = tr.back() - tr.front();
+  m.lsb_measured = span / static_cast<double>(n - 1);
+  m.offset_lsb = (tr.front() - ideal_first_transition_v) / lsb_ideal;
+  m.gain_error_lsb =
+      (m.lsb_measured - lsb_ideal) * static_cast<double>(n - 1) / lsb_ideal;
+
+  m.dnl_lsb.resize(n - 1);
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    m.dnl_lsb[k] = (tr[k + 1] - tr[k]) / m.lsb_measured - 1.0;
+    m.max_abs_dnl = std::max(m.max_abs_dnl, std::abs(m.dnl_lsb[k]));
+  }
+  m.inl_lsb.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ideal = tr.front() + static_cast<double>(k) * m.lsb_measured;
+    m.inl_lsb[k] = (tr[k] - ideal) / m.lsb_measured;
+    m.max_abs_inl = std::max(m.max_abs_inl, std::abs(m.inl_lsb[k]));
+  }
+  return m;
+}
+
+std::vector<double> histogram_dnl(const std::vector<std::uint32_t>& codes) {
+  if (codes.empty()) return {};
+  std::map<std::uint32_t, std::size_t> hist;
+  for (std::uint32_t c : codes) ++hist[c];
+  if (hist.size() < 3) return {};
+  // Drop the two edge bins (partially covered by the ramp).
+  const std::uint32_t lo = hist.begin()->first;
+  const std::uint32_t hi = hist.rbegin()->first;
+  std::vector<double> counts;
+  for (std::uint32_t c = lo + 1; c < hi; ++c) {
+    const auto it = hist.find(c);
+    counts.push_back(it == hist.end() ? 0.0 : static_cast<double>(it->second));
+  }
+  if (counts.empty()) return {};
+  double mean = 0.0;
+  for (double c : counts) mean += c;
+  mean /= static_cast<double>(counts.size());
+  if (mean <= 0.0) return {};
+  std::vector<double> dnl(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) dnl[i] = counts[i] / mean - 1.0;
+  return dnl;
+}
+
+double quantisation_error_lsb(const TransitionLevels& t, double lsb_ideal) {
+  if (t.transitions.size() < 2 || lsb_ideal <= 0) return 0.0;
+  // Mid-code voltages against the ideal uniform grid anchored at the
+  // first transition.
+  double worst = 0.0;
+  for (std::size_t k = 0; k + 1 < t.transitions.size(); ++k) {
+    const double mid = 0.5 * (t.transitions[k] + t.transitions[k + 1]);
+    const double ideal =
+        t.transitions.front() + (static_cast<double>(k) + 0.5) * lsb_ideal;
+    worst = std::max(worst, std::abs(mid - ideal) / lsb_ideal);
+  }
+  return worst;
+}
+
+}  // namespace msbist::adc

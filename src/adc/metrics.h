@@ -1,0 +1,79 @@
+// ADC specification metrics: quantisation error, zero offset, gain error,
+// INL and DNL — the "main ADC specification parameters" of the paper.
+//
+// Metrics are computed from code-transition levels in the standard way
+// (IEEE 1057-style, endpoint-corrected): with measured transitions T[k]
+// between code k and k+1,
+//   LSB_meas = (T[last] - T[first]) / (#transitions - 1)
+//   offset   = (T[first] - T_ideal[first]) / LSB_ideal
+//   gain     = (LSB_meas - LSB_ideal) * span / LSB_ideal
+//   DNL[k]   = (T[k+1] - T[k]) / LSB_meas - 1
+//   INL[k]   = (T[k] - (T[first] + k LSB_meas)) / LSB_meas
+// Transition levels are found either by a fine ramp sweep or by the
+// histogram method; both are provided.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace msbist::adc {
+
+/// The quantity a converter test measures: input voltage -> output code,
+/// with codes increasing with voltage (adapt inverted converters first).
+using AdcTransferFn = std::function<std::uint32_t(double)>;
+
+/// Measured code-transition levels: transition[k] is the input voltage at
+/// which the output changes from base_code + k to base_code + k + 1.
+struct TransitionLevels {
+  std::uint32_t base_code = 0;
+  std::vector<double> transitions;
+};
+
+/// Locate transition levels with a fine voltage ramp over [v_lo, v_hi].
+/// step_v should be a small fraction of one LSB (e.g. LSB/40). A noisy
+/// converter flickers near each transition, so the code at each ramp
+/// point is averaged over samples_per_point conversions and a transition
+/// is recorded where the mean code crosses the half-code level (the
+/// standard 50 %-probability definition of a transition voltage).
+TransitionLevels measure_transitions_ramp(const AdcTransferFn& adc, double v_lo,
+                                          double v_hi, double step_v,
+                                          int samples_per_point = 1);
+
+/// Locate one transition voltage by servo (bisection) search: the input
+/// where the converter outputs >= target_code on at least half of
+/// `votes` conversions. The transfer must be monotone non-decreasing over
+/// [v_lo, v_hi]. Tighter than the ramp method for a single code at the
+/// cost of more conversions.
+double measure_transition_servo(const AdcTransferFn& adc, std::uint32_t target_code,
+                                double v_lo, double v_hi, int votes = 15,
+                                int iterations = 24);
+
+/// Full specification metrics.
+struct AdcMetrics {
+  double lsb_ideal = 0.0;
+  double lsb_measured = 0.0;
+  double offset_lsb = 0.0;       ///< zero-offset error [LSB]
+  double gain_error_lsb = 0.0;   ///< full-span gain error [LSB]
+  std::vector<double> dnl_lsb;   ///< one entry per code step
+  std::vector<double> inl_lsb;   ///< one entry per transition
+  double max_abs_dnl = 0.0;
+  double max_abs_inl = 0.0;
+};
+
+/// Compute metrics from measured transitions. lsb_ideal and the ideal
+/// first-transition voltage define the nominal transfer.
+AdcMetrics compute_metrics(const TransitionLevels& t, double lsb_ideal,
+                           double ideal_first_transition_v);
+
+/// Histogram (code-density) DNL from a linear-ramp code record: DNL[k] =
+/// count[k]/mean_count - 1 for interior codes. The ramp must span slightly
+/// beyond both ends of the measured code range.
+std::vector<double> histogram_dnl(const std::vector<std::uint32_t>& codes);
+
+/// Worst-case quantisation error of an ideal quantizer is LSB/2; the
+/// measured value on a transfer function is max |v_mid(k) - v_ideal(k)|
+/// over codes, in LSB. Useful as a coarse single-number check.
+double quantisation_error_lsb(const TransitionLevels& t, double lsb_ideal);
+
+}  // namespace msbist::adc

@@ -1,0 +1,59 @@
+#include "analog/comparator.h"
+
+#include <stdexcept>
+
+namespace msbist::analog {
+
+ComparatorParams ComparatorParams::varied(ProcessVariation& pv) const {
+  ComparatorParams p = *this;
+  p.offset_v = pv.vary_abs(offset_v, 2e-3);
+  p.delay_s = pv.vary(delay_s, 0.10);
+  p.hysteresis_v = pv.vary(hysteresis_v, 0.10);
+  return p;
+}
+
+ComparatorModel::ComparatorModel(ComparatorParams p) : params_(p) {
+  if (params_.hysteresis_v < 0 || params_.delay_s < 0) {
+    throw std::invalid_argument("ComparatorModel: hysteresis and delay must be >= 0");
+  }
+  if (params_.v_high <= params_.v_low) {
+    throw std::invalid_argument("ComparatorModel: v_high must exceed v_low");
+  }
+}
+
+void ComparatorModel::reset(bool output_high) {
+  out_high_ = output_high;
+  pending_valid_ = false;
+  pending_timer_ = 0.0;
+}
+
+double ComparatorModel::step(double v_plus, double v_minus, double dt) {
+  if (dt <= 0) throw std::invalid_argument("ComparatorModel::step: dt must be > 0");
+  const double vid = v_plus - v_minus + params_.offset_v;
+  // Hysteresis around zero: the comparison target shifts away from the
+  // current committed state.
+  const double half_hyst = 0.5 * params_.hysteresis_v;
+  const bool raw = out_high_ ? (vid > -half_hyst) : (vid > half_hyst);
+
+  if (params_.delay_s <= 0.0) {
+    out_high_ = raw;
+  } else if (raw != out_high_) {
+    if (!pending_valid_ || pending_state_ != raw) {
+      pending_valid_ = true;
+      pending_state_ = raw;
+      pending_timer_ = params_.delay_s;
+    } else {
+      pending_timer_ -= dt;
+      if (pending_timer_ <= 0.0) {
+        out_high_ = pending_state_;
+        pending_valid_ = false;
+      }
+    }
+  } else {
+    // Input went back before the delay elapsed: cancel the edge.
+    pending_valid_ = false;
+  }
+  return out_high_ ? params_.v_high : params_.v_low;
+}
+
+}  // namespace msbist::analog

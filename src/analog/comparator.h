@@ -1,0 +1,47 @@
+// Voltage comparator macro (behavioural).
+//
+// The dual-slope ADC uses a comparator to detect the integrator's
+// zero/threshold crossing; its offset and delay feed directly into the
+// ADC's zero-offset and gain errors (paper, "Full testing of the ADC
+// macro": "faults in the comparator submacro will contribute to the
+// offset error and gain error").
+#pragma once
+
+#include "analog/macro.h"
+
+namespace msbist::analog {
+
+struct ComparatorParams {
+  double offset_v = 0.0;       ///< input-referred offset [V]
+  double hysteresis_v = 1e-3;  ///< total hysteresis width [V]
+  double delay_s = 2e-6;       ///< propagation delay [s]
+  double v_low = 0.0;          ///< logic-low output level [V]
+  double v_high = 5.0;         ///< logic-high output level [V]
+
+  ComparatorParams varied(ProcessVariation& pv) const;
+};
+
+/// Clocked/continuous comparator with hysteresis and a transport delay
+/// realized as a pending-edge timer. Call step() once per simulation step.
+class ComparatorModel {
+ public:
+  explicit ComparatorModel(ComparatorParams p);
+
+  void reset(bool output_high = false);
+
+  /// Advance by dt with the given inputs; returns the (possibly delayed)
+  /// output level.
+  double step(double v_plus, double v_minus, double dt);
+
+  bool output_high() const { return out_high_; }
+  const ComparatorParams& params() const { return params_; }
+
+ private:
+  ComparatorParams params_;
+  bool out_high_ = false;       ///< committed (visible) output state
+  bool pending_valid_ = false;  ///< an edge is in flight
+  bool pending_state_ = false;
+  double pending_timer_ = 0.0;
+};
+
+}  // namespace msbist::analog

@@ -1,0 +1,41 @@
+#include "analog/current_comparator.h"
+
+#include <stdexcept>
+
+namespace msbist::analog {
+
+CurrentComparatorParams CurrentComparatorParams::varied(ProcessVariation& pv) const {
+  CurrentComparatorParams p = *this;
+  p.threshold_a = pv.vary(threshold_a, 0.05);
+  p.offset_a = pv.vary_abs(offset_a, 5e-6);
+  return p;
+}
+
+CurrentComparator::CurrentComparator(CurrentComparatorParams p) : params_(p) {
+  if (params_.threshold_a <= 0 || params_.hysteresis_a < 0) {
+    throw std::invalid_argument("CurrentComparator: bad parameters");
+  }
+}
+
+bool CurrentComparator::step(double current_a) {
+  const double i = current_a + params_.offset_a;
+  const double half = 0.5 * params_.hysteresis_a;
+  if (high_) {
+    if (i < params_.threshold_a - half) high_ = false;
+  } else {
+    if (i > params_.threshold_a + half) high_ = true;
+  }
+  return high_;
+}
+
+double CurrentComparator::excess_fraction(const std::vector<double>& idd_samples) {
+  if (idd_samples.empty()) return 0.0;
+  std::size_t hits = 0;
+  high_ = false;
+  for (double i : idd_samples) {
+    if (step(i)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(idd_samples.size());
+}
+
+}  // namespace msbist::analog

@@ -1,0 +1,45 @@
+// Current comparator macro.
+//
+// The gate-array macro library the paper surveys includes "voltage and
+// current comparators". The current comparator underpins the dynamic-Idd
+// test channel (refs [10, 11]): it watches a supply-current sample against
+// a programmable threshold and flags excess consumption — exactly the
+// observation that catches bias-line stuck-at faults the voltage
+// signatures miss.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analog/macro.h"
+
+namespace msbist::analog {
+
+struct CurrentComparatorParams {
+  double threshold_a = 1e-3;     ///< trip current [A]
+  double offset_a = 0.0;         ///< input-referred offset [A]
+  double hysteresis_a = 20e-6;   ///< hysteresis width [A]
+
+  CurrentComparatorParams varied(ProcessVariation& pv) const;
+};
+
+class CurrentComparator {
+ public:
+  explicit CurrentComparator(CurrentComparatorParams p);
+
+  /// One sample: true when the current exceeds the (hysteretic) threshold.
+  bool step(double current_a);
+
+  bool output_high() const { return high_; }
+  const CurrentComparatorParams& params() const { return params_; }
+
+  /// Fraction of samples in a waveform above threshold — the dynamic-Idd
+  /// screening statistic (0..1).
+  double excess_fraction(const std::vector<double>& idd_samples);
+
+ private:
+  CurrentComparatorParams params_;
+  bool high_ = false;
+};
+
+}  // namespace msbist::analog

@@ -1,0 +1,23 @@
+#include "analog/macro.h"
+
+#include <algorithm>
+
+namespace msbist::analog {
+
+double ProcessVariation::vary(double nominal, double rel_sigma) {
+  if (nominal_ || rel_sigma <= 0.0) return nominal;
+  std::normal_distribution<double> dist(0.0, rel_sigma);
+  const double rel = std::clamp(dist(rng_), -3.0 * rel_sigma, 3.0 * rel_sigma);
+  return nominal * (1.0 + rel);
+}
+
+double ProcessVariation::vary_abs(double nominal, double abs_sigma) {
+  if (nominal_ || abs_sigma <= 0.0) return nominal;
+  std::normal_distribution<double> dist(0.0, abs_sigma);
+  const double delta = std::clamp(dist(rng_), -3.0 * abs_sigma, 3.0 * abs_sigma);
+  return nominal + delta;
+}
+
+ProcessVariation ProcessVariation::nominal() { return ProcessVariation(); }
+
+}  // namespace msbist::analog

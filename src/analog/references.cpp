@@ -1,0 +1,52 @@
+#include "analog/references.h"
+
+#include <cmath>
+
+namespace msbist::analog {
+
+VoltageReference VoltageReference::make(double nominal, ProcessVariation& pv,
+                                        double tolerance_rel) {
+  VoltageReference r;
+  r.nominal_v = nominal;
+  r.tolerance_rel = tolerance_rel;
+  // 3-sigma of the process spread sits at the spec limit.
+  r.actual_v = pv.vary(nominal, tolerance_rel / 3.0);
+  return r;
+}
+
+bool VoltageReference::within_spec() const {
+  return std::abs(actual_v - nominal_v) <= tolerance_rel * nominal_v;
+}
+
+CurrentMirror CurrentMirror::make(double nominal_ratio, ProcessVariation& pv,
+                                  double mismatch_rel) {
+  CurrentMirror m;
+  m.nominal_ratio = nominal_ratio;
+  m.mismatch_rel = mismatch_rel;
+  m.actual_ratio = pv.vary(nominal_ratio, mismatch_rel / 3.0);
+  return m;
+}
+
+bool CurrentMirror::within_spec() const {
+  return std::abs(actual_ratio - nominal_ratio) <= mismatch_rel * nominal_ratio;
+}
+
+Oscillator Oscillator::make(double nominal_hz, ProcessVariation& pv,
+                            double tolerance_rel) {
+  Oscillator o;
+  o.nominal_hz = nominal_hz;
+  o.tolerance_rel = tolerance_rel;
+  o.actual_hz = pv.vary(nominal_hz, tolerance_rel / 3.0);
+  return o;
+}
+
+bool Oscillator::within_spec() const {
+  return std::abs(actual_hz - nominal_hz) <= tolerance_rel * nominal_hz;
+}
+
+circuit::ClockWave Oscillator::clock(double high_level) const {
+  const double period = period_s();
+  return circuit::ClockWave(period, period / 2.0, 0.0, 0.0, high_level);
+}
+
+}  // namespace msbist::analog

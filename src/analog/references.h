@@ -1,0 +1,53 @@
+// Voltage-reference, current-mirror, oscillator and analogue-switch
+// macros from the gate-array library the paper surveys ("voltage
+// references, current mirrors, operational amplifiers, voltage and
+// current comparators, oscillators, ADCs and DACs").
+//
+// These are behavioural models with published specification limits and
+// process-variation hooks; the BIST macros are assembled from them.
+#pragma once
+
+#include "analog/macro.h"
+#include "circuit/waveform.h"
+
+namespace msbist::analog {
+
+/// Bandgap-style voltage reference macro.
+struct VoltageReference {
+  double nominal_v = 2.5;
+  double tolerance_rel = 0.01;   ///< +/-1 % spec limit
+  double actual_v = 2.5;         ///< this die's value
+
+  static VoltageReference make(double nominal, ProcessVariation& pv,
+                               double tolerance_rel = 0.01);
+  /// Within the published spec?
+  bool within_spec() const;
+};
+
+/// Current mirror macro: ratio between output and reference currents.
+struct CurrentMirror {
+  double nominal_ratio = 1.0;
+  double mismatch_rel = 0.02;    ///< +/-2 % matching spec
+  double actual_ratio = 1.0;
+
+  static CurrentMirror make(double nominal_ratio, ProcessVariation& pv,
+                            double mismatch_rel = 0.02);
+  double output_current(double i_ref) const { return actual_ratio * i_ref; }
+  bool within_spec() const;
+};
+
+/// Relaxation oscillator macro (the ADC and counter clock source).
+struct Oscillator {
+  double nominal_hz = 100e3;
+  double tolerance_rel = 0.05;   ///< +/-5 % untrimmed RC oscillator
+  double actual_hz = 100e3;
+
+  static Oscillator make(double nominal_hz, ProcessVariation& pv,
+                         double tolerance_rel = 0.05);
+  double period_s() const { return 1.0 / actual_hz; }
+  bool within_spec() const;
+  /// 50 % duty clock waveform at the die's actual frequency.
+  circuit::ClockWave clock(double high_level = 5.0) const;
+};
+
+}  // namespace msbist::analog

@@ -1,0 +1,142 @@
+#include "bist/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msbist::bist {
+
+BistController::BistController(StepGenerator steps, RampGenerator ramp,
+                               DcLevelSensor sensor, BistTolerances tol)
+    : steps_(std::move(steps)), ramp_(std::move(ramp)), sensor_(std::move(sensor)),
+      tol_(tol) {}
+
+BistController BistController::typical() {
+  return BistController(StepGenerator::typical(), RampGenerator::typical(),
+                        DcLevelSensor::typical());
+}
+
+ToleranceCompressor BistController::make_compressor(
+    const adc::DualSlopeAdc& adc) const {
+  // Nominal codes come from the nominal transfer at the nominal tap
+  // levels — this table is what the chip designer burns into the BIST ROM.
+  std::vector<std::uint32_t> nominal;
+  nominal.reserve(paper_step_levels().size());
+  for (double v : paper_step_levels()) nominal.push_back(adc.ideal_code(v));
+  return ToleranceCompressor(std::move(nominal), tol_.code_tolerance);
+}
+
+AnalogTestResult BistController::run_analog_test(adc::DualSlopeAdc& adc) const {
+  AnalogTestResult res;
+  res.step_levels = steps_.levels();
+  const double vref = adc.config().vref;
+  for (double v : res.step_levels) {
+    const adc::ConversionResult conv = adc.convert(v);
+    res.fall_times_s.push_back(conv.fall_time_s);
+    // Expected law: T2 = (Vref - Vin) * (T1/Vref) + pedestal time.
+    const double t1 = static_cast<double>(adc.config().integrate_counts) /
+                      adc.config().clock_hz;
+    const double pedestal = static_cast<double>(adc.pedestal_counts()) /
+                            adc.config().clock_hz;
+    res.expected_fall_times_s.push_back((vref - std::min(v, vref)) * t1 / vref +
+                                        pedestal);
+  }
+  res.pass = true;
+  for (std::size_t i = 0; i < res.fall_times_s.size(); ++i) {
+    if (std::abs(res.fall_times_s[i] - res.expected_fall_times_s[i]) >
+        tol_.fall_time_tol_s) {
+      res.pass = false;
+    }
+  }
+  return res;
+}
+
+RampTestResult BistController::run_ramp_test(adc::DualSlopeAdc& adc) const {
+  RampTestResult res;
+  res.sample_times_s = ramp_.measurement_times();
+  bool all_complete = true;
+  for (double t : res.sample_times_s) {
+    const double v = ramp_.value(t);
+    res.sample_voltages.push_back(v);
+    const adc::ConversionResult conv = adc.convert(v);
+    res.codes.push_back(conv.code);
+    all_complete = all_complete && conv.completed && !conv.timed_out;
+  }
+  // The dual-slope code counts down the remaining de-integration time, so
+  // a rising ramp must give strictly decreasing codes (within noise).
+  res.codes_monotonic = true;
+  for (std::size_t i = 1; i < res.codes.size(); ++i) {
+    if (res.codes[i] > res.codes[i - 1] + 2) res.codes_monotonic = false;
+  }
+  res.pass = all_complete && res.codes_monotonic;
+  return res;
+}
+
+DigitalTestResult BistController::run_digital_test(adc::DualSlopeAdc& adc) const {
+  DigitalTestResult res;
+  // Worst-case conversion time occurs at zero input (longest run-down).
+  const adc::ConversionResult worst = adc.convert(0.0);
+  res.max_conversion_time_s = worst.conversion_time_s;
+
+  // Fall-time step per code: one-LSB input change. Conversion noise on a
+  // single difference is ~0.8 counts RMS, so the estimate averages enough
+  // repeats to push its sigma well inside the half-count pass window.
+  const double lsb = adc.lsb_volts();
+  double acc = 0.0;
+  const int reps = 32;
+  for (int r = 0; r < reps; ++r) {
+    const adc::ConversionResult a = adc.convert(1.0);
+    const adc::ConversionResult b = adc.convert(1.0 + lsb);
+    acc += a.fall_time_s - b.fall_time_s;
+  }
+  res.fall_time_per_code_s = acc / static_cast<double>(reps);
+  res.volts_per_code = lsb;
+
+  const double t_clk = 1.0 / adc.config().clock_hz;
+  res.pass = worst.completed && !worst.timed_out &&
+             res.max_conversion_time_s <= res.conversion_time_spec_s &&
+             std::abs(res.fall_time_per_code_s - t_clk) < 0.5 * t_clk;
+  return res;
+}
+
+CompressedTestResult BistController::run_compressed_test(
+    adc::DualSlopeAdc& adc) const {
+  CompressedTestResult res;
+  const ToleranceCompressor comp = make_compressor(adc);
+
+  // Digital signature from the consecutive step inputs.
+  std::vector<std::uint32_t> codes;
+  double peak = 0.0;
+  for (double v : steps_.levels()) {
+    const adc::ConversionResult conv = adc.convert(v);
+    codes.push_back(conv.code);
+  }
+  res.digital_signature = comp.signature(codes);
+  res.expected_signature = comp.golden_signature();
+
+  // Analogue signature: ramp the input and compress the maximum
+  // integrator voltage through the DC level sensor.
+  for (double t : ramp_.measurement_times()) {
+    const adc::ConversionResult conv = adc.convert(ramp_.value(t));
+    peak = std::max(peak, conv.integrator_peak_v);
+  }
+  // Include the zero-input conversion: the true maximum excursion.
+  peak = std::max(peak, adc.convert(0.0).integrator_peak_v);
+  res.analog_signature = sensor_.classify(peak);
+
+  res.pass = res.digital_signature == res.expected_signature &&
+             res.analog_signature == res.expected_analog;
+  return res;
+}
+
+BistReport BistController::run_all(adc::DualSlopeAdc& adc) const {
+  BistReport rep;
+  rep.analog = run_analog_test(adc);
+  rep.ramp = run_ramp_test(adc);
+  rep.digital = run_digital_test(adc);
+  rep.compressed = run_compressed_test(adc);
+  rep.pass = rep.analog.pass && rep.ramp.pass && rep.digital.pass &&
+             rep.compressed.pass;
+  return rep;
+}
+
+}  // namespace msbist::bist

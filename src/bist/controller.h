@@ -1,0 +1,99 @@
+// BIST controller: orchestrates the paper's three on-chip test tiers
+// against the dual-slope ADC macro.
+//
+//   * Analogue tests — DC steps applied to the integrator; fall times
+//     measured against the expected law (paper's table: 2.6 ... 0.1 ms).
+//   * Digital tests — conversion time against the 5.6 ms spec; 10 us
+//     fall-time step per output code (10 mV/LSB).
+//   * Compressed tests — tolerance-bucketed signature over the step
+//     codes, plus the 2-bit analogue signature from the DC level sensor
+//     watching the integrator peak under a ramped input.
+//
+// "These tests provide a quick check of the ADC operation ... confirmed
+// the basic operation of the ADC circuit without a catastrophic failure."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adc/dual_slope.h"
+#include "bist/level_sensor.h"
+#include "bist/ramp_generator.h"
+#include "bist/signature_compressor.h"
+#include "bist/step_generator.h"
+
+namespace msbist::bist {
+
+struct AnalogTestResult {
+  std::vector<double> step_levels;
+  std::vector<double> fall_times_s;
+  std::vector<double> expected_fall_times_s;
+  bool pass = false;
+};
+
+struct RampTestResult {
+  std::vector<double> sample_times_s;
+  std::vector<double> sample_voltages;
+  std::vector<std::uint32_t> codes;
+  bool codes_monotonic = false;  ///< raw codes decrease as the ramp rises
+  bool pass = false;
+};
+
+struct DigitalTestResult {
+  double max_conversion_time_s = 0.0;
+  double conversion_time_spec_s = 5.6e-3;
+  double fall_time_per_code_s = 0.0;   ///< expect 10 us
+  double volts_per_code = 0.0;         ///< expect 10 mV
+  bool pass = false;
+};
+
+struct CompressedTestResult {
+  std::uint32_t digital_signature = 0;
+  std::uint32_t expected_signature = 0;
+  std::uint8_t analog_signature = 0;   ///< 2-bit level-sensor code of peak
+  std::uint8_t expected_analog = 0b01; ///< peak between 1.9 V and 3.6 V
+  bool pass = false;
+};
+
+struct BistReport {
+  AnalogTestResult analog;
+  RampTestResult ramp;
+  DigitalTestResult digital;
+  CompressedTestResult compressed;
+  bool pass = false;
+};
+
+struct BistTolerances {
+  double fall_time_tol_s = 60e-6;      ///< analogue-test fall-time window
+  std::uint32_t code_tolerance = 4;    ///< compressed-test bucket width
+};
+
+class BistController {
+ public:
+  BistController(StepGenerator steps, RampGenerator ramp, DcLevelSensor sensor,
+                 BistTolerances tol = {});
+
+  /// A controller with the paper's typical macros.
+  static BistController typical();
+
+  AnalogTestResult run_analog_test(adc::DualSlopeAdc& adc) const;
+  RampTestResult run_ramp_test(adc::DualSlopeAdc& adc) const;
+  DigitalTestResult run_digital_test(adc::DualSlopeAdc& adc) const;
+  CompressedTestResult run_compressed_test(adc::DualSlopeAdc& adc) const;
+
+  /// All three tiers; overall pass requires every tier to pass.
+  BistReport run_all(adc::DualSlopeAdc& adc) const;
+
+  const StepGenerator& steps() const { return steps_; }
+  const RampGenerator& ramp() const { return ramp_; }
+  const DcLevelSensor& sensor() const { return sensor_; }
+
+ private:
+  StepGenerator steps_;
+  RampGenerator ramp_;
+  DcLevelSensor sensor_;
+  BistTolerances tol_;
+  ToleranceCompressor make_compressor(const adc::DualSlopeAdc& adc) const;
+};
+
+}  // namespace msbist::bist

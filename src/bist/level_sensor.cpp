@@ -1,0 +1,29 @@
+#include "bist/level_sensor.h"
+
+#include <stdexcept>
+
+namespace msbist::bist {
+
+DcLevelSensor::DcLevelSensor(double low_threshold, double high_threshold,
+                             analog::ProcessVariation& pv) {
+  if (high_threshold <= low_threshold) {
+    throw std::invalid_argument("DcLevelSensor: thresholds must be ordered");
+  }
+  // Comparator offsets move each threshold a few millivolts.
+  low_actual_ = pv.vary_abs(low_threshold, 3e-3);
+  high_actual_ = pv.vary_abs(high_threshold, 3e-3);
+}
+
+DcLevelSensor DcLevelSensor::typical() {
+  analog::ProcessVariation pv = analog::ProcessVariation::nominal();
+  return DcLevelSensor(1.9, 3.6, pv);
+}
+
+std::uint8_t DcLevelSensor::classify(double v) const {
+  std::uint8_t code = 0;
+  if (v > low_actual_) code |= 0b01;
+  if (v > high_actual_) code |= 0b10;
+  return code;
+}
+
+}  // namespace msbist::bist

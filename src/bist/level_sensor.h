@@ -1,0 +1,41 @@
+// DC level sensor macro.
+//
+// "The integrator output was also connected to the DC level sensor, which
+// compared the analogue signal to thresholds of 1.9 volts and 3.6 volts...
+// the maximum integrator voltage signal was compressed into a 2 bit code."
+// A pair of comparators forming a window detector; the 2-bit code is
+// (above 1.9 V, above 3.6 V).
+#pragma once
+
+#include <cstdint>
+
+#include "analog/comparator.h"
+#include "analog/macro.h"
+
+namespace msbist::bist {
+
+class DcLevelSensor {
+ public:
+  DcLevelSensor(double low_threshold, double high_threshold,
+                analog::ProcessVariation& pv);
+
+  /// The paper's thresholds (1.9 V / 3.6 V) on a typical die.
+  static DcLevelSensor typical();
+
+  /// 2-bit code for a voltage: bit0 = above low threshold, bit1 = above
+  /// high threshold. Possible codes: 0b00, 0b01, 0b11 (0b10 cannot occur
+  /// in a healthy sensor and flags a sensor fault when observed).
+  std::uint8_t classify(double v) const;
+
+  double low_threshold() const { return low_actual_; }
+  double high_threshold() const { return high_actual_; }
+
+  /// Two comparators plus a reference divider.
+  static constexpr int kTransistorCount = 34;
+
+ private:
+  double low_actual_;
+  double high_actual_;
+};
+
+}  // namespace msbist::bist

@@ -1,0 +1,51 @@
+#include "bist/overhead.h"
+
+#include "bist/level_sensor.h"
+#include "bist/ramp_generator.h"
+#include "bist/step_generator.h"
+
+namespace msbist::bist {
+
+OverheadModel OverheadModel::paper() {
+  OverheadModel m;
+  // Analogue test section: 152 transistors total.
+  m.entries.push_back({"step input generator", StepGenerator::kTransistorCount, true});
+  m.entries.push_back({"ramp generator", RampGenerator::kTransistorCount, true});
+  m.entries.push_back({"DC level sensor", DcLevelSensor::kTransistorCount, true});
+  m.entries.push_back({"analogue mux / buffers", 64, true});
+  // Digital test section: 484 transistors total (reusable for the rest of
+  // the digital areas of the chip).
+  m.entries.push_back({"signature compressor (MISR)", 120, false});
+  m.entries.push_back({"monotonicity / ramp FSM", 100, false});
+  m.entries.push_back({"BIST sequencer", 180, false});
+  m.entries.push_back({"scan mux / test bus", 84, false});
+  return m;
+}
+
+int OverheadModel::analogue_total() const {
+  int n = 0;
+  for (const auto& e : entries) {
+    if (e.analogue) n += e.transistors;
+  }
+  return n;
+}
+
+int OverheadModel::digital_total() const {
+  int n = 0;
+  for (const auto& e : entries) {
+    if (!e.analogue) n += e.transistors;
+  }
+  return n;
+}
+
+double OverheadModel::overhead_ratio_vs_adc() const {
+  if (adc_transistors <= 0) return 0.0;
+  return static_cast<double>(total()) / static_cast<double>(adc_transistors);
+}
+
+double OverheadModel::device_fraction() const {
+  if (device_budget <= 0) return 0.0;
+  return static_cast<double>(total()) / static_cast<double>(device_budget);
+}
+
+}  // namespace msbist::bist

@@ -1,0 +1,40 @@
+// Silicon-overhead accounting for the on-chip test structures.
+//
+// Paper: "The analogue section of the testing macro had an overhead of
+// 152 transistors. The digital section of the testing macro needed 484
+// transistors. However the digital test structures could also be used to
+// test further digital areas of a mixed chip." The ADC macro itself is
+// ~250 gates / ~1000 transistors on the 5 um gate array.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace msbist::bist {
+
+struct OverheadEntry {
+  std::string macro;
+  int transistors = 0;
+  bool analogue = false;
+};
+
+struct OverheadModel {
+  std::vector<OverheadEntry> entries;
+  int adc_transistors = 1000;   ///< the macro under test
+  int adc_gates = 250;
+  int device_budget = 5000;     ///< "low-cost devices of approximately
+                                ///  5000 transistors"
+
+  /// The paper's breakdown (sums to 152 analogue + 484 digital).
+  static OverheadModel paper();
+
+  int analogue_total() const;
+  int digital_total() const;
+  int total() const { return analogue_total() + digital_total(); }
+  /// Overhead relative to the ADC macro under test.
+  double overhead_ratio_vs_adc() const;
+  /// Fraction of the 5000-transistor device consumed by test structures.
+  double device_fraction() const;
+};
+
+}  // namespace msbist::bist

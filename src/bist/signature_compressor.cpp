@@ -1,0 +1,41 @@
+#include "bist/signature_compressor.h"
+
+#include <stdexcept>
+
+namespace msbist::bist {
+
+ToleranceCompressor::ToleranceCompressor(std::vector<std::uint32_t> nominal_codes,
+                                         std::uint32_t tolerance)
+    : nominal_(std::move(nominal_codes)), tolerance_(tolerance) {
+  if (nominal_.empty()) {
+    throw std::invalid_argument("ToleranceCompressor: nominal code set is empty");
+  }
+}
+
+std::uint32_t ToleranceCompressor::bucket(std::size_t step, std::uint32_t code) const {
+  if (step >= nominal_.size()) {
+    throw std::out_of_range("ToleranceCompressor: step index out of range");
+  }
+  const std::uint32_t nom = nominal_[step];
+  if (code + tolerance_ < nom) return 0;  // low
+  if (code > nom + tolerance_) return 2;  // high
+  return 1;                               // in tolerance
+}
+
+std::uint32_t ToleranceCompressor::signature(
+    const std::vector<std::uint32_t>& codes) const {
+  if (codes.size() != nominal_.size()) {
+    throw std::invalid_argument("ToleranceCompressor: measurement count mismatch");
+  }
+  digital::Misr misr;
+  for (std::size_t i = 0; i < codes.size(); ++i) misr.compact(bucket(i, codes[i]));
+  return misr.signature();
+}
+
+std::uint32_t ToleranceCompressor::golden_signature() const {
+  digital::Misr misr;
+  for (std::size_t i = 0; i < nominal_.size(); ++i) misr.compact(1);
+  return misr.signature();
+}
+
+}  // namespace msbist::bist

@@ -1,0 +1,46 @@
+// Compressed-test signature generation.
+//
+// The paper's compressed test drives the ADC through the consecutive DC
+// step inputs and compresses the digital output into a signature, plus a
+// 2-bit analogue signature from the DC level sensor. A raw MISR over the
+// codes would alias on the +/-1-count conversion noise every real ADC
+// shows, so the on-chip compressor first quantizes each code against its
+// stored nominal into one of three buckets (low / in-tolerance / high) —
+// a subtractor and window comparator in hardware — and signs the bucket
+// stream. Every healthy device then produces the same signature while
+// gross faults (stuck codes, large shifts, missing conversions) break it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "digital/signature.h"
+
+namespace msbist::bist {
+
+class ToleranceCompressor {
+ public:
+  /// nominal_codes: expected ADC output per step; tolerance: allowed
+  /// deviation in counts before a step is classified out-of-window.
+  ToleranceCompressor(std::vector<std::uint32_t> nominal_codes,
+                      std::uint32_t tolerance);
+
+  /// Bucket for one measurement: 0 = low, 1 = in tolerance, 2 = high.
+  std::uint32_t bucket(std::size_t step, std::uint32_t code) const;
+
+  /// MISR signature over the bucket stream of a full measurement set.
+  /// codes.size() must equal the nominal set size.
+  std::uint32_t signature(const std::vector<std::uint32_t>& codes) const;
+
+  /// The signature a healthy device produces (every bucket == 1).
+  std::uint32_t golden_signature() const;
+
+  std::size_t steps() const { return nominal_.size(); }
+  std::uint32_t tolerance() const { return tolerance_; }
+
+ private:
+  std::vector<std::uint32_t> nominal_;
+  std::uint32_t tolerance_;
+};
+
+}  // namespace msbist::bist

@@ -1,0 +1,54 @@
+#include "bist/step_generator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace msbist::bist {
+
+std::vector<double> paper_step_levels() {
+  return {0.0, 0.59, 0.96, 1.41, 1.8, 2.5};
+}
+
+StepGenerator::StepGenerator(std::vector<double> nominal_levels, double gain_error,
+                             analog::ProcessVariation& pv)
+    : levels_(std::move(nominal_levels)) {
+  if (levels_.empty()) {
+    throw std::invalid_argument("StepGenerator: needs at least one tap");
+  }
+  for (double& v : levels_) {
+    // Reference gain error scales everything; the string ratio itself
+    // matches to ~0.2 %.
+    v = pv.vary(v * (1.0 + gain_error), 0.002);
+  }
+}
+
+StepGenerator StepGenerator::typical() {
+  analog::ProcessVariation pv = analog::ProcessVariation::nominal();
+  return StepGenerator(paper_step_levels(), 0.0, pv);
+}
+
+double StepGenerator::level(std::size_t tap) const {
+  if (tap >= levels_.size()) {
+    throw std::out_of_range("StepGenerator: tap index out of range");
+  }
+  return levels_[tap];
+}
+
+circuit::WaveformPtr StepGenerator::sequence_waveform(double dwell) const {
+  if (dwell <= 0) throw std::invalid_argument("StepGenerator: dwell must be > 0");
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(levels_.size() * 2);
+  const double edge = dwell * 1e-4;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const double t0 = static_cast<double>(i) * dwell;
+    if (i == 0) {
+      pts.emplace_back(t0, levels_[i]);
+    } else {
+      pts.emplace_back(t0 + edge, levels_[i]);  // fast edge into the new tap
+    }
+    pts.emplace_back(t0 + dwell - edge, levels_[i]);
+  }
+  return std::make_shared<circuit::PwlWave>(std::move(pts));
+}
+
+}  // namespace msbist::bist

@@ -1,0 +1,45 @@
+#include "bist/test_access.h"
+
+#include <stdexcept>
+
+namespace msbist::bist {
+
+ResultWord ResultWord::pack(const BistReport& report) {
+  ResultWord w;
+  w.raw |= report.pass ? 1u : 0u;
+  w.raw |= report.analog.pass ? 1u << 4 : 0u;
+  w.raw |= report.ramp.pass ? 1u << 5 : 0u;
+  w.raw |= report.digital.pass ? 1u << 6 : 0u;
+  w.raw |= report.compressed.pass ? 1u << 7 : 0u;
+  w.raw |= static_cast<std::uint32_t>(report.compressed.analog_signature & 0b11) << 14;
+  w.raw |= (report.compressed.digital_signature & 0xFFFFu) << 16;
+  return w;
+}
+
+void TestAccessPort::capture(const ResultWord& word) {
+  std::vector<int> bits(32);
+  for (int b = 0; b < 32; ++b) bits[static_cast<std::size_t>(b)] = (word.raw >> b) & 1u;
+  // LSB sits at the chain tail so it emerges first.
+  std::vector<int> reversed(bits.rbegin(), bits.rend());
+  chain_.capture(reversed);
+}
+
+std::vector<int> TestAccessPort::shift_out(const std::vector<int>& bits_in) {
+  if (bits_in.size() != 32) {
+    throw std::invalid_argument("TestAccessPort: expects a 32-bit refill stream");
+  }
+  return chain_.shift_vector(bits_in);
+}
+
+ResultWord TestAccessPort::reassemble(const std::vector<int>& bits) {
+  if (bits.size() != 32) {
+    throw std::invalid_argument("TestAccessPort: expects 32 serial bits");
+  }
+  ResultWord w;
+  for (int b = 0; b < 32; ++b) {
+    if (bits[static_cast<std::size_t>(b)]) w.raw |= 1u << b;
+  }
+  return w;
+}
+
+}  // namespace msbist::bist

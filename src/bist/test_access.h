@@ -1,0 +1,63 @@
+// Serial test-access port: the glue between the BIST macros and the
+// chip's scan architecture.
+//
+// The background approaches the paper builds on partition the mixed chip
+// so "the test data for the analogue section can be scanned in via scan
+// shift registers and the response monitored and captured on the serial
+// test bus". TestAccessPort packs a BIST report into a fixed-format
+// result word, shifts it out through the digital::ScanChain, and unpacks
+// it on the tester side — so a single serial pin pair carries the whole
+// mixed-signal test verdict.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bist/controller.h"
+#include "digital/signature.h"
+
+namespace msbist::bist {
+
+/// Fixed 32-bit result-word layout shifted out on the test bus:
+///   [31:16] digital signature (16-bit MISR)
+///   [15:14] analogue signature (2-bit level-sensor code)
+///   [7:4]   tier pass flags: analogue, ramp, digital, compressed
+///   [0]     overall pass
+struct ResultWord {
+  std::uint32_t raw = 0;
+
+  static ResultWord pack(const BistReport& report);
+  /// Reassemble the observable verdict from a raw word.
+  bool overall_pass() const { return (raw & 1u) != 0; }
+  bool analog_pass() const { return (raw >> 4 & 1u) != 0; }
+  bool ramp_pass() const { return (raw >> 5 & 1u) != 0; }
+  bool digital_pass() const { return (raw >> 6 & 1u) != 0; }
+  bool compressed_pass() const { return (raw >> 7 & 1u) != 0; }
+  std::uint8_t analog_signature() const { return (raw >> 14) & 0b11; }
+  std::uint16_t digital_signature() const {
+    return static_cast<std::uint16_t>(raw >> 16);
+  }
+};
+
+/// Serial access to the BIST result through a scan chain.
+class TestAccessPort {
+ public:
+  TestAccessPort() : chain_(32) {}
+
+  /// Capture a result word into the chain (parallel load).
+  void capture(const ResultWord& word);
+
+  /// Shift the whole word out LSB-first, returning the serial bitstream
+  /// (the chain refills with the bits shifted in, normally zeros).
+  std::vector<int> shift_out(const std::vector<int>& bits_in = std::vector<int>(32, 0));
+
+  /// Tester side: reassemble a result word from the serial stream.
+  static ResultWord reassemble(const std::vector<int>& bits);
+
+  const digital::ScanChain& chain() const { return chain_; }
+
+ private:
+  digital::ScanChain chain_;
+};
+
+}  // namespace msbist::bist

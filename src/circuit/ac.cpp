@@ -1,0 +1,137 @@
+#include "circuit/ac.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "circuit/dc.h"
+#include "circuit/elements.h"
+#include "dsp/matrix.h"
+
+namespace msbist::circuit {
+
+namespace {
+
+struct LinearizedSystem {
+  dsp::Matrix g;  ///< resistive / linearized-conductance part
+  dsp::Matrix c;  ///< reactive part
+  std::size_t unknowns = 0;
+};
+
+// Linearize the netlist at its DC operating point: every element stamps
+// its DC-mode (linearized) conductances into G; capacitors stamp into C.
+LinearizedSystem linearize(Netlist& netlist, const NewtonOptions& newton) {
+  LinearizedSystem sys;
+  sys.unknowns = netlist.assign_unknowns();
+  DcOptions dc_opts;
+  dc_opts.newton = newton;
+  const std::vector<double> op = dc_operating_point(netlist, dc_opts).raw();
+
+  sys.g = dsp::Matrix(sys.unknowns, sys.unknowns);
+  sys.c = dsp::Matrix(sys.unknowns, sys.unknowns);
+  std::vector<double> scratch_rhs(sys.unknowns, 0.0);
+  Stamper g_stamper(sys.g, scratch_rhs);
+
+  StampContext ctx;
+  ctx.mode = StampContext::Mode::kDc;
+  ctx.t = 0.0;
+  ctx.guess = &op;
+  for (const auto& el : netlist.elements()) {
+    el->stamp(g_stamper, ctx);
+    if (const auto* cap = dynamic_cast<const Capacitor*>(el.get())) {
+      const NodeId a = cap->node_a();
+      const NodeId b = cap->node_b();
+      const double cf = cap->capacitance();
+      if (a >= 0) sys.c(static_cast<std::size_t>(a), static_cast<std::size_t>(a)) += cf;
+      if (b >= 0) sys.c(static_cast<std::size_t>(b), static_cast<std::size_t>(b)) += cf;
+      if (a >= 0 && b >= 0) {
+        sys.c(static_cast<std::size_t>(a), static_cast<std::size_t>(b)) -= cf;
+        sys.c(static_cast<std::size_t>(b), static_cast<std::size_t>(a)) -= cf;
+      }
+    }
+  }
+  for (std::size_t n = 0; n < netlist.node_count(); ++n) sys.g(n, n) += newton.gmin;
+  return sys;
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> ac_transfer(Netlist& netlist,
+                                              const std::string& source_name,
+                                              const std::string& probe_node,
+                                              const std::vector<double>& freqs_hz,
+                                              const AcOptions& opts) {
+  Element* src_el = netlist.find(source_name);
+  const auto* src = dynamic_cast<VoltageSource*>(src_el);
+  if (src == nullptr) {
+    throw std::invalid_argument("ac_transfer: source must be a named VoltageSource");
+  }
+  const NodeId probe = netlist.find_node(probe_node);
+  if (probe < 0) throw std::invalid_argument("ac_transfer: probe cannot be ground");
+
+  const LinearizedSystem sys = linearize(netlist, opts.newton);
+  const std::size_t n = sys.unknowns;
+  const int src_row = src->branch_base();
+
+  // Real-equivalent 2N system:  [G  -wC] [xr]   [b]
+  //                             [wC   G] [xi] = [0]
+  std::vector<std::complex<double>> out;
+  out.reserve(freqs_hz.size());
+  for (double f : freqs_hz) {
+    const double w = 2.0 * std::numbers::pi * f;
+    dsp::Matrix big(2 * n, 2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        big(i, j) = sys.g(i, j);
+        big(n + i, n + j) = sys.g(i, j);
+        big(i, n + j) = -w * sys.c(i, j);
+        big(n + i, j) = w * sys.c(i, j);
+      }
+    }
+    std::vector<double> rhs(2 * n, 0.0);
+    rhs[static_cast<std::size_t>(src_row)] = 1.0;  // unit AC drive
+    const std::vector<double> x = dsp::solve(big, rhs);
+    out.emplace_back(x[static_cast<std::size_t>(probe)],
+                     x[n + static_cast<std::size_t>(probe)]);
+  }
+  return out;
+}
+
+std::vector<std::complex<double>> circuit_poles(Netlist& netlist,
+                                                const AcOptions& opts) {
+  const LinearizedSystem sys = linearize(netlist, opts.newton);
+  const std::size_t n = sys.unknowns;
+  // M = G^-1 C, column by column.
+  const dsp::LuDecomposition lu(sys.g);
+  dsp::Matrix m(n, n);
+  std::vector<double> col(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) col[i] = sys.c(i, j);
+    const std::vector<double> x = lu.solve(col);
+    for (std::size_t i = 0; i < n; ++i) m(i, j) = x[i];
+  }
+  const auto mu = dsp::eigenvalues(m);
+  double mu_max = 0.0;
+  for (const auto& v : mu) mu_max = std::max(mu_max, std::abs(v));
+  std::vector<std::complex<double>> poles;
+  for (const auto& v : mu) {
+    if (std::abs(v) > opts.mode_tolerance * mu_max) {
+      poles.push_back(-1.0 / v);
+    }
+  }
+  return poles;
+}
+
+std::vector<double> log_frequencies(double f_start, double f_stop, std::size_t n) {
+  if (f_start <= 0 || f_stop <= f_start || n < 2) {
+    throw std::invalid_argument("log_frequencies: need 0 < f_start < f_stop, n >= 2");
+  }
+  std::vector<double> f(n);
+  const double ratio = std::log(f_stop / f_start) / static_cast<double>(n - 1);
+  for (std::size_t k = 0; k < n; ++k) {
+    f[k] = f_start * std::exp(ratio * static_cast<double>(k));
+  }
+  return f;
+}
+
+}  // namespace msbist::circuit

@@ -1,0 +1,49 @@
+// Small-signal AC analysis and natural-frequency (pole) extraction.
+//
+// The paper's second testing approach starts from "the poles, zeros and
+// constants for the transfer functions of the fault-free circuit and
+// faulty circuits" extracted by HSPICE. This module provides that
+// extraction for the MNA engine:
+//   * ac_transfer — linearize every element at the DC operating point and
+//     solve (G + j w C) x = b over a frequency list, giving the complex
+//     transfer from a chosen source to a probe node.
+//   * circuit_poles — the natural frequencies of the linearized circuit:
+//     the finite generalized eigenvalues s of det(G + s C) = 0, computed
+//     as -1/mu over the eigenvalues mu of G^-1 C (infinite-frequency
+//     modes, mu ~ 0, are discarded).
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "circuit/solver.h"
+
+namespace msbist::circuit {
+
+struct AcOptions {
+  NewtonOptions newton;  ///< used for the DC operating point
+  /// Eigenvalues of G^-1 C with |mu| below this fraction of the largest
+  /// are treated as infinite-frequency (non-dynamic) modes.
+  double mode_tolerance = 1e-9;
+};
+
+/// Complex small-signal transfer V(probe)/V(source) at each frequency.
+/// source_name must identify a named VoltageSource in the netlist; every
+/// other independent source is AC-grounded (its small-signal value is 0).
+std::vector<std::complex<double>> ac_transfer(Netlist& netlist,
+                                              const std::string& source_name,
+                                              const std::string& probe_node,
+                                              const std::vector<double>& freqs_hz,
+                                              const AcOptions& opts = {});
+
+/// Finite poles (natural frequencies, rad/s) of the circuit linearized at
+/// its DC operating point. A stable circuit has all real parts negative.
+std::vector<std::complex<double>> circuit_poles(Netlist& netlist,
+                                                const AcOptions& opts = {});
+
+/// Logarithmically spaced frequency list [f_start, f_stop], n points.
+std::vector<double> log_frequencies(double f_start, double f_stop, std::size_t n);
+
+}  // namespace msbist::circuit

@@ -1,0 +1,70 @@
+#include "circuit/dc.h"
+
+#include <stdexcept>
+
+namespace msbist::circuit {
+
+DcResult::DcResult(std::vector<double> solution, const Netlist& netlist)
+    : solution_(std::move(solution)), netlist_(&netlist) {}
+
+double DcResult::voltage(const std::string& node_name) const {
+  return voltage(netlist_->find_node(node_name));
+}
+
+double DcResult::voltage(NodeId node) const {
+  if (node < 0) return 0.0;
+  return solution_[static_cast<std::size_t>(node)];
+}
+
+DcResult dc_operating_point(const Netlist& netlist, const DcOptions& opts) {
+  // assign_unknowns is idempotent but non-const; the cast confines the
+  // bookkeeping mutation (branch row indices) to this one spot.
+  const std::size_t unknowns = const_cast<Netlist&>(netlist).assign_unknowns();
+  StampContext ctx;
+  ctx.mode = StampContext::Mode::kDc;
+  ctx.t = 0.0;
+
+  std::vector<double> guess(unknowns, 0.0);
+  try {
+    return DcResult(solve_mna(netlist, ctx, unknowns, guess, opts.newton), netlist);
+  } catch (const std::runtime_error&) {
+    // Fall through to source stepping.
+  }
+  // Homotopy: ramp every independent source from zero, reusing each
+  // converged point to seed the next.
+  std::vector<double> seed(unknowns, 0.0);
+  for (int step = 1; step <= opts.source_steps; ++step) {
+    ctx.source_scale = static_cast<double>(step) / static_cast<double>(opts.source_steps);
+    seed = solve_mna(netlist, ctx, unknowns, seed, opts.newton);
+  }
+  return DcResult(std::move(seed), netlist);
+}
+
+std::vector<double> dc_sweep(Netlist& netlist, const std::vector<double>& values,
+                             const std::function<void(Netlist&, double)>& set_value,
+                             const std::string& probe, const DcOptions& opts) {
+  const std::size_t unknowns = netlist.assign_unknowns();
+  const NodeId probe_node = netlist.find_node(probe);
+  StampContext ctx;
+  ctx.mode = StampContext::Mode::kDc;
+
+  std::vector<double> out;
+  out.reserve(values.size());
+  std::vector<double> seed(unknowns, 0.0);
+  bool have_seed = false;
+  for (double v : values) {
+    set_value(netlist, v);
+    if (!have_seed) {
+      // First point: full operating-point machinery (with homotopy).
+      const DcResult op = dc_operating_point(netlist, opts);
+      seed = op.raw();
+      have_seed = true;
+    } else {
+      seed = solve_mna(netlist, ctx, unknowns, seed, opts.newton);
+    }
+    out.push_back(probe_node < 0 ? 0.0 : seed[static_cast<std::size_t>(probe_node)]);
+  }
+  return out;
+}
+
+}  // namespace msbist::circuit

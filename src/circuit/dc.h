@@ -1,0 +1,48 @@
+// DC operating-point analysis and DC sweeps.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "circuit/solver.h"
+
+namespace msbist::circuit {
+
+/// Solved operating point: node voltages plus branch currents.
+class DcResult {
+ public:
+  DcResult(std::vector<double> solution, const Netlist& netlist);
+
+  /// Voltage at a named node (0 for ground).
+  double voltage(const std::string& node_name) const;
+  double voltage(NodeId node) const;
+
+  const std::vector<double>& raw() const { return solution_; }
+
+ private:
+  std::vector<double> solution_;
+  const Netlist* netlist_;
+};
+
+struct DcOptions {
+  NewtonOptions newton;
+  /// Homotopy steps tried when plain Newton fails: sources are ramped
+  /// from 0 to full scale in this many increments.
+  int source_steps = 20;
+};
+
+/// Operating point at t = 0 (waveform sources evaluate at their t=0 value;
+/// capacitors are open). Throws std::runtime_error when no operating point
+/// is found even with source stepping.
+DcResult dc_operating_point(const Netlist& netlist, const DcOptions& opts = {});
+
+/// Sweep a parameterized DC analysis: `set_value` applies each sweep value
+/// to the netlist (e.g. adjust a source), and the voltage at `probe` is
+/// recorded. Each point reuses the previous solution as the Newton seed.
+std::vector<double> dc_sweep(Netlist& netlist, const std::vector<double>& values,
+                             const std::function<void(Netlist&, double)>& set_value,
+                             const std::string& probe, const DcOptions& opts = {});
+
+}  // namespace msbist::circuit

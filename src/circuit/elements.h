@@ -1,0 +1,141 @@
+// Linear and switching circuit elements.
+//
+// Each element implements the Stamper protocol from netlist.h. Dynamic
+// elements (capacitors) carry their own companion-model state between
+// transient steps.
+#pragma once
+
+#include "circuit/netlist.h"
+#include "circuit/waveform.h"
+
+namespace msbist::circuit {
+
+/// Ideal resistor.
+class Resistor final : public Element {
+ public:
+  Resistor(NodeId a, NodeId b, double ohms);
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  double resistance() const { return ohms_; }
+  void set_resistance(double ohms);
+
+ private:
+  NodeId a_, b_;
+  double ohms_;
+};
+
+/// Ideal capacitor. Open in DC; backward-Euler or trapezoidal companion
+/// model in transient. An optional initial condition is applied when the
+/// transient is started with use_initial_conditions.
+class Capacitor final : public Element {
+ public:
+  Capacitor(NodeId a, NodeId b, double farads);
+  void set_initial_voltage(double v);
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  void transient_begin(const std::vector<double>& solution, bool use_ic) override;
+  void transient_accept(const std::vector<double>& solution,
+                        const StampContext& ctx) override;
+  double capacitance() const { return farads_; }
+  NodeId node_a() const { return a_; }
+  NodeId node_b() const { return b_; }
+  /// Capacitor voltage as of the last accepted step.
+  double voltage() const { return v_prev_; }
+
+ private:
+  NodeId a_, b_;
+  double farads_;
+  bool has_ic_ = false;
+  double ic_ = 0.0;
+  double v_prev_ = 0.0;
+  double i_prev_ = 0.0;
+};
+
+/// Independent voltage source driven by a Waveform. Adds one branch row.
+class VoltageSource final : public Element {
+ public:
+  VoltageSource(NodeId pos, NodeId neg, WaveformPtr wave);
+  VoltageSource(NodeId pos, NodeId neg, double dc);
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  int branch_count() const override { return 1; }
+  /// Branch current (positive flowing pos -> through source -> neg) in a
+  /// given MNA solution vector.
+  double current_in(const std::vector<double>& solution) const;
+  double level(double t) const { return wave_->value(t); }
+  /// Replace the drive with a constant level (used by DC sweeps).
+  void set_dc(double v) { wave_ = std::make_shared<DcWave>(v); }
+  void set_waveform(WaveformPtr w);
+
+ private:
+  NodeId pos_, neg_;
+  WaveformPtr wave_;
+};
+
+/// Independent current source (positive current leaves pos, enters neg).
+class CurrentSource final : public Element {
+ public:
+  CurrentSource(NodeId pos, NodeId neg, WaveformPtr wave);
+  CurrentSource(NodeId pos, NodeId neg, double dc);
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  /// Replace the drive with a constant level (used by DC sweeps).
+  void set_dc(double v) { wave_ = std::make_shared<DcWave>(v); }
+
+ private:
+  NodeId pos_, neg_;
+  WaveformPtr wave_;
+};
+
+/// Voltage-controlled voltage source: V(out+, out-) = gain * V(in+, in-).
+/// Adds one branch row.
+class Vcvs final : public Element {
+ public:
+  Vcvs(NodeId out_pos, NodeId out_neg, NodeId in_pos, NodeId in_neg, double gain);
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  int branch_count() const override { return 1; }
+
+ private:
+  NodeId op_, on_, ip_, in_;
+  double gain_;
+};
+
+/// Voltage-controlled current source: I(out+ -> out-) = gm * V(in+, in-).
+class Vccs final : public Element {
+ public:
+  Vccs(NodeId out_pos, NodeId out_neg, NodeId in_pos, NodeId in_neg, double gm);
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+
+ private:
+  NodeId op_, on_, ip_, in_;
+  double gm_;
+};
+
+/// Time-controlled switch (MOS transmission gate abstraction for the
+/// switched-capacitor clocks): on-resistance when the clock is high,
+/// off-resistance otherwise.
+class TimedSwitch final : public Element {
+ public:
+  TimedSwitch(NodeId a, NodeId b, ClockWave clock, double r_on = 1e3,
+              double r_off = 1e9);
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  bool is_on(double t) const { return clock_.is_high(t); }
+
+ private:
+  NodeId a_, b_;
+  ClockWave clock_;
+  double r_on_, r_off_;
+};
+
+/// Voltage-controlled switch: on when V(c+, c-) > threshold.
+/// Nonlinear (its state depends on the iterate), resolved with a small
+/// hysteresis-free threshold — adequate for the comparator-style uses here.
+class VoltageSwitch final : public Element {
+ public:
+  VoltageSwitch(NodeId a, NodeId b, NodeId ctrl_pos, NodeId ctrl_neg,
+                double threshold, double r_on = 1e3, double r_off = 1e9);
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  bool nonlinear() const override { return true; }
+
+ private:
+  NodeId a_, b_, cp_, cn_;
+  double threshold_, r_on_, r_off_;
+};
+
+}  // namespace msbist::circuit

@@ -1,0 +1,115 @@
+#include "circuit/mos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace msbist::circuit {
+
+MosParams MosParams::nmos_5um(double w_over_l) {
+  MosParams p;
+  p.vt = 1.0;
+  p.kp = 24e-6;
+  p.lambda = 0.02;
+  p.w_over_l = w_over_l;
+  return p;
+}
+
+MosParams MosParams::pmos_5um(double w_over_l) {
+  MosParams p;
+  p.vt = 1.0;   // magnitude; the sign is handled by the type
+  p.kp = 8e-6;  // hole mobility roughly a third of electron mobility
+  p.lambda = 0.02;
+  p.w_over_l = w_over_l;
+  return p;
+}
+
+namespace {
+
+// Core NMOS equations for vds >= 0; returns id, gm, gds.
+MosOperatingPoint nmos_core(const MosParams& p, double vgs, double vds) {
+  MosOperatingPoint op;
+  const double beta = p.kp * p.w_over_l;
+  const double vov = vgs - p.vt;
+  if (vov <= 0.0) {
+    // Cutoff: ideal zero current (convergence aid handled by engine gmin).
+    return op;
+  }
+  const double clm = 1.0 + p.lambda * vds;
+  if (vds < vov) {
+    // Triode.
+    op.id = beta * (vov * vds - 0.5 * vds * vds) * clm;
+    op.gm = beta * vds * clm;
+    op.gds = beta * (vov - vds) * clm + beta * (vov * vds - 0.5 * vds * vds) * p.lambda;
+  } else {
+    // Saturation.
+    op.id = 0.5 * beta * vov * vov * clm;
+    op.gm = beta * vov * clm;
+    op.gds = 0.5 * beta * vov * vov * p.lambda;
+  }
+  return op;
+}
+
+}  // namespace
+
+MosOperatingPoint mos_level1(const MosParams& p, MosType type, double vgs, double vds) {
+  // PMOS: mirror voltages and currents.
+  if (type == MosType::kPmos) {
+    MosOperatingPoint op = mos_level1(p, MosType::kNmos, -vgs, -vds);
+    op.id = -op.id;
+    // gm = d id/d vgs and gds = d id/d vds are invariant under the double
+    // sign flip, so they carry over unchanged.
+    return op;
+  }
+  // NMOS with source/drain symmetry: for vds < 0 swap roles.
+  if (vds < 0.0) {
+    // Swapped device sees vgs' = vgd = vgs - vds, vds' = -vds.
+    MosOperatingPoint sw = nmos_core(p, vgs - vds, -vds);
+    MosOperatingPoint op;
+    op.id = -sw.id;
+    // Chain rule for the swap: id = -id'(vgs - vds, -vds).
+    op.gm = -sw.gm;
+    op.gds = sw.gm + sw.gds;
+    return op;
+  }
+  return nmos_core(p, vgs, vds);
+}
+
+Mosfet::Mosfet(MosType type, NodeId drain, NodeId gate, NodeId source, MosParams params)
+    : type_(type), d_(drain), g_(gate), s_(source), params_(params) {
+  if (params_.kp <= 0 || params_.w_over_l <= 0) {
+    throw std::invalid_argument("Mosfet: kp and W/L must be > 0");
+  }
+}
+
+void Mosfet::stamp(Stamper& s, const StampContext& ctx) const {
+  const double vd = Stamper::voltage(ctx, d_);
+  const double vg = Stamper::voltage(ctx, g_);
+  const double vs = Stamper::voltage(ctx, s_);
+  const MosOperatingPoint op = mos_level1(params_, type_, vg - vs, vd - vs);
+  // Newton companion: id(v) ~= Id0 + gm (vgs - Vgs0) + gds (vds - Vds0)
+  // Equivalent current source from drain to source:
+  const double ieq = op.id - op.gm * (vg - vs) - op.gds * (vd - vs);
+  // gm contribution: current d->s controlled by (g, s).
+  if (d_ >= 0) {
+    if (g_ >= 0) s.add(d_, g_, op.gm);
+    if (s_ >= 0) s.add(d_, s_, -op.gm);
+  }
+  if (s_ >= 0) {
+    if (g_ >= 0) s.add(s_, g_, -op.gm);
+    if (s_ >= 0) s.add(s_, s_, op.gm);
+  }
+  // gds between drain and source.
+  s.conductance(d_, s_, op.gds);
+  // Residual current (SPICE convention: leaves drain node, enters source).
+  s.current(d_, s_, ieq);
+}
+
+double Mosfet::drain_current(const std::vector<double>& solution) const {
+  const auto v = [&](NodeId n) {
+    return n >= 0 ? solution[static_cast<std::size_t>(n)] : 0.0;
+  };
+  return mos_level1(params_, type_, v(g_) - v(s_), v(d_) - v(s_)).id;
+}
+
+}  // namespace msbist::circuit

@@ -1,0 +1,64 @@
+// MOSFET level-1 (Shichman-Hodges) square-law model.
+//
+// The paper's circuits were fabricated in 5 um CMOS, a node where the
+// classic level-1 model is a faithful description; default parameters
+// below are representative of mid-1990s 5 um gate-array processes.
+// The model is symmetric in drain/source and includes channel-length
+// modulation. Bulk is tied to the source (no body effect), which matches
+// the gate-array macros the paper uses.
+#pragma once
+
+#include "circuit/netlist.h"
+
+namespace msbist::circuit {
+
+enum class MosType { kNmos, kPmos };
+
+/// Level-1 parameters.
+struct MosParams {
+  double vt = 1.0;        ///< threshold voltage magnitude [V]
+  double kp = 24e-6;      ///< transconductance parameter kp = u Cox [A/V^2]
+  double lambda = 0.02;   ///< channel-length modulation [1/V]
+  double w_over_l = 10.0; ///< device aspect ratio
+
+  /// Representative 5 um CMOS devices.
+  static MosParams nmos_5um(double w_over_l = 10.0);
+  static MosParams pmos_5um(double w_over_l = 10.0);
+};
+
+/// Static drain current and small-signal derivatives at a bias point.
+struct MosOperatingPoint {
+  double id = 0.0;   ///< drain current (positive into the drain for NMOS)
+  double gm = 0.0;   ///< d id / d vgs
+  double gds = 0.0;  ///< d id / d vds
+};
+
+/// Evaluate the level-1 equations for an NMOS-normalized bias (vgs, vds >= 0
+/// handled internally by symmetry). Exposed for unit testing.
+MosOperatingPoint mos_level1(const MosParams& p, MosType type, double vgs, double vds);
+
+/// Three-terminal MOSFET element (bulk tied to source).
+class Mosfet final : public Element {
+ public:
+  Mosfet(MosType type, NodeId drain, NodeId gate, NodeId source, MosParams params);
+
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  bool nonlinear() const override { return true; }
+
+  const MosParams& params() const { return params_; }
+  MosParams& params() { return params_; }
+  MosType type() const { return type_; }
+  NodeId drain() const { return d_; }
+  NodeId gate() const { return g_; }
+  NodeId source() const { return s_; }
+
+  /// Drain current at a solved bias point (for operating-point reports).
+  double drain_current(const std::vector<double>& solution) const;
+
+ private:
+  MosType type_;
+  NodeId d_, g_, s_;
+  MosParams params_;
+};
+
+}  // namespace msbist::circuit

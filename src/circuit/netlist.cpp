@@ -1,0 +1,71 @@
+#include "circuit/netlist.h"
+
+#include <stdexcept>
+
+namespace msbist::circuit {
+
+void Stamper::conductance(NodeId a, NodeId b, double g) {
+  if (a >= 0) add(a, a, g);
+  if (b >= 0) add(b, b, g);
+  if (a >= 0 && b >= 0) {
+    add(a, b, -g);
+    add(b, a, -g);
+  }
+}
+
+void Stamper::current(NodeId a, NodeId b, double i) {
+  if (a >= 0) add_rhs(a, -i);
+  if (b >= 0) add_rhs(b, i);
+}
+
+void Stamper::add(int row, int col, double v) { g_(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v; }
+
+void Stamper::add_rhs(int row, double v) { rhs_[static_cast<std::size_t>(row)] += v; }
+
+double Stamper::voltage(const StampContext& ctx, NodeId n) {
+  if (n < 0) return 0.0;
+  if (ctx.guess == nullptr) return 0.0;
+  return (*ctx.guess)[static_cast<std::size_t>(n)];
+}
+
+NodeId Netlist::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(names_.size());
+  index_.emplace(name, id);
+  names_.push_back(name);
+  return id;
+}
+
+NodeId Netlist::find_node(const std::string& name) const {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  const auto it = index_.find(name);
+  if (it == index_.end()) throw std::out_of_range("Netlist: unknown node " + name);
+  return it->second;
+}
+
+void Netlist::name_last(const std::string& n) {
+  if (elements_.empty()) throw std::logic_error("Netlist::name_last: no elements");
+  elements_.back()->set_name(n);
+}
+
+Element* Netlist::find(const std::string& n) const {
+  for (const auto& el : elements_) {
+    if (el->name() == n) return el.get();
+  }
+  return nullptr;
+}
+
+std::size_t Netlist::assign_unknowns() {
+  std::size_t next = names_.size();
+  for (auto& el : elements_) {
+    if (el->branch_count() > 0) {
+      el->set_branch_base(static_cast<int>(next));
+      next += static_cast<std::size_t>(el->branch_count());
+    }
+  }
+  return next;
+}
+
+}  // namespace msbist::circuit

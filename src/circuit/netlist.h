@@ -1,0 +1,140 @@
+// Netlist representation and the MNA stamping interface.
+//
+// A Netlist is a bag of circuit elements connected at named nodes. Analyses
+// (dc.h, transient.h) assemble the modified-nodal-analysis system by asking
+// every element to stamp its (linearized) companion model into a Stamper.
+// The design mirrors a conventional SPICE core at a small scale: node
+// voltages plus one branch current per voltage-source-like element.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dsp/matrix.h"
+
+namespace msbist::circuit {
+
+/// Node index; kGround (-1) is the reference node and is never stamped.
+using NodeId = int;
+inline constexpr NodeId kGround = -1;
+
+/// Transient integration method.
+enum class Integration { kBackwardEuler, kTrapezoidal };
+
+/// Everything an element needs to know to stamp itself for one Newton
+/// iteration of one analysis point.
+struct StampContext {
+  enum class Mode { kDc, kTransient };
+  Mode mode = Mode::kDc;
+  double t = 0.0;                     ///< time at the end of the step
+  double dt = 0.0;                    ///< step size (transient only)
+  Integration method = Integration::kTrapezoidal;
+  double source_scale = 1.0;          ///< source stepping homotopy factor
+  const std::vector<double>* guess = nullptr;  ///< current Newton iterate
+};
+
+/// Write adapter over the MNA matrix and right-hand side. Node index
+/// kGround is silently dropped, which keeps element stamping code free of
+/// ground special cases.
+class Stamper {
+ public:
+  Stamper(dsp::Matrix& g, std::vector<double>& rhs) : g_(g), rhs_(rhs) {}
+
+  /// Conductance g between nodes a and b (classic 4-point stamp).
+  void conductance(NodeId a, NodeId b, double g);
+
+  /// Current source driving i from node a through the element to node b
+  /// (SPICE convention: positive current leaves a and enters b).
+  void current(NodeId a, NodeId b, double i);
+
+  /// Raw matrix entry (row/col may be branch rows); both must be >= 0.
+  void add(int row, int col, double v);
+
+  /// Raw RHS entry.
+  void add_rhs(int row, double v);
+
+  /// Value of the current Newton iterate at a node (0 for ground).
+  static double voltage(const StampContext& ctx, NodeId n);
+
+ private:
+  dsp::Matrix& g_;
+  std::vector<double>& rhs_;
+};
+
+/// Base class for all circuit elements.
+class Element {
+ public:
+  virtual ~Element() = default;
+
+  /// Stamp the element's (linearized) companion model.
+  virtual void stamp(Stamper& s, const StampContext& ctx) const = 0;
+
+  /// True when the stamp depends on the Newton iterate.
+  virtual bool nonlinear() const { return false; }
+
+  /// Number of extra MNA branch-current rows this element needs.
+  virtual int branch_count() const { return 0; }
+
+  /// Called by the engine with the element's first branch row index
+  /// (node_count .. node_count+branches-1 range in the MNA vector).
+  void set_branch_base(int base) { branch_base_ = base; }
+  int branch_base() const { return branch_base_; }
+
+  /// Transient bookkeeping: called once after the operating point with the
+  /// full MNA solution, then after each accepted step.
+  virtual void transient_begin(const std::vector<double>& /*solution*/,
+                               bool /*use_initial_conditions*/) {}
+  virtual void transient_accept(const std::vector<double>& /*solution*/,
+                                const StampContext& /*ctx*/) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+ private:
+  int branch_base_ = -1;
+  std::string name_;
+};
+
+/// A circuit: named nodes plus owned elements.
+class Netlist {
+ public:
+  /// Index for a node name, creating it on first use. "0", "gnd" and
+  /// "GND" all map to the ground reference.
+  NodeId node(const std::string& name);
+
+  /// Look up an existing node; throws std::out_of_range if absent.
+  NodeId find_node(const std::string& name) const;
+
+  /// Add an element (optionally named for later lookup). Returns a
+  /// non-owning pointer usable to query branch currents after analysis.
+  template <typename T, typename... Args>
+  T* add(Args&&... args) {
+    auto el = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = el.get();
+    elements_.push_back(std::move(el));
+    return raw;
+  }
+
+  /// Attach a name to the most recently added element.
+  void name_last(const std::string& n);
+
+  /// Element lookup by name; nullptr when absent.
+  Element* find(const std::string& n) const;
+
+  std::size_t node_count() const { return names_.size(); }
+  const std::vector<std::string>& node_names() const { return names_; }
+  const std::vector<std::unique_ptr<Element>>& elements() const { return elements_; }
+  std::vector<std::unique_ptr<Element>>& elements() { return elements_; }
+
+  /// Total MNA unknowns: nodes + branch rows. Assigns branch bases.
+  std::size_t assign_unknowns();
+
+ private:
+  std::unordered_map<std::string, NodeId> index_;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<Element>> elements_;
+};
+
+}  // namespace msbist::circuit

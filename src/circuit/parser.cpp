@@ -1,0 +1,241 @@
+#include "circuit/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "circuit/elements.h"
+#include "circuit/mos.h"
+
+namespace msbist::circuit {
+
+namespace {
+
+std::string to_upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return s;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  throw std::invalid_argument("netlist line " + std::to_string(line_no) + ": " + msg);
+}
+
+// Split a card into tokens; parentheses groups like PWL(0 0 1m 5) are kept
+// intact by treating '(' ... ')' as part of the token stream with spaces.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::string spaced;
+  spaced.reserve(line.size() + 8);
+  for (char c : line) {
+    if (c == '(' || c == ')' || c == ',') {
+      spaced.push_back(' ');
+      if (c != ',') spaced.push_back(c);
+      spaced.push_back(' ');
+    } else {
+      spaced.push_back(c);
+    }
+  }
+  std::istringstream is(spaced);
+  std::vector<std::string> tokens;
+  std::string t;
+  while (is >> t) tokens.push_back(t);
+  return tokens;
+}
+
+// key=value option scan over trailing tokens; returns true when found.
+bool find_option(const std::vector<std::string>& tokens, std::size_t from,
+                 const std::string& key, double* out) {
+  const std::string upper_key = to_upper(key) + "=";
+  for (std::size_t i = from; i < tokens.size(); ++i) {
+    const std::string u = to_upper(tokens[i]);
+    if (u.rfind(upper_key, 0) == 0) {
+      *out = parse_spice_value(tokens[i].substr(upper_key.size()));
+      return true;
+    }
+  }
+  return false;
+}
+
+// Collect the numeric arguments of a functional source spec starting at
+// tokens[idx] == "(" -- e.g. SIN ( 0 1 50 ).
+std::vector<double> collect_args(const std::vector<std::string>& tokens,
+                                 std::size_t idx, std::size_t line_no) {
+  if (idx >= tokens.size() || tokens[idx] != "(") {
+    fail(line_no, "expected '(' after functional source keyword");
+  }
+  std::vector<double> args;
+  for (std::size_t i = idx + 1; i < tokens.size(); ++i) {
+    if (tokens[i] == ")") break;
+    args.push_back(parse_spice_value(tokens[i]));
+  }
+  return args;
+}
+
+WaveformPtr parse_source_wave(const std::vector<std::string>& tokens,
+                              std::size_t arg0, std::size_t line_no) {
+  if (arg0 >= tokens.size()) fail(line_no, "missing source value");
+  const std::string kind = to_upper(tokens[arg0]);
+  if (kind == "SIN") {
+    const auto a = collect_args(tokens, arg0 + 1, line_no);
+    if (a.size() != 3) fail(line_no, "SIN needs (offset ampl freq)");
+    return std::make_shared<SineWave>(a[0], a[1], a[2]);
+  }
+  if (kind == "PWL") {
+    const auto a = collect_args(tokens, arg0 + 1, line_no);
+    if (a.size() < 2 || a.size() % 2 != 0) fail(line_no, "PWL needs t/v pairs");
+    std::vector<std::pair<double, double>> pts;
+    for (std::size_t i = 0; i < a.size(); i += 2) pts.emplace_back(a[i], a[i + 1]);
+    return std::make_shared<PwlWave>(std::move(pts));
+  }
+  if (kind == "PULSE") {
+    const auto a = collect_args(tokens, arg0 + 1, line_no);
+    if (a.size() != 7) {
+      fail(line_no, "PULSE needs (low high delay rise fall width period)");
+    }
+    return std::make_shared<PulseWave>(a[0], a[1], a[2], a[3], a[4], a[5], a[6]);
+  }
+  // Plain DC value (optionally prefixed with the keyword DC).
+  if (kind == "DC") {
+    if (arg0 + 1 >= tokens.size()) fail(line_no, "DC needs a value");
+    return std::make_shared<DcWave>(parse_spice_value(tokens[arg0 + 1]));
+  }
+  return std::make_shared<DcWave>(parse_spice_value(tokens[arg0]));
+}
+
+}  // namespace
+
+double parse_spice_value(const std::string& token) {
+  if (token.empty()) throw std::invalid_argument("empty numeric token");
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("malformed number: " + token);
+  }
+  std::string suffix = to_upper(token.substr(pos));
+  if (suffix.empty()) return v;
+  if (suffix == "MEG") return v * 1e6;
+  // Trailing unit letters after a single-letter scale (e.g. 10pF) are
+  // tolerated, SPICE style.
+  switch (suffix[0]) {
+    case 'F': return v * 1e-15;
+    case 'P': return v * 1e-12;
+    case 'N': return v * 1e-9;
+    case 'U': return v * 1e-6;
+    case 'M': return v * 1e-3;
+    case 'K': return v * 1e3;
+    case 'G': return v * 1e9;
+    case 'T': return v * 1e12;
+    default:
+      throw std::invalid_argument("unknown suffix on: " + token);
+  }
+}
+
+Netlist parse_netlist(const std::string& deck) {
+  Netlist netlist;
+  std::istringstream stream(deck);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    // Strip comments and whitespace.
+    const std::size_t semi = line.find(';');
+    if (semi != std::string::npos) line.erase(semi);
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& card = tokens[0];
+    if (card[0] == '*') continue;
+    const std::string upper = to_upper(card);
+    if (upper == ".END") break;
+    if (upper[0] == '.') continue;  // other directives ignored
+
+    const auto need = [&](std::size_t n, const char* what) {
+      if (tokens.size() < n) fail(line_no, std::string("too few fields for ") + what);
+    };
+    const auto node = [&](std::size_t i) { return netlist.node(tokens[i]); };
+
+    switch (upper[0]) {
+      case 'R': {
+        need(4, "resistor");
+        netlist.add<Resistor>(node(1), node(2), parse_spice_value(tokens[3]));
+        break;
+      }
+      case 'C': {
+        need(4, "capacitor");
+        auto* cap =
+            netlist.add<Capacitor>(node(1), node(2), parse_spice_value(tokens[3]));
+        double ic = 0.0;
+        if (find_option(tokens, 4, "IC", &ic)) cap->set_initial_voltage(ic);
+        break;
+      }
+      case 'V': {
+        need(4, "voltage source");
+        netlist.add<VoltageSource>(node(1), node(2),
+                                   parse_source_wave(tokens, 3, line_no));
+        break;
+      }
+      case 'I': {
+        need(4, "current source");
+        netlist.add<CurrentSource>(node(1), node(2),
+                                   parse_source_wave(tokens, 3, line_no));
+        break;
+      }
+      case 'E': {
+        need(6, "VCVS");
+        netlist.add<Vcvs>(node(1), node(2), node(3), node(4),
+                          parse_spice_value(tokens[5]));
+        break;
+      }
+      case 'G': {
+        need(6, "VCCS");
+        netlist.add<Vccs>(node(1), node(2), node(3), node(4),
+                          parse_spice_value(tokens[5]));
+        break;
+      }
+      case 'M': {
+        need(5, "MOSFET");
+        const std::string type = to_upper(tokens[4]);
+        if (type != "NMOS" && type != "PMOS") {
+          fail(line_no, "MOSFET type must be NMOS or PMOS");
+        }
+        MosParams params = type == "NMOS" ? MosParams::nmos_5um()
+                                          : MosParams::pmos_5um();
+        double opt = 0.0;
+        if (find_option(tokens, 5, "W/L", &opt)) params.w_over_l = opt;
+        if (find_option(tokens, 5, "KP", &opt)) params.kp = opt;
+        if (find_option(tokens, 5, "VT", &opt)) params.vt = opt;
+        if (find_option(tokens, 5, "LAMBDA", &opt)) params.lambda = opt;
+        netlist.add<Mosfet>(type == "NMOS" ? MosType::kNmos : MosType::kPmos,
+                            node(1), node(2), node(3), params);
+        break;
+      }
+      case 'S': {
+        need(4, "switch");
+        if (to_upper(tokens[3]) != "CLOCK") {
+          fail(line_no, "switch control must be CLOCK(period high [phase])");
+        }
+        const auto args = collect_args(tokens, 4, line_no);
+        // Trailing RON=/ROFF= options end up in args as NaN-free values
+        // only if numeric, so scan the raw tokens for them instead.
+        if (args.size() < 2) fail(line_no, "CLOCK needs (period high [phase])");
+        const double phase = args.size() >= 3 ? args[2] : 0.0;
+        double ron = 1e3, roff = 1e9;
+        find_option(tokens, 4, "RON", &ron);
+        find_option(tokens, 4, "ROFF", &roff);
+        netlist.add<TimedSwitch>(node(1), node(2),
+                                 ClockWave(args[0], args[1], phase), ron, roff);
+        break;
+      }
+      default:
+        fail(line_no, "unknown card '" + card + "'");
+    }
+    netlist.name_last(card);
+  }
+  return netlist;
+}
+
+}  // namespace msbist::circuit

@@ -1,0 +1,40 @@
+// SPICE-style netlist deck parser.
+//
+// Lets circuits be described in the familiar card format instead of C++
+// (handy for regression decks and for porting the paper's circuits from
+// their original HSPICE form). Supported cards:
+//
+//   * comment lines ('*' or ';'), blank lines
+//   R<name> n1 n2 <value>
+//   C<name> n1 n2 <value> [IC=<volts>]
+//   V<name> n+ n- <value>
+//   V<name> n+ n- SIN(<offset> <ampl> <freq_hz>)
+//   V<name> n+ n- PWL(<t1> <v1> <t2> <v2> ...)
+//   V<name> n+ n- PULSE(<low> <high> <delay> <rise> <fall> <width> <period>)
+//   I<name> n+ n- <value>
+//   E<name> out+ out- in+ in- <gain>       (VCVS)
+//   G<name> out+ out- in+ in- <gm>         (VCCS)
+//   M<name> d g s <NMOS|PMOS> [W/L=<x>] [KP=<x>] [VT=<x>] [LAMBDA=<x>]
+//   S<name> n1 n2 CLOCK(<period> <high_time> [phase]) [RON=<x>] [ROFF=<x>]
+//   .END (optional)
+//
+// Values accept engineering suffixes: f p n u m k meg g (case-insensitive).
+// Node "0"/"gnd" is ground. Every element is registered under its card
+// name for later lookup (netlist.find("V1")).
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace msbist::circuit {
+
+/// Parse a numeric token with engineering suffix ("4.7k" -> 4700).
+/// Throws std::invalid_argument on malformed input.
+double parse_spice_value(const std::string& token);
+
+/// Parse a whole deck into a netlist. Throws std::invalid_argument with a
+/// line-numbered message on any malformed card.
+Netlist parse_netlist(const std::string& deck);
+
+}  // namespace msbist::circuit

@@ -1,0 +1,81 @@
+#include "circuit/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/matrix.h"
+
+namespace msbist::circuit {
+
+namespace {
+
+bool has_nonlinear(const Netlist& netlist) {
+  for (const auto& el : netlist.elements()) {
+    if (el->nonlinear()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace {
+
+std::vector<double> solve_mna_once(const Netlist& netlist, StampContext ctx,
+                                   std::size_t unknowns, std::vector<double> guess,
+                                   const NewtonOptions& opts) {
+  if (guess.size() != unknowns) guess.assign(unknowns, 0.0);
+  const std::size_t nodes = netlist.node_count();
+  const bool nonlinear = has_nonlinear(netlist);
+  const int iterations = nonlinear ? opts.max_iterations : 1;
+
+  for (int it = 0; it < iterations; ++it) {
+    dsp::Matrix g(unknowns, unknowns);
+    std::vector<double> rhs(unknowns, 0.0);
+    Stamper stamper(g, rhs);
+    ctx.guess = &guess;
+    for (const auto& el : netlist.elements()) el->stamp(stamper, ctx);
+    // gmin from every node to ground keeps floating nodes (e.g. gates,
+    // cut-off transistor stacks) well-posed.
+    for (std::size_t n = 0; n < nodes; ++n) g(n, n) += opts.gmin;
+
+    std::vector<double> x = dsp::solve(g, rhs);
+
+    if (!nonlinear) return x;
+
+    // Damped update; converged when every unknown moved less than
+    // vtol + reltol * |value|.
+    bool converged = true;
+    for (std::size_t i = 0; i < unknowns; ++i) {
+      const double delta =
+          std::clamp(x[i] - guess[i], -opts.max_update, opts.max_update);
+      const double next = guess[i] + delta;
+      if (std::abs(delta) > opts.vtol + opts.reltol * std::abs(next)) {
+        converged = false;
+      }
+      guess[i] = next;
+    }
+    if (converged) return guess;
+  }
+  throw std::runtime_error("solve_mna: Newton iteration did not converge");
+}
+
+}  // namespace
+
+std::vector<double> solve_mna(const Netlist& netlist, StampContext ctx,
+                              std::size_t unknowns, std::vector<double> guess,
+                              const NewtonOptions& opts) {
+  // High-gain loops can make the full-step Newton iteration orbit instead
+  // of converge; progressively heavier damping is the standard cure.
+  NewtonOptions damped = opts;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return solve_mna_once(netlist, ctx, unknowns, guess, damped);
+    } catch (const std::runtime_error&) {
+      if (attempt >= opts.damping_retries) throw;
+      damped.max_update /= 4.0;
+    }
+  }
+}
+
+}  // namespace msbist::circuit

@@ -1,0 +1,26 @@
+// Shared Newton-Raphson MNA solver used by the DC and transient engines.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace msbist::circuit {
+
+struct NewtonOptions {
+  int max_iterations = 500;
+  double vtol = 1e-9;      ///< absolute convergence tolerance [V]
+  double reltol = 1e-6;    ///< relative convergence tolerance
+  double gmin = 1e-12;     ///< leak conductance from every node to ground [S]
+  double max_update = 0.5; ///< per-iteration voltage damping limit [V]
+  int damping_retries = 3; ///< on failure retry with max_update / 4^k
+};
+
+/// Solve the (possibly nonlinear) MNA system described by the netlist for
+/// the analysis point in ctx. guess seeds the Newton iteration and must
+/// have `unknowns` entries. Throws std::runtime_error on non-convergence.
+std::vector<double> solve_mna(const Netlist& netlist, StampContext ctx,
+                              std::size_t unknowns, std::vector<double> guess,
+                              const NewtonOptions& opts);
+
+}  // namespace msbist::circuit

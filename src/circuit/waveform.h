@@ -1,0 +1,106 @@
+// Time-domain source waveforms for the circuit simulator.
+//
+// Every independent source in a netlist is driven by a Waveform — a pure
+// function of time. The BIST macros reuse these directly (a step-input
+// macro is a PwlWave, the on-chip ramp generator a RampWave, the SC clock
+// generator a pair of ClockWaves).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace msbist::circuit {
+
+/// A scalar signal as a function of time (seconds).
+class Waveform {
+ public:
+  virtual ~Waveform() = default;
+  virtual double value(double t) const = 0;
+};
+
+using WaveformPtr = std::shared_ptr<const Waveform>;
+
+/// Constant level.
+class DcWave final : public Waveform {
+ public:
+  explicit DcWave(double level) : level_(level) {}
+  double value(double) const override { return level_; }
+
+ private:
+  double level_;
+};
+
+/// Piecewise-linear waveform through (t, v) breakpoints; holds the first
+/// value before the first breakpoint and the last value after the last.
+class PwlWave final : public Waveform {
+ public:
+  /// points must be nonempty with strictly increasing times.
+  explicit PwlWave(std::vector<std::pair<double, double>> points);
+  double value(double t) const override;
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// Periodic pulse train: low before delay; then each period rises to high
+/// (linear over rise), holds for width, falls (linear over fall), rests low.
+class PulseWave final : public Waveform {
+ public:
+  PulseWave(double low, double high, double delay, double rise, double fall,
+            double width, double period);
+  double value(double t) const override;
+
+ private:
+  double low_, high_, delay_, rise_, fall_, width_, period_;
+};
+
+/// Sine: offset + amplitude * sin(2 pi f (t - delay)).
+class SineWave final : public Waveform {
+ public:
+  SineWave(double offset, double amplitude, double frequency_hz, double delay = 0.0);
+  double value(double t) const override;
+
+ private:
+  double offset_, amplitude_, freq_, delay_;
+};
+
+/// Linear ramp from v0 at t0 to v1 at t1, clamped outside.
+class RampWave final : public Waveform {
+ public:
+  RampWave(double v0, double v1, double t0, double t1);
+  double value(double t) const override;
+
+ private:
+  double v0_, v1_, t0_, t1_;
+};
+
+/// Zero-order-hold playback of a uniformly sampled vector (sample k holds
+/// over [k dt, (k+1) dt)); holds the last sample afterwards.
+class SampledWave final : public Waveform {
+ public:
+  /// samples must be nonempty; dt > 0.
+  SampledWave(std::vector<double> samples, double dt);
+  double value(double t) const override;
+
+ private:
+  std::vector<double> samples_;
+  double dt_;
+};
+
+/// Two-level clock for switched-capacitor phases: high during
+/// [k*period + phase_offset, k*period + phase_offset + high_time).
+/// Non-overlapping two-phase clocks are two ClockWaves with offsets 0 and
+/// period/2 and high_time slightly under period/2.
+class ClockWave final : public Waveform {
+ public:
+  ClockWave(double period, double high_time, double phase_offset = 0.0,
+            double low_level = 0.0, double high_level = 5.0);
+  double value(double t) const override;
+  bool is_high(double t) const;
+
+ private:
+  double period_, high_time_, phase_offset_, low_, high_;
+};
+
+}  // namespace msbist::circuit

@@ -1,0 +1,75 @@
+// msbist — mixed-signal macro BIST library.
+//
+// Umbrella header: pulls in the public API of every module. Reproduction
+// of R. A. Cobley, "Approaches to On-chip Testing of Mixed Signal Macros
+// in ASICs", ED&TC/DATE 1996.
+//
+// Layering (bottom-up):
+//   dsp      — signal processing: FFT, convolution/correlation, PRBS,
+//              state-space and z-domain models, matrices
+//   circuit  — SPICE-like MNA simulator: MOS level-1, DC + transient
+//   analog   — behavioural macro library + transistor-level OP1 / SC cells
+//   digital  — counter, latch, control FSM, scan, LFSR/MISR
+//   faults   — stuck-at / bridging fault models, universes, campaigns
+//   adc      — dual-slope ADC macro, spec metrics (INL/DNL/offset/gain),
+//              sigma-delta extension
+//   bist     — on-chip test macros: step/ramp generators, level sensor,
+//              signature compression, BIST controller, overhead model
+//   tsrt     — transient-response testing: example circuits 1-3,
+//              correlation and impulse-response detection
+//   core     — Device/Batch fabrication model, report tables
+#pragma once
+
+#include "adc/dac.h"
+#include "adc/dual_slope.h"
+#include "adc/metrics.h"
+#include "adc/sigma_delta.h"
+#include "analog/comparator.h"
+#include "analog/current_comparator.h"
+#include "analog/macro.h"
+#include "analog/opamp.h"
+#include "analog/references.h"
+#include "analog/sc_integrator.h"
+#include "bist/controller.h"
+#include "bist/level_sensor.h"
+#include "bist/overhead.h"
+#include "bist/ramp_generator.h"
+#include "bist/signature_compressor.h"
+#include "bist/step_generator.h"
+#include "bist/test_access.h"
+#include "circuit/ac.h"
+#include "circuit/dc.h"
+#include "circuit/elements.h"
+#include "circuit/mos.h"
+#include "circuit/netlist.h"
+#include "circuit/parser.h"
+#include "circuit/transient.h"
+#include "circuit/waveform.h"
+#include "core/device.h"
+#include "core/report.h"
+#include "digital/counter.h"
+#include "digital/fsm.h"
+#include "digital/latch.h"
+#include "digital/signature.h"
+#include "dsp/convolution.h"
+#include "dsp/correlation.h"
+#include "dsp/fft.h"
+#include "dsp/matrix.h"
+#include "dsp/noise.h"
+#include "dsp/polynomial.h"
+#include "dsp/prbs.h"
+#include "dsp/resample.h"
+#include "dsp/spectrum.h"
+#include "dsp/state_space.h"
+#include "dsp/vec.h"
+#include "dsp/window.h"
+#include "dsp/ztransfer.h"
+#include "faults/campaign.h"
+#include "faults/parametric.h"
+#include "faults/fault.h"
+#include "faults/universe.h"
+#include "tsrt/detector.h"
+#include "tsrt/example_circuits.h"
+#include "tsrt/impulse_compare.h"
+#include "tsrt/pole_compare.h"
+#include "tsrt/transient_test.h"

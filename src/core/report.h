@@ -1,0 +1,26 @@
+// Plain-text table rendering for benches and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace msbist::core {
+
+/// Fixed-column text table matching the style the benches print.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace msbist::core

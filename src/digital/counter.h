@@ -1,0 +1,55 @@
+// Binary counter macro.
+//
+// The dual-slope ADC's conversion result is the count accumulated during
+// the de-integration phase (100 kHz clock, 10 us per code in the paper).
+// Fault-injection points follow the paper's observation that "counter
+// submacro faults will show in the INL or DNL error or as regular missed
+// codes".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace msbist::digital {
+
+/// Counter fault models.
+struct CounterFaults {
+  /// A stuck output bit: that bit of the reported count is forced.
+  std::optional<unsigned> stuck_bit;
+  bool stuck_bit_high = false;
+  /// Every Nth clock pulse is swallowed (regular missed codes), 0 = none.
+  unsigned miss_every = 0;
+};
+
+/// Synchronous binary up-counter with enable and synchronous clear.
+class BinaryCounter {
+ public:
+  explicit BinaryCounter(unsigned bits, CounterFaults faults = {});
+
+  void clear();
+  void set_enable(bool en) { enable_ = en; }
+  bool enabled() const { return enable_; }
+
+  /// One clock edge; counts when enabled. Returns the new visible count.
+  std::uint32_t clock();
+
+  /// Visible count (with stuck-bit fault applied).
+  std::uint32_t count() const;
+
+  /// True internal count (test-only visibility).
+  std::uint32_t raw_count() const { return value_; }
+
+  unsigned bits() const { return bits_; }
+  std::uint32_t max_count() const { return (1u << bits_) - 1u; }
+  bool overflowed() const { return overflow_; }
+
+ private:
+  unsigned bits_;
+  CounterFaults faults_;
+  std::uint32_t value_ = 0;
+  std::uint64_t pulses_seen_ = 0;
+  bool enable_ = false;
+  bool overflow_ = false;
+};
+
+}  // namespace msbist::digital

@@ -1,0 +1,109 @@
+// Dual-slope conversion control FSM and the ramp/monotonicity checker.
+//
+// DualSlopeControl sequences the classic dual-slope conversion:
+//   IDLE -> AUTO_ZERO -> INTEGRATE (fixed count) -> DEINTEGRATE (until the
+//   comparator trips) -> DONE
+// "Control circuit faults will stop the conversion process" (paper) — the
+// stuck-state fault freezes the machine.
+//
+// MonotonicityChecker implements the AT&T-patent-style BIST: a ramp is
+// applied to the ADC while a state machine watches the output codes and
+// flags any decrease or repeat-length anomaly (US patent 5,132,685 per the
+// paper's reference [7]).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace msbist::digital {
+
+enum class ConvPhase : std::uint8_t {
+  kIdle,
+  kAutoZero,
+  kIntegrate,
+  kDeintegrate,
+  kDone,
+};
+
+struct ControlFaults {
+  /// The FSM never leaves this phase once entered (conversion stops).
+  std::optional<ConvPhase> stuck_phase;
+};
+
+/// Control signals the FSM asserts each clock.
+struct ControlOutputs {
+  bool connect_input = false;   ///< integrator input switched to Vin
+  bool connect_ref = false;     ///< integrator input switched to -Vref
+  bool counter_enable = false;
+  bool counter_clear = false;
+  bool latch_strobe = false;    ///< capture the counter into the latch
+  bool busy = false;
+};
+
+/// Clock-by-clock dual-slope sequencer.
+class DualSlopeControl {
+ public:
+  /// integrate_counts: length of the fixed integrate phase in clocks.
+  /// timeout_counts: de-integration abort limit (conversion failure).
+  DualSlopeControl(std::uint32_t integrate_counts, std::uint32_t timeout_counts,
+                   ControlFaults faults = {});
+
+  /// Begin a conversion (from IDLE or DONE).
+  void start();
+
+  /// Advance one clock. comparator_high reports the zero-crossing detector.
+  /// Returns the control outputs for this clock.
+  ControlOutputs clock(bool comparator_high);
+
+  ConvPhase phase() const { return phase_; }
+  bool done() const { return phase_ == ConvPhase::kDone; }
+  /// True when de-integration hit the timeout (no comparator trip).
+  bool timed_out() const { return timed_out_; }
+  /// Clocks spent in the de-integration phase so far.
+  std::uint32_t deintegrate_clocks() const { return deint_clocks_; }
+
+ private:
+  std::uint32_t integrate_counts_;
+  std::uint32_t timeout_counts_;
+  ControlFaults faults_;
+  ConvPhase phase_ = ConvPhase::kIdle;
+  std::uint32_t phase_clocks_ = 0;
+  std::uint32_t deint_clocks_ = 0;
+  bool timed_out_ = false;
+
+  bool frozen() const;
+};
+
+/// Result of a monotonicity scan over a code sequence.
+struct MonotonicityReport {
+  bool monotonic = true;
+  std::size_t violations = 0;        ///< code decreases observed
+  std::size_t first_violation_index = 0;
+  std::uint32_t max_code = 0;
+  std::size_t distinct_codes = 0;
+};
+
+/// On-chip ramp-test state machine: stream output codes in as the ramp
+/// progresses; the checker tracks monotonicity without storing the stream.
+/// allowed_dip sets the noise tolerance: a decrease of at most this many
+/// counts between consecutive samples is ignored (conversion noise on a
+/// real ADC flickers codes by a count or two; structural non-monotonicity
+/// jumps further).
+class MonotonicityChecker {
+ public:
+  explicit MonotonicityChecker(std::uint32_t allowed_dip = 0);
+
+  void reset();
+  /// Feed the next output code.
+  void observe(std::uint32_t code);
+  MonotonicityReport report() const;
+
+ private:
+  MonotonicityReport rep_;
+  std::optional<std::uint32_t> last_;
+  std::size_t index_ = 0;
+  std::uint32_t allowed_dip_ = 0;
+};
+
+}  // namespace msbist::digital

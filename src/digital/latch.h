@@ -1,0 +1,37 @@
+// Output latch macro.
+//
+// Captures the counter value at end-of-conversion. Per the paper, "faults
+// in the output latch submacro will manifest as multiple incorrect output
+// codes" — modelled as stuck output bits and a load-failure mode.
+#pragma once
+
+#include <cstdint>
+
+namespace msbist::digital {
+
+struct LatchFaults {
+  std::uint32_t stuck_high_mask = 0;  ///< output bits forced to 1
+  std::uint32_t stuck_low_mask = 0;   ///< output bits forced to 0
+  bool load_disabled = false;         ///< strobe never captures (stale data)
+};
+
+/// Parallel-load output register.
+class OutputLatch {
+ public:
+  explicit OutputLatch(unsigned bits, LatchFaults faults = {});
+
+  /// Capture a value on the load strobe.
+  void load(std::uint32_t value);
+
+  /// Latched output with fault masks applied.
+  std::uint32_t q() const;
+
+  unsigned bits() const { return bits_; }
+
+ private:
+  unsigned bits_;
+  LatchFaults faults_;
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace msbist::digital

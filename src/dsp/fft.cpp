@@ -1,0 +1,116 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace msbist::dsp {
+
+namespace {
+
+// In-place radix-2 Cooley-Tukey; n must be a power of two.
+// sign = -1 for the forward transform, +1 for the inverse (un-normalized).
+void fft_pow2(cvec& a, int sign) {
+  const std::size_t n = a.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = static_cast<double>(sign) * 2.0 * std::numbers::pi /
+                       static_cast<double>(len);
+    const std::complex<double> wlen{std::cos(ang), std::sin(ang)};
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// Bluestein chirp-z transform: DFT of arbitrary length via one power-of-two
+// convolution. sign as in fft_pow2.
+cvec bluestein(const cvec& x, int sign) {
+  const std::size_t n = x.size();
+  const std::size_t m = next_power_of_two(2 * n + 1);
+  // w[k] = exp(sign * i * pi * k^2 / n)
+  cvec w(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the argument small for long transforms.
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double ang = static_cast<double>(sign) * std::numbers::pi *
+                       static_cast<double>(k2) / static_cast<double>(n);
+    w[k] = {std::cos(ang), std::sin(ang)};
+  }
+  cvec a(m, {0.0, 0.0});
+  cvec b(m, {0.0, 0.0});
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * w[k];
+  b[0] = std::conj(w[0]);
+  for (std::size_t k = 1; k < n; ++k) b[k] = b[m - k] = std::conj(w[k]);
+  fft_pow2(a, -1);
+  fft_pow2(b, -1);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_pow2(a, +1);
+  cvec y(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    y[k] = a[k] * w[k] / static_cast<double>(m);
+  }
+  return y;
+}
+
+cvec dft(const cvec& x, int sign) {
+  if (x.empty()) return {};
+  if (is_power_of_two(x.size())) {
+    cvec a = x;
+    fft_pow2(a, sign);
+    return a;
+  }
+  return bluestein(x, sign);
+}
+
+}  // namespace
+
+bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    if (p > (static_cast<std::size_t>(-1) >> 1)) {
+      throw std::overflow_error("next_power_of_two overflow");
+    }
+    p <<= 1;
+  }
+  return p;
+}
+
+cvec fft(const cvec& x) { return dft(x, -1); }
+
+cvec ifft(const cvec& X) {
+  cvec y = dft(X, +1);
+  const double inv = y.empty() ? 1.0 : 1.0 / static_cast<double>(y.size());
+  for (auto& v : y) v *= inv;
+  return y;
+}
+
+cvec fft_real(const std::vector<double>& x) {
+  cvec c(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) c[i] = {x[i], 0.0};
+  return fft(c);
+}
+
+std::vector<double> ifft_real(const cvec& X) {
+  cvec y = ifft(X);
+  std::vector<double> r(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) r[i] = y[i].real();
+  return r;
+}
+
+}  // namespace msbist::dsp

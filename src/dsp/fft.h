@@ -1,0 +1,34 @@
+// Fast Fourier transform.
+//
+// Radix-2 iterative Cooley-Tukey for power-of-two lengths; Bluestein's
+// chirp-z algorithm extends the transform to arbitrary lengths so the
+// convolution and spectrum helpers never need to pad signals themselves.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace msbist::dsp {
+
+using cvec = std::vector<std::complex<double>>;
+
+/// True when n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n);
+
+/// Forward DFT of x (any length, via radix-2 or Bluestein). X[k] = sum_n x[n] e^{-2pi i k n / N}.
+cvec fft(const cvec& x);
+
+/// Inverse DFT, normalized by 1/N so ifft(fft(x)) == x.
+cvec ifft(const cvec& X);
+
+/// Forward DFT of a real signal; returns all N complex bins.
+cvec fft_real(const std::vector<double>& x);
+
+/// Real part of the inverse DFT (for spectra of real signals).
+std::vector<double> ifft_real(const cvec& X);
+
+}  // namespace msbist::dsp

@@ -1,0 +1,85 @@
+// Small dense real matrices.
+//
+// Circuit MNA systems and state-space models in this library are tiny
+// (tens of unknowns), so a straightforward row-major dense matrix with
+// partial-pivot LU, matrix exponential, and QR eigenvalues covers every
+// numerical need without external dependencies.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace msbist::dsp {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Build from nested initializer-style data; all rows must be equal length.
+  explicit Matrix(const std::vector<std::vector<double>>& rows);
+
+  static Matrix identity(std::size_t n);
+  static Matrix diagonal(const std::vector<double>& d);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  Matrix operator*(const Matrix& o) const;
+  Matrix operator*(double k) const;
+  std::vector<double> operator*(const std::vector<double>& v) const;
+
+  Matrix transpose() const;
+  double frobenius_norm() const;
+  /// Maximum absolute row sum (induced infinity norm).
+  double inf_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU decomposition with partial pivoting, reusable across multiple
+/// right-hand sides (the transient solver refactors once per time step).
+class LuDecomposition {
+ public:
+  /// Factorizes a (must be square). Throws std::runtime_error when the
+  /// matrix is numerically singular.
+  explicit LuDecomposition(const Matrix& a);
+
+  /// Solve A x = b.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Determinant of the factorized matrix.
+  double determinant() const;
+
+ private:
+  std::size_t n_ = 0;
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int perm_sign_ = 1;
+};
+
+/// Solve A x = b (one-shot convenience).
+std::vector<double> solve(const Matrix& a, const std::vector<double>& b);
+
+/// Matrix inverse via LU. Throws on singular input.
+Matrix inverse(const Matrix& a);
+
+/// Matrix exponential e^A by scaling-and-squaring with a Taylor core.
+/// Accurate to near machine precision for the well-conditioned, modest-norm
+/// matrices produced by circuit discretization.
+Matrix expm(const Matrix& a);
+
+/// All eigenvalues of a real square matrix (complex in general), computed
+/// by Hessenberg reduction followed by the shifted QR iteration.
+std::vector<std::complex<double>> eigenvalues(const Matrix& a);
+
+}  // namespace msbist::dsp

@@ -1,0 +1,33 @@
+#include "dsp/noise.h"
+
+#include <cmath>
+#include <random>
+
+#include "dsp/spectrum.h"
+
+namespace msbist::dsp {
+
+std::vector<double> gaussian_noise(std::size_t n, double sigma, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist(0.0, sigma);
+  std::vector<double> out(n);
+  for (auto& v : out) v = sigma > 0.0 ? dist(rng) : 0.0;
+  return out;
+}
+
+std::vector<double> add_awgn_snr(const std::vector<double>& x, double snr_db,
+                                 std::uint64_t seed) {
+  const double ps = power(x);
+  if (ps <= 0.0) return x;
+  const double pn = ps / std::pow(10.0, snr_db / 10.0);
+  return add_noise(x, std::sqrt(pn), seed);
+}
+
+std::vector<double> add_noise(const std::vector<double>& x, double sigma,
+                              std::uint64_t seed) {
+  std::vector<double> noise = gaussian_noise(x.size(), sigma, seed);
+  for (std::size_t i = 0; i < x.size(); ++i) noise[i] += x[i];
+  return noise;
+}
+
+}  // namespace msbist::dsp

@@ -1,0 +1,82 @@
+#include "dsp/polynomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/matrix.h"
+
+namespace msbist::dsp {
+
+double polyval(const Poly& p, double x) {
+  double acc = 0.0;
+  for (double c : p) acc = acc * x + c;
+  return acc;
+}
+
+std::complex<double> polyval(const Poly& p, std::complex<double> x) {
+  std::complex<double> acc{0.0, 0.0};
+  for (double c : p) acc = acc * x + c;
+  return acc;
+}
+
+Poly poly_from_roots(const std::vector<std::complex<double>>& roots) {
+  // Multiply out (x - r) factors with complex coefficients, then check the
+  // imaginary parts cancel (conjugate-pair requirement).
+  std::vector<std::complex<double>> acc{{1.0, 0.0}};
+  for (const auto& r : roots) {
+    std::vector<std::complex<double>> next(acc.size() + 1, {0.0, 0.0});
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      next[i] += acc[i];
+      next[i + 1] -= acc[i] * r;
+    }
+    acc = std::move(next);
+  }
+  Poly out(acc.size());
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    const double scale_ref = std::max(1.0, std::abs(acc[i]));
+    if (std::abs(acc[i].imag()) > 1e-9 * scale_ref) {
+      throw std::invalid_argument(
+          "poly_from_roots: complex roots must come in conjugate pairs");
+    }
+    out[i] = acc[i].real();
+  }
+  return out;
+}
+
+Poly poly_mul(const Poly& a, const Poly& b) {
+  if (a.empty() || b.empty()) return {};
+  Poly r(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) r[i + j] += a[i] * b[j];
+  }
+  return r;
+}
+
+std::vector<std::complex<double>> poly_roots(const Poly& p) {
+  Poly q = p;
+  // Strip leading (highest-power) zeros.
+  while (!q.empty() && q.front() == 0.0) q.erase(q.begin());
+  if (q.size() < 2) {
+    throw std::invalid_argument("poly_roots: polynomial must have degree >= 1");
+  }
+  const std::size_t deg = q.size() - 1;
+  const double lead = q.front();
+  // Companion matrix of the monic polynomial.
+  Matrix c(deg, deg);
+  for (std::size_t j = 0; j < deg; ++j) c(0, j) = -q[j + 1] / lead;
+  for (std::size_t i = 1; i < deg; ++i) c(i, i - 1) = 1.0;
+  return eigenvalues(c);
+}
+
+Poly poly_derivative(const Poly& p) {
+  if (p.size() <= 1) return {0.0};
+  Poly d(p.size() - 1);
+  const std::size_t deg = p.size() - 1;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    d[i] = p[i] * static_cast<double>(deg - i);
+  }
+  return d;
+}
+
+}  // namespace msbist::dsp

@@ -1,0 +1,37 @@
+// Real polynomials: evaluation, construction from roots, root finding.
+//
+// Transfer functions in the paper's second testing approach are specified
+// by "poles, zeros and constants" extracted from simulation; these helpers
+// convert between coefficient and root forms.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace msbist::dsp {
+
+/// Coefficients are stored highest power first: {a_n, ..., a_1, a_0}
+/// represents a_n x^n + ... + a_0.
+using Poly = std::vector<double>;
+
+/// Evaluate a polynomial at a real point (Horner).
+double polyval(const Poly& p, double x);
+
+/// Evaluate at a complex point.
+std::complex<double> polyval(const Poly& p, std::complex<double> x);
+
+/// Monic polynomial with the given roots. Complex roots must appear in
+/// conjugate pairs (checked; throws otherwise) so the result is real.
+Poly poly_from_roots(const std::vector<std::complex<double>>& roots);
+
+/// Product of two polynomials.
+Poly poly_mul(const Poly& a, const Poly& b);
+
+/// All roots via the companion-matrix eigenvalue method. Leading zero
+/// coefficients are stripped; throws when the polynomial is constant.
+std::vector<std::complex<double>> poly_roots(const Poly& p);
+
+/// Derivative.
+Poly poly_derivative(const Poly& p);
+
+}  // namespace msbist::dsp

@@ -1,0 +1,104 @@
+#include "dsp/prbs.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace msbist::dsp {
+
+namespace {
+
+// Tap masks for the Galois (right-shift) LFSR form giving maximal-length
+// sequences: for a primitive polynomial x^n + x^a + ... + 1 the mask has
+// bits n-1, a-1, ... set.
+std::uint32_t maximal_taps(unsigned stages) {
+  switch (stages) {
+    case 2:  return 0b11;                    // x^2 + x + 1
+    case 3:  return 0b110;                   // x^3 + x^2 + 1
+    case 4:  return 0b1100;                  // x^4 + x^3 + 1
+    case 5:  return 0b10100;                 // x^5 + x^3 + 1
+    case 6:  return 0b110000;                // x^6 + x^5 + 1
+    case 7:  return 0b1100000;               // x^7 + x^6 + 1
+    case 8:  return 0b10111000;              // x^8 + x^6 + x^5 + x^4 + 1
+    case 9:  return 0b100010000;             // x^9 + x^5 + 1
+    case 10: return 0b1001000000;            // x^10 + x^7 + 1
+    case 11: return 0b10100000000;           // x^11 + x^9 + 1
+    case 12: return 0b111000001000;          // x^12 + x^11 + x^10 + x^4 + 1
+    case 13: return 0b1110010000000;         // x^13 + x^12 + x^11 + x^8 + 1
+    case 14: return 0b11100000000010;        // x^14 + x^13 + x^12 + x^2 + 1
+    case 15: return 0b110000000000000;       // x^15 + x^14 + 1
+    case 16: return 0b1101000000001000;      // x^16 + x^15 + x^13 + x^4 + 1
+    case 17: return 0b10010000000000000;     // x^17 + x^14 + 1
+    case 18: return 0b100000010000000000;    // x^18 + x^11 + 1
+    case 19: return 0b1110010000000000000;   // x^19 + x^18 + x^17 + x^14 + 1
+    case 20: return 0b10010000000000000000;  // x^20 + x^17 + 1
+    default:
+      break;
+  }
+  if (stages >= 21 && stages <= 31) {
+    // x^n + x^m + 1 trinomials for the remaining widths.
+    static constexpr unsigned second_tap[] = {19, 21, 18, 23, 22, 25, 26, 25, 27, 28, 28};
+    const unsigned m = second_tap[stages - 21];
+    return (1u << (stages - 1)) | (1u << (m - 1));
+  }
+  throw std::invalid_argument("Prbs: stages must be in [2, 31]");
+}
+
+}  // namespace
+
+Prbs::Prbs(unsigned stages, std::uint32_t seed)
+    : stages_(stages), state_(0), tap_mask_(maximal_taps(stages)) {
+  const std::uint32_t width_mask =
+      stages >= 32 ? ~0u : ((1u << stages) - 1u);
+  state_ = seed & width_mask;
+  if (state_ == 0) {
+    throw std::invalid_argument("Prbs: seed must be nonzero within the register width");
+  }
+}
+
+int Prbs::next_bit() {
+  // Galois (one-to-many) form: shift right, and when a 1 falls off the
+  // end, XOR the tap mask back into the register. The masks in
+  // maximal_taps() follow this convention (bit k-1 set for each x^k term
+  // of the primitive polynomial except the constant).
+  const int out = static_cast<int>(state_ & 1u);
+  state_ >>= 1;
+  if (out) state_ ^= tap_mask_;
+  return out;
+}
+
+std::size_t Prbs::period() const { return (std::size_t{1} << stages_) - 1; }
+
+std::vector<int> Prbs::bits(std::size_t n) {
+  std::vector<int> out(n);
+  for (auto& b : out) b = next_bit();
+  return out;
+}
+
+std::vector<int> Prbs::full_period() { return bits(period()); }
+
+std::vector<double> bits_to_waveform(const std::vector<int>& bits,
+                                     std::size_t samples_per_bit,
+                                     double low_level, double high_level) {
+  if (samples_per_bit == 0) throw std::invalid_argument("samples_per_bit must be >= 1");
+  std::vector<double> w;
+  w.reserve(bits.size() * samples_per_bit);
+  for (int b : bits) {
+    const double v = b ? high_level : low_level;
+    w.insert(w.end(), samples_per_bit, v);
+  }
+  return w;
+}
+
+std::vector<double> prbs_stimulus(unsigned stages, double bit_time, double dt,
+                                  double amplitude, std::uint32_t seed) {
+  if (bit_time <= 0 || dt <= 0) throw std::invalid_argument("bit_time and dt must be > 0");
+  const auto samples_per_bit =
+      static_cast<std::size_t>(std::llround(bit_time / dt));
+  if (samples_per_bit == 0) {
+    throw std::invalid_argument("prbs_stimulus: dt larger than bit_time");
+  }
+  Prbs gen(stages, seed);
+  return bits_to_waveform(gen.full_period(), samples_per_bit, 0.0, amplitude);
+}
+
+}  // namespace msbist::dsp

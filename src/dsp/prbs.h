@@ -1,0 +1,54 @@
+// Pseudo-random binary sequences from linear-feedback shift registers.
+//
+// The paper's transient stimulus is "a pseudo random binary sequence of 15
+// bits with a step size of 250 us and amplitude of 0 V or 5 V" — i.e. one
+// full period of a 4-stage maximal-length LFSR. This module provides
+// maximal-length generators for common register lengths and converts bit
+// sequences into sampled voltage waveforms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace msbist::dsp {
+
+/// Maximal-length LFSR (Fibonacci form). Periods are 2^stages - 1.
+class Prbs {
+ public:
+  /// stages in [2, 31]; taps are chosen internally for a maximal-length
+  /// sequence. seed must be nonzero within the register width (a zero
+  /// seed would lock the register); it is masked to the register width.
+  Prbs(unsigned stages, std::uint32_t seed = 1);
+
+  /// Next output bit (0/1), advancing the register.
+  int next_bit();
+
+  /// Sequence period, 2^stages - 1.
+  std::size_t period() const;
+
+  /// Generate n bits starting from the current state.
+  std::vector<int> bits(std::size_t n);
+
+  /// One full period of bits from the current state.
+  std::vector<int> full_period();
+
+ private:
+  unsigned stages_;
+  std::uint32_t state_;
+  std::uint32_t tap_mask_;
+};
+
+/// Expand a bit sequence into a uniformly sampled waveform: each bit is held
+/// for samples_per_bit samples, mapping 0 -> low_level, 1 -> high_level.
+std::vector<double> bits_to_waveform(const std::vector<int>& bits,
+                                     std::size_t samples_per_bit,
+                                     double low_level, double high_level);
+
+/// Convenience: the paper's stimulus — one period of a PRBS with the given
+/// number of stages, each bit held bit_time seconds, sampled at dt, with
+/// amplitude 0..amplitude volts. Returns the sampled waveform.
+std::vector<double> prbs_stimulus(unsigned stages, double bit_time, double dt,
+                                  double amplitude, std::uint32_t seed = 1);
+
+}  // namespace msbist::dsp

@@ -1,0 +1,56 @@
+#include "dsp/resample.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace msbist::dsp {
+
+double interp_linear(const std::vector<double>& xs, const std::vector<double>& ys,
+                     double x) {
+  if (xs.empty() || xs.size() != ys.size()) {
+    throw std::invalid_argument("interp_linear: xs/ys must be nonempty and equal-sized");
+  }
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double span = xs[hi] - xs[lo];
+  if (span <= 0) throw std::invalid_argument("interp_linear: xs must be strictly increasing");
+  const double t = (x - xs[lo]) / span;
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+std::vector<double> resample_linear(const std::vector<double>& y, double dt_in,
+                                    double dt_out) {
+  if (dt_in <= 0 || dt_out <= 0) {
+    throw std::invalid_argument("resample_linear: time steps must be > 0");
+  }
+  if (y.empty()) return {};
+  const double duration = dt_in * static_cast<double>(y.size() - 1);
+  const auto n_out = static_cast<std::size_t>(std::floor(duration / dt_out)) + 1;
+  std::vector<double> out(n_out);
+  for (std::size_t k = 0; k < n_out; ++k) {
+    const double t = static_cast<double>(k) * dt_out;
+    const double pos = t / dt_in;
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    if (lo + 1 >= y.size()) {
+      out[k] = y.back();
+    } else {
+      const double frac = pos - static_cast<double>(lo);
+      out[k] = y[lo] + frac * (y[lo + 1] - y[lo]);
+    }
+  }
+  return out;
+}
+
+std::vector<double> decimate(const std::vector<double>& y, std::size_t factor) {
+  if (factor == 0) throw std::invalid_argument("decimate: factor must be >= 1");
+  std::vector<double> out;
+  out.reserve(y.size() / factor + 1);
+  for (std::size_t i = 0; i < y.size(); i += factor) out.push_back(y[i]);
+  return out;
+}
+
+}  // namespace msbist::dsp

@@ -1,0 +1,25 @@
+// Sample-rate utilities for comparing waveforms captured at different
+// time steps (e.g. transistor-level transient vs behavioural model).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace msbist::dsp {
+
+/// Linear interpolation of (xs, ys) at query point x. Outside the sample
+/// range the edge value is held. xs must be strictly increasing and the
+/// two vectors equal-sized and nonempty.
+double interp_linear(const std::vector<double>& xs, const std::vector<double>& ys,
+                     double x);
+
+/// Resample a uniformly sampled signal from step dt_in to step dt_out by
+/// linear interpolation; output spans the same total duration.
+std::vector<double> resample_linear(const std::vector<double>& y, double dt_in,
+                                    double dt_out);
+
+/// Keep every factor-th sample (no anti-alias filter; callers decimate
+/// oversampled, smooth circuit waveforms).
+std::vector<double> decimate(const std::vector<double>& y, std::size_t factor);
+
+}  // namespace msbist::dsp

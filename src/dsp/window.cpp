@@ -1,0 +1,44 @@
+#include "dsp/window.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/vec.h"
+
+namespace msbist::dsp {
+
+std::vector<double> window(WindowKind kind, std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n <= 1) return w;
+  const double den = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / den;
+    switch (kind) {
+      case WindowKind::kRectangular:
+        w[i] = 1.0;
+        break;
+      case WindowKind::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * t);
+        break;
+      case WindowKind::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * t);
+        break;
+      case WindowKind::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(2.0 * std::numbers::pi * t) +
+               0.08 * std::cos(4.0 * std::numbers::pi * t);
+        break;
+    }
+  }
+  return w;
+}
+
+std::vector<double> apply_window(const std::vector<double>& x, WindowKind kind) {
+  return mul(x, window(kind, x.size()));
+}
+
+double coherent_gain(WindowKind kind, std::size_t n) {
+  if (n == 0) return 0.0;
+  return mean(window(kind, n));
+}
+
+}  // namespace msbist::dsp

@@ -1,0 +1,20 @@
+// Window functions for spectral analysis of captured transients.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace msbist::dsp {
+
+enum class WindowKind { kRectangular, kHann, kHamming, kBlackman };
+
+/// Window of n samples. n == 0 returns an empty vector; n == 1 returns {1}.
+std::vector<double> window(WindowKind kind, std::size_t n);
+
+/// Element-wise product of a signal with a window of the same length.
+std::vector<double> apply_window(const std::vector<double>& x, WindowKind kind);
+
+/// Coherent gain of a window: mean of its samples (1.0 for rectangular).
+double coherent_gain(WindowKind kind, std::size_t n);
+
+}  // namespace msbist::dsp

@@ -1,0 +1,22 @@
+#include "faults/campaign.h"
+
+namespace msbist::faults {
+
+double CampaignReport::coverage() const {
+  if (results.empty()) return 0.0;
+  return static_cast<double>(detected_count) / static_cast<double>(results.size());
+}
+
+CampaignReport run_campaign(const std::vector<FaultSpec>& universe,
+                            const FaultTestFn& test) {
+  CampaignReport report;
+  report.results.reserve(universe.size());
+  for (const FaultSpec& f : universe) {
+    FaultResult r = test(f);
+    if (r.detected) ++report.detected_count;
+    report.results.push_back(std::move(r));
+  }
+  return report;
+}
+
+}  // namespace msbist::faults

@@ -1,0 +1,38 @@
+// Fault-simulation campaigns: run a test procedure against every fault in
+// a universe and report coverage.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "faults/fault.h"
+
+namespace msbist::faults {
+
+/// Outcome of testing one faulty circuit.
+struct FaultResult {
+  FaultSpec fault;
+  bool detected = false;
+  double score = 0.0;     ///< technique-specific detection metric
+  std::string detail;     ///< free-form diagnostics
+};
+
+struct CampaignReport {
+  std::vector<FaultResult> results;
+  std::size_t detected_count = 0;
+  /// Fault coverage = detected / total.
+  double coverage() const;
+};
+
+/// The test procedure: given a fault (already chosen), build the faulty
+/// circuit, run the test, and report. A nullopt-like "golden" run is the
+/// caller's responsibility (compute the fault-free reference once,
+/// capture it in the closure).
+using FaultTestFn = std::function<FaultResult(const FaultSpec&)>;
+
+/// Run the test against every fault in the universe.
+CampaignReport run_campaign(const std::vector<FaultSpec>& universe,
+                            const FaultTestFn& test);
+
+}  // namespace msbist::faults

@@ -1,0 +1,79 @@
+#include "faults/fault.h"
+
+#include <stdexcept>
+
+#include "circuit/elements.h"
+
+namespace msbist::faults {
+
+FaultSpec FaultSpec::stuck_at(int node, bool high) {
+  FaultSpec f;
+  f.kind = high ? FaultKind::kStuckAt1 : FaultKind::kStuckAt0;
+  f.node_a = node;
+  f.stuck_high = high;
+  f.label = (high ? "SA1@n" : "SA0@n") + std::to_string(node);
+  return f;
+}
+
+FaultSpec FaultSpec::double_stuck(int node_a, int node_b, bool high) {
+  FaultSpec f;
+  f.kind = FaultKind::kDoubleStuck;
+  f.node_a = node_a;
+  f.node_b = node_b;
+  f.stuck_high = high;
+  f.label = std::string("double-") + (high ? "SA1" : "SA0") + "@n" +
+            std::to_string(node_a) + "-n" + std::to_string(node_b);
+  return f;
+}
+
+FaultSpec FaultSpec::bridge(int node_a, int node_b) {
+  FaultSpec f;
+  f.kind = FaultKind::kBridge;
+  f.node_a = node_a;
+  f.node_b = node_b;
+  f.label = "bridge@n" + std::to_string(node_a) + "-n" + std::to_string(node_b);
+  return f;
+}
+
+namespace {
+
+void clamp_node(circuit::Netlist& n, const std::string& node_name, bool high,
+                const InjectionOptions& opts, const std::string& label) {
+  // Stuck-at via a voltage generator behind a small resistance (exactly
+  // the paper's mechanism); the resistance keeps the clamp from forming
+  // an ideal-source loop with any driver already on the node.
+  const circuit::NodeId victim = n.find_node(node_name);
+  const circuit::NodeId drive = n.node(label + "_drv");
+  n.add<circuit::VoltageSource>(drive, circuit::kGround, high ? opts.vdd : 0.0);
+  n.name_last(label + "_src");
+  n.add<circuit::Resistor>(drive, victim, opts.clamp_resistance);
+  n.name_last(label + "_r");
+}
+
+}  // namespace
+
+void inject(circuit::Netlist& netlist, const FaultSpec& fault, const NodeMap& map,
+            const InjectionOptions& opts) {
+  if (!map) throw std::invalid_argument("inject: node map is required");
+  switch (fault.kind) {
+    case FaultKind::kStuckAt0:
+    case FaultKind::kStuckAt1:
+      clamp_node(netlist, map(fault.node_a), fault.stuck_high, opts,
+                 "fault_" + fault.label);
+      break;
+    case FaultKind::kDoubleStuck:
+      clamp_node(netlist, map(fault.node_a), fault.stuck_high, opts,
+                 "fault_" + fault.label + "_a");
+      clamp_node(netlist, map(fault.node_b), fault.stuck_high, opts,
+                 "fault_" + fault.label + "_b");
+      break;
+    case FaultKind::kBridge:
+      netlist.add<circuit::Resistor>(netlist.find_node(map(fault.node_a)),
+                                     netlist.find_node(map(fault.node_b)),
+                                     opts.bridge_resistance);
+      netlist.name_last("fault_" + fault.label);
+      break;
+  }
+}
+
+}  // namespace msbist::faults

@@ -1,0 +1,56 @@
+// Fault models for the transient-response experiments.
+//
+// The paper injects faults "at the transistor level using voltage
+// generators, which could produce a stuck-at-0 or stuck-at-1 fault signal"
+// on circuit nodes, plus double faults across node pairs "which
+// approximated to bridging faults across the MOS transistors". The same
+// mechanisms are modelled here: a stuck-at clamps a node to 0 V / 5 V
+// through a low impedance; a double fault clamps two nodes; a bridge ties
+// two nodes with a small resistance.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace msbist::faults {
+
+enum class FaultKind {
+  kStuckAt0,   ///< node clamped to 0 V
+  kStuckAt1,   ///< node clamped to VDD (5 V)
+  kDoubleStuck,///< two nodes clamped to the same level (paper's "double fault")
+  kBridge,     ///< resistive short between two nodes
+};
+
+/// One fault in a fault universe. Nodes are identified by the paper's
+/// numbering (1..9 for OP1 / the SC circuits); a NodeMap resolves them to
+/// netlist node names for a particular circuit instance.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kStuckAt0;
+  int node_a = 0;            ///< paper node number
+  int node_b = 0;            ///< second node (double/bridge faults)
+  bool stuck_high = false;   ///< level for double faults
+  std::string label;         ///< e.g. "SA0@n4", "bridge n6-n7"
+
+  static FaultSpec stuck_at(int node, bool high);
+  static FaultSpec double_stuck(int node_a, int node_b, bool high);
+  static FaultSpec bridge(int node_a, int node_b);
+};
+
+/// Resolves a paper node number to the node name used in a netlist.
+using NodeMap = std::function<std::string(int)>;
+
+struct InjectionOptions {
+  double clamp_resistance = 10.0;   ///< stuck-at source impedance [ohm]
+  double bridge_resistance = 50.0;  ///< bridge resistance [ohm]
+  double vdd = 5.0;                 ///< stuck-at-1 level [V]
+};
+
+/// Inject a fault into a built netlist. The injected elements are named
+/// "fault_*" so reports can identify them.
+void inject(circuit::Netlist& netlist, const FaultSpec& fault, const NodeMap& map,
+            const InjectionOptions& opts = {});
+
+}  // namespace msbist::faults

@@ -1,0 +1,44 @@
+#include "faults/parametric.h"
+
+#include <stdexcept>
+
+#include "circuit/mos.h"
+
+namespace msbist::faults {
+
+ParametricFault ParametricFault::degrade_kp(double scale, int device_index) {
+  if (scale <= 0.0) throw std::invalid_argument("degrade_kp: scale must be > 0");
+  ParametricFault f;
+  f.kp_scale = scale;
+  f.device_index = device_index;
+  f.label = "kp*" + std::to_string(scale) +
+            (device_index < 0 ? "@all" : "@M" + std::to_string(device_index));
+  return f;
+}
+
+ParametricFault ParametricFault::shift_vt(double volts, int device_index) {
+  ParametricFault f;
+  f.vt_shift_v = volts;
+  f.device_index = device_index;
+  f.label = "vt" + std::to_string(volts) +
+            (device_index < 0 ? "@all" : "@M" + std::to_string(device_index));
+  return f;
+}
+
+int inject_parametric(circuit::Netlist& netlist, const ParametricFault& fault) {
+  int mos_index = 0;
+  int touched = 0;
+  for (auto& el : netlist.elements()) {
+    auto* mos = dynamic_cast<circuit::Mosfet*>(el.get());
+    if (mos == nullptr) continue;
+    if (fault.device_index < 0 || fault.device_index == mos_index) {
+      mos->params().kp *= fault.kp_scale;
+      mos->params().vt += fault.vt_shift_v;
+      ++touched;
+    }
+    ++mos_index;
+  }
+  return touched;
+}
+
+}  // namespace msbist::faults

@@ -1,0 +1,32 @@
+// Parametric ("soft") faults: devices that still work but drifted out of
+// spec — degraded transconductance, shifted thresholds. These complement
+// the catastrophic stuck-at/bridge models: the paper's spec-based tests
+// (offset/gain/INL/DNL) exist precisely because soft faults escape
+// go/no-go functional checks. The soft-fault ablation bench sweeps the
+// severity to find each technique's detection threshold.
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace msbist::faults {
+
+struct ParametricFault {
+  double kp_scale = 1.0;    ///< multiplies the device transconductance kp
+  double vt_shift_v = 0.0;  ///< added to the threshold magnitude [V]
+  /// Index of the MOS device to degrade (in netlist element order,
+  /// counting only Mosfets); -1 degrades every MOS device.
+  int device_index = -1;
+  std::string label;
+
+  static ParametricFault degrade_kp(double scale, int device_index = -1);
+  static ParametricFault shift_vt(double volts, int device_index = -1);
+};
+
+/// Apply the degradation to the netlist's MOS devices in place.
+/// Returns the number of devices touched (0 when the index is out of
+/// range — callers should treat that as a configuration error).
+int inject_parametric(circuit::Netlist& netlist, const ParametricFault& fault);
+
+}  // namespace msbist::faults

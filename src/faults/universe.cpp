@@ -1,0 +1,43 @@
+#include "faults/universe.h"
+
+#include <stdexcept>
+
+namespace msbist::faults {
+
+std::vector<FaultSpec> op1_fault_universe() {
+  std::vector<FaultSpec> u;
+  for (int node : {4, 5, 7, 8, 3}) {
+    u.push_back(FaultSpec::stuck_at(node, false));
+    u.push_back(FaultSpec::stuck_at(node, true));
+  }
+  for (auto [a, b] : {std::pair{8, 9}, std::pair{5, 8}, std::pair{4, 6}}) {
+    u.push_back(FaultSpec::double_stuck(a, b, false));
+    u.push_back(FaultSpec::double_stuck(a, b, true));
+  }
+  return u;  // 16 faults
+}
+
+std::vector<FaultSpec> sc_fault_universe() {
+  std::vector<FaultSpec> u;
+  for (int node : {4, 5, 7, 8, 9}) {
+    u.push_back(FaultSpec::stuck_at(node, false));
+    u.push_back(FaultSpec::stuck_at(node, true));
+  }
+  u.push_back(FaultSpec::bridge(6, 7));
+  u.push_back(FaultSpec::bridge(5, 8));
+  return u;  // 12 faults
+}
+
+std::vector<FaultSpec> all_single_stuck(int first_node, int last_node) {
+  if (last_node < first_node) {
+    throw std::invalid_argument("all_single_stuck: bad node range");
+  }
+  std::vector<FaultSpec> u;
+  for (int node = first_node; node <= last_node; ++node) {
+    u.push_back(FaultSpec::stuck_at(node, false));
+    u.push_back(FaultSpec::stuck_at(node, true));
+  }
+  return u;
+}
+
+}  // namespace msbist::faults

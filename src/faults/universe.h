@@ -1,0 +1,30 @@
+// The paper's fault universes.
+//
+// Circuit 1 (OP1, 13 transistors): 16 faulty circuits —
+//   single stuck-at-0/1 at the major nodes 4, 5, 7, 8 and 3 (10 faults),
+//   double faults at node pairs 8-9, 5-8 and 4-6, both polarities
+//   (6 faults), approximating bridging across the MOS transistors.
+//
+// Circuits 2 and 3 (SC integrator + comparator / SC integrator alone):
+//   12 faulty circuits — single stuck-at-0/1 at the integrator nodes
+//   4, 5, 7, 8 and 9 (10 faults) plus bridging faults on nodes 6-7 and
+//   5-8 (2 faults).
+#pragma once
+
+#include <vector>
+
+#include "faults/fault.h"
+
+namespace msbist::faults {
+
+/// The 16-fault universe for the paper's circuit 1.
+std::vector<FaultSpec> op1_fault_universe();
+
+/// The 12-fault universe for the paper's circuits 2 and 3.
+std::vector<FaultSpec> sc_fault_universe();
+
+/// Exhaustive single-stuck-at universe over a node range (for wider
+/// coverage studies beyond the paper's selection).
+std::vector<FaultSpec> all_single_stuck(int first_node, int last_node);
+
+}  // namespace msbist::faults

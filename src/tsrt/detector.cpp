@@ -1,0 +1,30 @@
+#include "tsrt/detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/vec.h"
+
+namespace msbist::tsrt {
+
+double detection_percent(const std::vector<double>& reference,
+                         const std::vector<double>& faulty,
+                         const DetectorOptions& opts) {
+  if (reference.empty() || reference.size() != faulty.size()) {
+    throw std::invalid_argument("detection_percent: size mismatch or empty input");
+  }
+  const double tol = std::max(opts.tolerance_abs,
+                              opts.tolerance_frac * dsp::max_abs(reference));
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (std::abs(faulty[i] - reference[i]) > tol) ++hits;
+  }
+  return 100.0 * static_cast<double>(hits) / static_cast<double>(reference.size());
+}
+
+bool is_detected(double detection_pct, double min_percent) {
+  return detection_pct >= min_percent;
+}
+
+}  // namespace msbist::tsrt

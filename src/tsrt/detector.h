@@ -1,0 +1,34 @@
+// Detection-instance metric.
+//
+// Figure 4 of the paper plots "% of faulty instances detected" for each
+// faulty circuit: the fraction of time instants in the test sequence at
+// which the faulty signature deviates observably from the fault-free one.
+// The signature is either the normalized input/output cross-correlation
+// (approach 1) or the impulse response (approach 2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace msbist::tsrt {
+
+struct DetectorOptions {
+  /// A point counts as a detection when |faulty - reference| exceeds
+  /// tolerance_frac * max|reference|.
+  double tolerance_frac = 0.05;
+  /// Absolute floor for the tolerance (guards all-zero references).
+  double tolerance_abs = 1e-6;
+};
+
+/// Percentage (0..100) of instants where the faulty signature deviates
+/// from the reference beyond tolerance. Vectors must be equal-sized and
+/// nonempty.
+double detection_percent(const std::vector<double>& reference,
+                         const std::vector<double>& faulty,
+                         const DetectorOptions& opts = {});
+
+/// A fault counts as detected when its detection percentage reaches
+/// min_percent (a detection window long enough for a tester to latch).
+bool is_detected(double detection_pct, double min_percent = 5.0);
+
+}  // namespace msbist::tsrt

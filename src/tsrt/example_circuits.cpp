@@ -1,0 +1,101 @@
+#include "tsrt/example_circuits.h"
+
+#include <stdexcept>
+
+namespace msbist::tsrt {
+
+namespace {
+
+ExampleCircuit build_op1_follower() {
+  ExampleCircuit c;
+  analog::Op1Options op_opts;
+  // A heavy capacitive load makes the amplifier's large-signal dynamics
+  // (slew, drive strength) visible within one PRBS bit, so bias-path
+  // faults perturb the transient signature and not just the DC level.
+  op_opts.load_cap = 10e-9;
+  const analog::Op1Nodes nodes = analog::build_op1(c.netlist, op_opts);
+  const circuit::NodeId in = c.netlist.node("stim");
+  // Stimulus drives In+ directly; the follower loop closes out -> In-.
+  c.input = c.netlist.add<circuit::VoltageSource>(in, circuit::kGround, 0.0);
+  c.netlist.add<circuit::Resistor>(in, c.netlist.find_node(nodes.in_plus), 100.0);
+  c.netlist.add<circuit::Resistor>(c.netlist.find_node(nodes.out),
+                                   c.netlist.find_node(nodes.in_minus), 100.0);
+  c.output_node = nodes.out;
+  c.node_map = [nodes](int paper_node) { return nodes.numbered(paper_node); };
+  c.supply_sources = {"VDD"};
+  c.recommended_dt = 2e-6;
+  c.mid_rail = 2.5;
+  c.transistor_count = analog::kOp1TransistorCount;
+  return c;
+}
+
+ExampleCircuit build_sc_integrator_circuit(bool with_comparator) {
+  ExampleCircuit c;
+  analog::ScIntegratorBuildOptions opts;
+  opts.clock_period = kScCycleSeconds;
+  opts.prefix = "int_";
+  // Test configuration: a 30 Mohm reset path bounds the integrator
+  // (per-cycle pole ~0.95) so the PRBS random walk cannot rail it during
+  // the 2 ms window; the comparator threshold is then exercised on every
+  // excursion instead of once.
+  opts.dc_feedback_r = 30e6;
+  const analog::ScIntegratorNodes nodes = build_sc_integrator(c.netlist, opts);
+
+  c.input = c.netlist.add<circuit::VoltageSource>(c.netlist.find_node(nodes.input),
+                                                  circuit::kGround, opts.v_ref_mid);
+  c.output_node = nodes.output;
+  c.mid_rail = opts.v_ref_mid;
+  c.transistor_count = analog::kOp1TransistorCount + 2;
+  c.supply_sources = {"int_op_VDD"};
+
+  if (with_comparator) {
+    // Second OP1 used open-loop as the comparator (paper circuit 2).
+    analog::Op1Options cmp_opts;
+    cmp_opts.prefix = "cmp_";
+    const analog::Op1Nodes cmp = analog::build_op1(c.netlist, cmp_opts);
+    // Integrator output -> comparator In+; 0.64 V above mid-rail -> In-.
+    c.netlist.add<circuit::Resistor>(c.netlist.find_node(nodes.output),
+                                     c.netlist.find_node(cmp.in_plus), 100.0);
+    c.netlist.add<circuit::VoltageSource>(c.netlist.find_node(cmp.in_minus),
+                                          circuit::kGround,
+                                          opts.v_ref_mid + kComparatorRef);
+    c.output_node = cmp.out;
+    c.transistor_count += analog::kOp1TransistorCount;
+    c.supply_sources.push_back("cmp_VDD");
+  }
+
+  // The paper's faults for circuits 2 and 3 sit on the integrator op-amp.
+  const analog::Op1Nodes int_op = nodes.opamp;
+  c.node_map = [int_op](int paper_node) { return int_op.numbered(paper_node); };
+  // 5 us phases need a step well under the phase time.
+  c.recommended_dt = 0.25e-6;
+  return c;
+}
+
+}  // namespace
+
+ExampleCircuit build_circuit(CircuitKind kind) {
+  switch (kind) {
+    case CircuitKind::kOp1Follower:
+      return build_op1_follower();
+    case CircuitKind::kScIntegratorComparator:
+      return build_sc_integrator_circuit(true);
+    case CircuitKind::kScIntegratorAlone:
+      return build_sc_integrator_circuit(false);
+  }
+  throw std::invalid_argument("build_circuit: unknown kind");
+}
+
+std::string circuit_name(CircuitKind kind) {
+  switch (kind) {
+    case CircuitKind::kOp1Follower:
+      return "circuit 1 (OP1 follower)";
+    case CircuitKind::kScIntegratorComparator:
+      return "circuit 2 (SC integrator + comparator)";
+    case CircuitKind::kScIntegratorAlone:
+      return "circuit 3 (SC integrator)";
+  }
+  return "unknown";
+}
+
+}  // namespace msbist::tsrt

@@ -1,0 +1,62 @@
+// The paper's three example CMOS circuits (5 um technology).
+//
+//  * Circuit 1 — OP1, the 13-transistor operational amplifier of Figure 3,
+//    closed as a unity follower and driven by the PRBS stimulus (15 bits,
+//    250 us steps, 0/5 V).
+//  * Circuit 2 — switched-capacitor integrator followed by a comparator,
+//    both built from OP1 (28 transistors: 2 x 13 + 2 switch devices). Two
+//    non-overlapping clocks with 5 us phases; the integrator implements
+//    Vout(z)/Vin(z) = z^-1 / (6.8 (1 - z^-1)); the integrator output is
+//    compared against a 0.64 V reference (above the analogue mid-rail).
+//    Simulated for 2 ms.
+//  * Circuit 3 — the switched-capacitor integrator alone (15 transistors).
+//
+// Faults are injected at the paper's node numbers; each circuit exposes a
+// NodeMap that resolves those numbers onto its netlist (for circuits 2 and
+// 3 the numbers refer to the integrator's op-amp, where the paper placed
+// its faults).
+#pragma once
+
+#include <string>
+
+#include "analog/opamp.h"
+#include "analog/sc_integrator.h"
+#include "circuit/elements.h"
+#include "circuit/netlist.h"
+#include "faults/fault.h"
+
+namespace msbist::tsrt {
+
+enum class CircuitKind {
+  kOp1Follower,              ///< circuit 1
+  kScIntegratorComparator,   ///< circuit 2
+  kScIntegratorAlone,        ///< circuit 3
+};
+
+/// A built example circuit ready to be driven and simulated.
+struct ExampleCircuit {
+  circuit::Netlist netlist;
+  circuit::VoltageSource* input = nullptr;  ///< set_waveform() to stimulate
+  std::string output_node;
+  faults::NodeMap node_map;      ///< paper node number -> netlist node name
+  std::vector<std::string> supply_sources;  ///< VDD source element names
+  double recommended_dt = 1e-6;  ///< transient step that resolves the dynamics
+  double mid_rail = 0.0;         ///< analogue reference the signal rides on
+  int transistor_count = 0;
+};
+
+/// SC clock phase duration used by circuits 2 and 3 (paper: 5 us).
+inline constexpr double kScPhaseSeconds = 5e-6;
+/// Full SC cycle (two phases).
+inline constexpr double kScCycleSeconds = 2.0 * kScPhaseSeconds;
+/// Paper's simulation window for circuits 2 and 3.
+inline constexpr double kScSimSeconds = 2e-3;
+/// Comparator reference above mid-rail (paper: 0.64 V).
+inline constexpr double kComparatorRef = 0.64;
+
+ExampleCircuit build_circuit(CircuitKind kind);
+
+/// Human-readable name ("circuit 1" ... ).
+std::string circuit_name(CircuitKind kind);
+
+}  // namespace msbist::tsrt

@@ -1,0 +1,120 @@
+#include "tsrt/pole_compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analog/opamp.h"
+#include "circuit/ac.h"
+#include "circuit/elements.h"
+#include "dsp/state_space.h"
+
+namespace msbist::tsrt {
+
+namespace {
+
+// Force numerically-conjugate pairs into exact conjugacy and drop
+// stray imaginary parts on essentially-real poles, so from_zpk accepts
+// the set.
+std::vector<std::complex<double>> clean_conjugates(
+    std::vector<std::complex<double>> poles) {
+  for (auto& p : poles) {
+    if (std::abs(p.imag()) < 1e-6 * (1.0 + std::abs(p.real()))) {
+      p = {p.real(), 0.0};
+    }
+  }
+  // Pair complex poles with their closest conjugate.
+  for (std::size_t i = 0; i < poles.size(); ++i) {
+    if (poles[i].imag() <= 0.0) continue;
+    double best = 1e300;
+    std::size_t match = i;
+    for (std::size_t j = 0; j < poles.size(); ++j) {
+      if (j == i || poles[j].imag() >= 0.0) continue;
+      const double d = std::abs(poles[j] - std::conj(poles[i]));
+      if (d < best) {
+        best = d;
+        match = j;
+      }
+    }
+    if (match != i) poles[match] = std::conj(poles[i]);
+  }
+  return poles;
+}
+
+}  // namespace
+
+PoleSignature extract_pole_signature(const std::optional<faults::FaultSpec>& fault,
+                                     const PoleCompareOptions& opts) {
+  circuit::Netlist n;
+  const analog::Op1Nodes nodes = analog::build_op1(n);
+  n.add<circuit::VoltageSource>(n.find_node(nodes.in_plus), circuit::kGround, 2.5);
+  n.name_last("VINP");
+  n.add<circuit::VoltageSource>(n.find_node(nodes.in_minus), circuit::kGround, 2.5);
+  if (fault) {
+    faults::inject(n, *fault,
+                   [nodes](int k) { return nodes.numbered(k); });
+  }
+
+  PoleSignature sig;
+  const auto h = circuit::ac_transfer(n, "VINP", nodes.out, {opts.ac_probe_hz});
+  sig.dc_gain = std::abs(h.front());
+
+  auto poles = circuit::circuit_poles(n);
+  // Keep the slowest (dominant) modes; they shape the observable
+  // transient on the PRBS timescale.
+  std::sort(poles.begin(), poles.end(), [](const auto& a, const auto& b) {
+    return std::abs(a.real()) < std::abs(b.real());
+  });
+  if (poles.size() > opts.dominant_poles) poles.resize(opts.dominant_poles);
+  // A kept complex pole whose conjugate was truncated needs it restored.
+  std::vector<std::complex<double>> kept;
+  for (const auto& p : poles) {
+    kept.push_back(p);
+  }
+  bool has_unpaired = false;
+  for (const auto& p : kept) {
+    if (std::abs(p.imag()) > 1e-6 * (1.0 + std::abs(p.real()))) {
+      bool paired = false;
+      for (const auto& q : kept) {
+        if (std::abs(q - std::conj(p)) < 1e-3 * std::abs(p)) paired = true;
+      }
+      if (!paired) has_unpaired = true;
+    }
+  }
+  if (has_unpaired && !kept.empty()) kept.pop_back();
+  sig.poles = clean_conjugates(std::move(kept));
+  return sig;
+}
+
+std::vector<double> impulse_from_signature(const PoleSignature& sig, double dt,
+                                           std::size_t n) {
+  if (sig.poles.empty()) return std::vector<double>(n, 0.0);
+  // All-pole model with the measured DC gain:
+  //   H(s) = g / prod(s - p_k),  H(0) = g / prod(-p_k) = dc_gain.
+  std::complex<double> prod{1.0, 0.0};
+  for (const auto& p : sig.poles) prod *= -p;
+  const double gain = sig.dc_gain * prod.real();
+  const dsp::StateSpace model = dsp::StateSpace::from_zpk({}, sig.poles, gain);
+  return model.impulse(dt, n);
+}
+
+double pole_detection_percent(const PoleSignature& reference,
+                              const PoleSignature& faulty, std::size_t samples,
+                              const DetectorOptions& opts) {
+  if (reference.poles.empty()) {
+    throw std::invalid_argument("pole_detection_percent: empty reference model");
+  }
+  // Time base: resolve the reference's dominant mode over ~5 time
+  // constants.
+  double slowest = 1e300;
+  for (const auto& p : reference.poles) {
+    slowest = std::min(slowest, std::abs(p.real()));
+  }
+  if (slowest <= 0.0) slowest = 1.0;
+  const double dt = 5.0 / slowest / static_cast<double>(samples);
+  const auto href = impulse_from_signature(reference, dt, samples);
+  const auto hf = impulse_from_signature(faulty, dt, samples);
+  return detection_percent(href, hf, opts);
+}
+
+}  // namespace msbist::tsrt

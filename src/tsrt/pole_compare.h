@@ -1,0 +1,54 @@
+// Pole-extraction comparison — the paper's second approach applied with
+// real pole extraction (the HSPICE step) instead of an input/output fit.
+//
+// The circuit (with or without an injected fault) is linearized at its DC
+// operating point; its natural frequencies come from the generalized
+// eigenproblem of the MNA matrices (circuit::circuit_poles) and its DC
+// gain from a low-frequency AC solve. The dominant poles plus the gain
+// rebuild a state-space model (dsp::StateSpace::from_zpk — the Matlab
+// step), whose impulse response is compared between fault-free and faulty
+// circuits with the detection-instance metric.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "faults/fault.h"
+#include "tsrt/detector.h"
+#include "tsrt/example_circuits.h"
+
+namespace msbist::tsrt {
+
+/// Extracted model: dominant poles plus DC gain.
+struct PoleSignature {
+  std::vector<std::complex<double>> poles;  ///< dominant, conjugate-clean
+  double dc_gain = 0.0;
+};
+
+struct PoleCompareOptions {
+  std::size_t dominant_poles = 3;   ///< model order kept
+  double ac_probe_hz = 1.0;         ///< frequency of the DC-gain solve
+};
+
+/// Linearize the (optionally faulted) OP1 cell open-loop around mid-rail
+/// and extract its pole signature. Only CircuitKind::kOp1Follower is
+/// meaningful here (the SC circuits are time-variant; use the ARX path).
+PoleSignature extract_pole_signature(
+    const std::optional<faults::FaultSpec>& fault,
+    const PoleCompareOptions& opts = {});
+
+/// Continuous impulse response of the reconstructed all-pole model,
+/// sampled at dt for n samples.
+std::vector<double> impulse_from_signature(const PoleSignature& sig, double dt,
+                                           std::size_t n);
+
+/// Detection instances between two extracted models' impulse responses,
+/// sampled on a time base set by the reference's dominant pole.
+double pole_detection_percent(const PoleSignature& reference,
+                              const PoleSignature& faulty,
+                              std::size_t samples = 128,
+                              const DetectorOptions& opts = {});
+
+}  // namespace msbist::tsrt

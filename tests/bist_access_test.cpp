@@ -1,0 +1,84 @@
+// Unit tests for the serial test-access port and current comparator.
+#include <gtest/gtest.h>
+
+#include "adc/dual_slope.h"
+#include "analog/current_comparator.h"
+#include "bist/test_access.h"
+
+namespace msbist {
+namespace {
+
+bist::BistReport healthy_report() {
+  bist::BistController ctrl = bist::BistController::typical();
+  adc::DualSlopeAdc adc(adc::DualSlopeAdcConfig::characterized());
+  return ctrl.run_all(adc);
+}
+
+TEST(ResultWord, PackPreservesVerdicts) {
+  const bist::BistReport rep = healthy_report();
+  const bist::ResultWord w = bist::ResultWord::pack(rep);
+  EXPECT_EQ(w.overall_pass(), rep.pass);
+  EXPECT_EQ(w.analog_pass(), rep.analog.pass);
+  EXPECT_EQ(w.ramp_pass(), rep.ramp.pass);
+  EXPECT_EQ(w.digital_pass(), rep.digital.pass);
+  EXPECT_EQ(w.compressed_pass(), rep.compressed.pass);
+  EXPECT_EQ(w.analog_signature(), rep.compressed.analog_signature);
+  EXPECT_EQ(w.digital_signature(), rep.compressed.digital_signature & 0xFFFF);
+}
+
+TEST(ResultWord, FailingTierClearsFlag) {
+  bist::BistReport rep = healthy_report();
+  rep.compressed.pass = false;
+  rep.pass = false;
+  const bist::ResultWord w = bist::ResultWord::pack(rep);
+  EXPECT_FALSE(w.overall_pass());
+  EXPECT_FALSE(w.compressed_pass());
+  EXPECT_TRUE(w.analog_pass());
+}
+
+TEST(TestAccessPort, SerialRoundTrip) {
+  const bist::BistReport rep = healthy_report();
+  const bist::ResultWord sent = bist::ResultWord::pack(rep);
+  bist::TestAccessPort port;
+  port.capture(sent);
+  const std::vector<int> stream = port.shift_out();
+  const bist::ResultWord got = bist::TestAccessPort::reassemble(stream);
+  EXPECT_EQ(got.raw, sent.raw);
+}
+
+TEST(TestAccessPort, Validation) {
+  bist::TestAccessPort port;
+  EXPECT_THROW(port.shift_out(std::vector<int>(5, 0)), std::invalid_argument);
+  EXPECT_THROW(bist::TestAccessPort::reassemble(std::vector<int>(5, 0)),
+               std::invalid_argument);
+}
+
+TEST(CurrentComparatorTest, ThresholdAndHysteresis) {
+  analog::CurrentComparatorParams p;
+  p.threshold_a = 1e-3;
+  p.hysteresis_a = 0.2e-3;
+  analog::CurrentComparator cmp(p);
+  EXPECT_FALSE(cmp.step(1.05e-3));  // inside the band, stays low
+  EXPECT_TRUE(cmp.step(1.2e-3));    // above +half
+  EXPECT_TRUE(cmp.step(0.95e-3));   // inside the band, stays high
+  EXPECT_FALSE(cmp.step(0.8e-3));   // below -half
+}
+
+TEST(CurrentComparatorTest, ExcessFractionStatistic) {
+  analog::CurrentComparatorParams p;
+  p.threshold_a = 1e-3;
+  p.hysteresis_a = 0.0;
+  analog::CurrentComparator cmp(p);
+  const std::vector<double> idd{0.5e-3, 2e-3, 2e-3, 0.5e-3};
+  EXPECT_NEAR(cmp.excess_fraction(idd), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(cmp.excess_fraction({}), 0.0);
+}
+
+TEST(CurrentComparatorTest, Validation) {
+  analog::CurrentComparatorParams p;
+  p.threshold_a = 0.0;
+  EXPECT_THROW(analog::CurrentComparator{p}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msbist

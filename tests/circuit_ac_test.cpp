@@ -1,0 +1,169 @@
+// Unit tests for AC analysis and pole extraction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "analog/opamp.h"
+#include "circuit/ac.h"
+#include "circuit/elements.h"
+#include "circuit/mos.h"
+
+namespace msbist::circuit {
+namespace {
+
+// RC low-pass: R = 1k, C = 1uF -> pole at -1/(RC) = -1000 rad/s,
+// |H| = 1/sqrt(1 + (wRC)^2).
+struct RcFixture {
+  Netlist n;
+  NodeId in, out;
+  RcFixture() {
+    in = n.node("in");
+    out = n.node("out");
+    n.add<VoltageSource>(in, kGround, 1.0);
+    n.name_last("VIN");
+    n.add<Resistor>(in, out, 1e3);
+    n.add<Capacitor>(out, kGround, 1e-6);
+  }
+};
+
+TEST(Ac, RcLowpassMagnitudeAndPhase) {
+  RcFixture f;
+  const double fc = 1.0 / (2.0 * std::numbers::pi * 1e-3);  // ~159 Hz
+  const auto h = ac_transfer(f.n, "VIN", "out", {fc / 100.0, fc, fc * 100.0});
+  EXPECT_NEAR(std::abs(h[0]), 1.0, 1e-3);
+  EXPECT_NEAR(std::abs(h[1]), 1.0 / std::sqrt(2.0), 1e-3);
+  EXPECT_NEAR(std::abs(h[2]), 0.01, 1e-3);
+  // Phase: ~0 at low frequency, -45 deg at the corner.
+  EXPECT_NEAR(std::arg(h[1]), -std::numbers::pi / 4.0, 1e-3);
+}
+
+TEST(Ac, RcPoleExtraction) {
+  RcFixture f;
+  const auto poles = circuit_poles(f.n);
+  ASSERT_EQ(poles.size(), 1u);
+  EXPECT_NEAR(poles[0].real(), -1000.0, 1.0);
+  EXPECT_NEAR(poles[0].imag(), 0.0, 1e-6);
+}
+
+TEST(Ac, TwoPoleLadder) {
+  // Two cascaded RC sections (loaded): poles are real and distinct,
+  // eigen-solved from the exact 2x2 system.
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId mid = n.node("mid");
+  const NodeId out = n.node("out");
+  n.add<VoltageSource>(in, kGround, 0.0);
+  n.name_last("VIN");
+  const double r1 = 1e3, c1 = 1e-6, r2 = 10e3, c2 = 1e-7;
+  n.add<Resistor>(in, mid, r1);
+  n.add<Capacitor>(mid, kGround, c1);
+  n.add<Resistor>(mid, out, r2);
+  n.add<Capacitor>(out, kGround, c2);
+  auto poles = circuit_poles(n);
+  ASSERT_EQ(poles.size(), 2u);
+  // Characteristic polynomial of the ladder:
+  //   s^2 r1 c1 r2 c2 + s (r1 c1 + r2 c2 + r1 c2) + 1 = 0.
+  const double a = r1 * c1 * r2 * c2;
+  const double b = r1 * c1 + r2 * c2 + r1 * c2;
+  const double disc = std::sqrt(b * b - 4.0 * a);
+  const double p_slow = (-b + disc) / (2.0 * a);
+  const double p_fast = (-b - disc) / (2.0 * a);
+  std::sort(poles.begin(), poles.end(),
+            [](const auto& x, const auto& y) { return x.real() > y.real(); });
+  EXPECT_NEAR(poles[0].real(), p_slow, std::abs(p_slow) * 1e-3);
+  EXPECT_NEAR(poles[1].real(), p_fast, std::abs(p_fast) * 1e-3);
+}
+
+TEST(Ac, RlcComplexPolePair) {
+  // RC + gyrator-free substitute: series R with parallel C and a VCCS
+  // feedback loop creating a complex pair is overkill; instead verify a
+  // complex pair via two integrators in a loop (VCCS ring).
+  Netlist n;
+  const NodeId a = n.node("a");
+  const NodeId b = n.node("b");
+  n.add<Capacitor>(a, kGround, 1e-6);
+  n.add<Capacitor>(b, kGround, 1e-6);
+  // i_a = -gm v_b, i_b = +gm v_a: oscillator at w = gm/C.
+  n.add<Vccs>(a, kGround, b, kGround, 1e-3);
+  n.add<Vccs>(kGround, b, a, kGround, 1e-3);
+  // Small damping so the DC point is well-defined.
+  n.add<Resistor>(a, kGround, 1e6);
+  n.add<Resistor>(b, kGround, 1e6);
+  const auto poles = circuit_poles(n);
+  ASSERT_EQ(poles.size(), 2u);
+  const double w0 = 1e-3 / 1e-6;  // 1000 rad/s
+  EXPECT_NEAR(std::abs(poles[0].imag()), w0, w0 * 0.01);
+  EXPECT_NEAR(poles[0].real(), -1.0, 0.1);  // 1/(R C) = 1 rad/s damping
+}
+
+TEST(Ac, Op1DominantPoleAndGain) {
+  // Linearize the full transistor-level OP1 around mid-rail: the
+  // low-frequency gain must be large and the dominant pole well below the
+  // non-dominant ones (Miller compensation at work).
+  Netlist n;
+  const analog::Op1Nodes nodes = analog::build_op1(n);
+  n.add<VoltageSource>(n.find_node(nodes.in_plus), kGround, 2.5);
+  n.name_last("VINP");
+  n.add<VoltageSource>(n.find_node(nodes.in_minus), kGround, 2.5);
+
+  const auto h = ac_transfer(n, "VINP", nodes.out, {1.0, 10.0, 100.0});
+  const double dc_gain = std::abs(h[0]);
+  EXPECT_GT(dc_gain, 100.0);  // healthy open-loop gain
+
+  auto poles = circuit_poles(n);
+  ASSERT_GE(poles.size(), 2u);
+  for (const auto& p : poles) EXPECT_LT(p.real(), 0.0);  // stable
+  std::sort(poles.begin(), poles.end(), [](const auto& x, const auto& y) {
+    return std::abs(x.real()) < std::abs(y.real());
+  });
+  // Dominant pole at least a decade below the next one.
+  EXPECT_GT(std::abs(poles[1].real()), 8.0 * std::abs(poles[0].real()));
+}
+
+TEST(Ac, FaultShiftsOp1Poles) {
+  // The paper's approach-2 premise: a faulty circuit has different
+  // poles/zeros. Clamp node 7 (first-stage output) and compare the
+  // dominant pole against the healthy cell.
+  auto dominant_pole = [](bool faulty) {
+    Netlist n;
+    const analog::Op1Nodes nodes = analog::build_op1(n);
+    n.add<VoltageSource>(n.find_node(nodes.in_plus), kGround, 2.5);
+    n.name_last("VINP");
+    n.add<VoltageSource>(n.find_node(nodes.in_minus), kGround, 2.5);
+    if (faulty) {
+      const NodeId drv = n.node("clamp");
+      n.add<VoltageSource>(drv, kGround, 0.0);
+      n.add<Resistor>(drv, n.find_node(nodes.diff_out), 10.0);
+    }
+    auto poles = circuit_poles(n);
+    std::sort(poles.begin(), poles.end(), [](const auto& x, const auto& y) {
+      return std::abs(x.real()) < std::abs(y.real());
+    });
+    return poles.front();
+  };
+  const auto healthy = dominant_pole(false);
+  const auto faulty = dominant_pole(true);
+  EXPECT_GT(std::abs(faulty - healthy), 0.5 * std::abs(healthy));
+}
+
+TEST(Ac, Validation) {
+  RcFixture f;
+  EXPECT_THROW(ac_transfer(f.n, "NOPE", "out", {1.0}), std::invalid_argument);
+  EXPECT_THROW(ac_transfer(f.n, "VIN", "gnd", {1.0}), std::invalid_argument);
+  EXPECT_THROW(log_frequencies(0.0, 10.0, 5), std::invalid_argument);
+  EXPECT_THROW(log_frequencies(1.0, 10.0, 1), std::invalid_argument);
+}
+
+TEST(Ac, LogFrequencies) {
+  const auto f = log_frequencies(1.0, 1000.0, 4);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_NEAR(f[0], 1.0, 1e-12);
+  EXPECT_NEAR(f[1], 10.0, 1e-9);
+  EXPECT_NEAR(f[2], 100.0, 1e-7);
+  EXPECT_NEAR(f[3], 1000.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace msbist::circuit

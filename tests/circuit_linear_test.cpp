@@ -1,0 +1,266 @@
+// Unit tests for the circuit engine on linear networks with closed-form
+// solutions: dividers, RC charging, controlled sources, switches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "circuit/dc.h"
+#include "circuit/elements.h"
+#include "circuit/transient.h"
+
+namespace msbist::circuit {
+namespace {
+
+TEST(DcLinear, VoltageDivider) {
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId mid = n.node("mid");
+  n.add<VoltageSource>(in, kGround, 10.0);
+  n.add<Resistor>(in, mid, 1e3);
+  n.add<Resistor>(mid, kGround, 3e3);
+  const DcResult op = dc_operating_point(n);
+  EXPECT_NEAR(op.voltage("mid"), 7.5, 1e-6);
+  EXPECT_NEAR(op.voltage("in"), 10.0, 1e-9);
+}
+
+TEST(DcLinear, GroundAliases) {
+  Netlist n;
+  EXPECT_EQ(n.node("0"), kGround);
+  EXPECT_EQ(n.node("gnd"), kGround);
+  EXPECT_EQ(n.node("GND"), kGround);
+  EXPECT_GE(n.node("x"), 0);
+}
+
+TEST(DcLinear, UnknownNodeThrows) {
+  Netlist n;
+  n.node("a");
+  EXPECT_THROW(n.find_node("missing"), std::out_of_range);
+}
+
+TEST(DcLinear, CurrentSourceIntoResistor) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  // 1 mA from ground into node a through the source, 2k to ground -> 2 V.
+  n.add<CurrentSource>(kGround, a, 1e-3);
+  n.add<Resistor>(a, kGround, 2e3);
+  const DcResult op = dc_operating_point(n);
+  EXPECT_NEAR(op.voltage("a"), 2.0, 1e-6);
+}
+
+TEST(DcLinear, VoltageSourceBranchCurrent) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  auto* vs = n.add<VoltageSource>(a, kGround, 5.0);
+  n.add<Resistor>(a, kGround, 1e3);
+  const DcResult op = dc_operating_point(n);
+  // 5 V across 1k: 5 mA flows out of the + terminal, so the branch
+  // current (pos -> through source -> neg) is -5 mA.
+  EXPECT_NEAR(vs->current_in(op.raw()), -5e-3, 1e-9);
+}
+
+TEST(DcLinear, VcvsAmplifies) {
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add<VoltageSource>(in, kGround, 0.5);
+  n.add<Vcvs>(out, kGround, in, kGround, 10.0);
+  n.add<Resistor>(out, kGround, 1e4);
+  const DcResult op = dc_operating_point(n);
+  EXPECT_NEAR(op.voltage("out"), 5.0, 1e-9);
+}
+
+TEST(DcLinear, VccsTransconductance) {
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add<VoltageSource>(in, kGround, 2.0);
+  // gm = 1 mS driving out (current flows out -> gnd inside the source),
+  // so 2 mA is pulled out of node "out": v = -2 mA * 1k = -2 V.
+  n.add<Vccs>(out, kGround, in, kGround, 1e-3);
+  n.add<Resistor>(out, kGround, 1e3);
+  const DcResult op = dc_operating_point(n);
+  // gmin (1e-12 S) leaks a hair of current, so the match is ~1e-9 loose.
+  EXPECT_NEAR(op.voltage("out"), -2.0, 1e-6);
+}
+
+TEST(DcLinear, SweepResistorLadder) {
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId mid = n.node("mid");
+  auto* vs = n.add<VoltageSource>(in, kGround, 0.0);
+  n.add<Resistor>(in, mid, 1e3);
+  n.add<Resistor>(mid, kGround, 1e3);
+  const std::vector<double> values{0.0, 1.0, 2.0, 5.0};
+  const auto out = dc_sweep(
+      n, values, [&](Netlist&, double v) { vs->set_dc(v); }, "mid");
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(out[i], values[i] / 2.0, 1e-6);
+  }
+}
+
+TEST(TransientLinear, RcChargingMatchesAnalytic) {
+  // 1k * 1uF = 1 ms time constant driven by a 5 V step.
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add<VoltageSource>(in, kGround,
+                       std::make_shared<PwlWave>(std::vector<std::pair<double, double>>{
+                           {0.0, 0.0}, {1e-9, 5.0}}));
+  n.add<Resistor>(in, out, 1e3);
+  n.add<Capacitor>(out, kGround, 1e-6);
+
+  TransientOptions opts;
+  opts.dt = 10e-6;
+  opts.t_stop = 5e-3;
+  const TransientResult res = transient(n, opts);
+  const auto& v = res.voltage("out");
+  const auto& t = res.time();
+  for (std::size_t k = 10; k < v.size(); k += 25) {
+    // The input step lands inside the first interval, so the simulated
+    // trajectory is offset by about half a step; compare accordingly.
+    const double expect = 5.0 * (1.0 - std::exp(-(t[k] - opts.dt / 2.0) / 1e-3));
+    EXPECT_NEAR(v[k], expect, 0.01) << "t=" << t[k];
+  }
+}
+
+TEST(TransientLinear, BackwardEulerAlsoAccurate) {
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add<VoltageSource>(in, kGround,
+                       std::make_shared<PwlWave>(std::vector<std::pair<double, double>>{
+                           {0.0, 0.0}, {1e-9, 1.0}}));
+  n.add<Resistor>(in, out, 1e4);
+  n.add<Capacitor>(out, kGround, 1e-8);  // tau = 100 us
+
+  TransientOptions opts;
+  opts.dt = 1e-6;
+  opts.t_stop = 500e-6;
+  opts.method = Integration::kBackwardEuler;
+  const TransientResult res = transient(n, opts);
+  const auto& v = res.voltage("out");
+  const double expect = 1.0 * (1.0 - std::exp(-500e-6 / 100e-6));
+  EXPECT_NEAR(v.back(), expect, 0.01);
+}
+
+TEST(TransientLinear, InitialConditionRespected) {
+  Netlist n;
+  const NodeId out = n.node("out");
+  n.add<Resistor>(out, kGround, 1e3);
+  auto* cap = n.add<Capacitor>(out, kGround, 1e-6);
+  cap->set_initial_voltage(3.0);
+
+  TransientOptions opts;
+  opts.dt = 10e-6;
+  opts.t_stop = 1e-3;  // one time constant
+  opts.use_initial_conditions = true;
+  const TransientResult res = transient(n, opts);
+  const auto& v = res.voltage("out");
+  EXPECT_NEAR(v.front(), 3.0, 0.05);
+  EXPECT_NEAR(v.back(), 3.0 * std::exp(-1.0), 0.02);
+}
+
+TEST(TransientLinear, DcStartIsSteadyState) {
+  // With no stimulus change the transient must hold the operating point.
+  Netlist n;
+  const NodeId a = n.node("a");
+  const NodeId b = n.node("b");
+  n.add<VoltageSource>(a, kGround, 2.0);
+  n.add<Resistor>(a, b, 1e3);
+  n.add<Resistor>(b, kGround, 1e3);
+  n.add<Capacitor>(b, kGround, 1e-9);
+  TransientOptions opts;
+  opts.dt = 1e-6;
+  opts.t_stop = 100e-6;
+  const TransientResult res = transient(n, opts);
+  for (double v : res.voltage("b")) EXPECT_NEAR(v, 1.0, 1e-6);
+}
+
+TEST(TransientLinear, SineThroughRcAttenuates) {
+  // First-order RC at f = 10 fc attenuates to ~1/sqrt(101) and lags ~84 deg.
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  const double r = 1e3, c = 1e-7;  // fc = 1.59 kHz
+  const double f = 15.9e3;
+  n.add<VoltageSource>(in, kGround, std::make_shared<SineWave>(0.0, 1.0, f));
+  n.add<Resistor>(in, out, r);
+  n.add<Capacitor>(out, kGround, c);
+  TransientOptions opts;
+  opts.dt = 1.0 / f / 200.0;
+  opts.t_stop = 10.0 / f;
+  const TransientResult res = transient(n, opts);
+  const auto& v = res.voltage("out");
+  double peak = 0.0;
+  for (std::size_t k = v.size() / 2; k < v.size(); ++k) peak = std::max(peak, v[k]);
+  const double wrc = 2.0 * std::acos(-1.0) * f * r * c;
+  EXPECT_NEAR(peak, 1.0 / std::sqrt(1.0 + wrc * wrc), 0.01);
+}
+
+TEST(Switches, TimedSwitchConnectsAndDisconnects) {
+  // Switch closed during the first clock half: capacitor charges; open
+  // afterwards: it holds.
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add<VoltageSource>(in, kGround, 2.0);
+  n.add<TimedSwitch>(in, out, ClockWave(1e-3, 0.5e-3), 10.0, 1e12);
+  n.add<Capacitor>(out, kGround, 1e-8);
+  TransientOptions opts;
+  opts.dt = 1e-6;
+  opts.t_stop = 0.9e-3;
+  opts.use_initial_conditions = true;
+  opts.method = Integration::kBackwardEuler;
+  const TransientResult res = transient(n, opts);
+  const auto& v = res.voltage("out");
+  // tau on = 10 * 1e-8 = 100 ns << 0.5 ms: fully charged by mid-period.
+  EXPECT_NEAR(v[450], 2.0, 1e-3);
+  // Held after the switch opens.
+  EXPECT_NEAR(v.back(), 2.0, 1e-3);
+}
+
+TEST(Switches, VoltageSwitchFollowsControl) {
+  Netlist n;
+  const NodeId ctrl = n.node("ctrl");
+  const NodeId a = n.node("a");
+  n.add<VoltageSource>(ctrl, kGround, 3.0);
+  n.add<VoltageSource>(n.node("src"), kGround, 1.0);
+  n.add<VoltageSwitch>(n.find_node("src"), a, ctrl, kGround, 2.5, 1.0, 1e12);
+  n.add<Resistor>(a, kGround, 1e6);
+  const DcResult op = dc_operating_point(n);
+  EXPECT_NEAR(op.voltage("a"), 1.0, 1e-3);
+}
+
+TEST(Validation, BadElementParametersThrow) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  EXPECT_THROW(n.add<Resistor>(a, kGround, 0.0), std::invalid_argument);
+  EXPECT_THROW(n.add<Capacitor>(a, kGround, -1e-9), std::invalid_argument);
+  EXPECT_THROW(n.add<TimedSwitch>(a, kGround, ClockWave(1e-3, 0.5e-3), 1e3, 1e2),
+               std::invalid_argument);
+}
+
+TEST(Validation, TransientOptionValidation) {
+  Netlist n;
+  n.add<Resistor>(n.node("a"), kGround, 1e3);
+  TransientOptions opts;
+  opts.dt = 0.0;
+  EXPECT_THROW(transient(n, opts), std::invalid_argument);
+  opts.dt = 1e-6;
+  opts.t_stop = -1.0;
+  EXPECT_THROW(transient(n, opts), std::invalid_argument);
+}
+
+TEST(Validation, SingularCircuitThrows) {
+  // Two ideal voltage sources fighting across the same node pair.
+  Netlist n;
+  const NodeId a = n.node("a");
+  n.add<VoltageSource>(a, kGround, 1.0);
+  n.add<VoltageSource>(a, kGround, 2.0);
+  EXPECT_THROW(dc_operating_point(n), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace msbist::circuit

@@ -1,0 +1,197 @@
+// Unit tests for the MOS level-1 model and nonlinear DC/transient solves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/dc.h"
+#include "circuit/elements.h"
+#include "circuit/mos.h"
+#include "circuit/transient.h"
+
+namespace msbist::circuit {
+namespace {
+
+constexpr double kVdd = 5.0;
+
+TEST(MosModel, CutoffHasZeroCurrent) {
+  const MosParams p = MosParams::nmos_5um();
+  const auto op = mos_level1(p, MosType::kNmos, 0.5, 3.0);
+  EXPECT_DOUBLE_EQ(op.id, 0.0);
+  EXPECT_DOUBLE_EQ(op.gm, 0.0);
+}
+
+TEST(MosModel, SaturationSquareLaw) {
+  MosParams p = MosParams::nmos_5um(1.0);
+  p.lambda = 0.0;
+  // vgs = 2 V, vt = 1 V, vds = 3 V (saturation): id = kp/2 * (1)^2.
+  const auto op = mos_level1(p, MosType::kNmos, 2.0, 3.0);
+  EXPECT_NEAR(op.id, 0.5 * p.kp, 1e-12);
+  EXPECT_NEAR(op.gm, p.kp, 1e-12);
+  EXPECT_NEAR(op.gds, 0.0, 1e-15);
+}
+
+TEST(MosModel, TriodeRegion) {
+  MosParams p = MosParams::nmos_5um(1.0);
+  p.lambda = 0.0;
+  // vgs = 3 V, vds = 0.5 V: triode. id = kp ((vov) vds - vds^2/2).
+  const auto op = mos_level1(p, MosType::kNmos, 3.0, 0.5);
+  EXPECT_NEAR(op.id, p.kp * (2.0 * 0.5 - 0.125), 1e-12);
+  // gds = kp (vov - vds) > 0 in triode.
+  EXPECT_NEAR(op.gds, p.kp * (2.0 - 0.5), 1e-12);
+}
+
+TEST(MosModel, ContinuousAcrossTriodeSaturationBoundary) {
+  const MosParams p = MosParams::nmos_5um(5.0);
+  const double vgs = 2.5;
+  const double vdsat = vgs - p.vt;
+  const auto lo = mos_level1(p, MosType::kNmos, vgs, vdsat - 1e-9);
+  const auto hi = mos_level1(p, MosType::kNmos, vgs, vdsat + 1e-9);
+  EXPECT_NEAR(lo.id, hi.id, 1e-12);
+  EXPECT_NEAR(lo.gm, hi.gm, 1e-9);
+  EXPECT_NEAR(lo.gds, hi.gds, 1e-7);
+}
+
+TEST(MosModel, DrainSourceSymmetry) {
+  // Swapping drain and source negates the current: id(vgs, vds) with the
+  // terminals swapped equals -id evaluated in the swapped frame.
+  const MosParams p = MosParams::nmos_5um(2.0);
+  const auto fwd = mos_level1(p, MosType::kNmos, 3.0, 1.0);
+  const auto rev = mos_level1(p, MosType::kNmos, 3.0 - 1.0, -1.0);
+  EXPECT_NEAR(rev.id, -fwd.id, 1e-15);
+}
+
+TEST(MosModel, PmosMirrorsNmos) {
+  const MosParams p = MosParams::pmos_5um(2.0);
+  const auto pm = mos_level1(p, MosType::kPmos, -2.0, -3.0);
+  const auto nm = mos_level1(p, MosType::kNmos, 2.0, 3.0);
+  EXPECT_NEAR(pm.id, -nm.id, 1e-15);
+  EXPECT_NEAR(pm.gm, nm.gm, 1e-15);
+  EXPECT_NEAR(pm.gds, nm.gds, 1e-15);
+}
+
+TEST(MosModel, LambdaIncreasesSaturationCurrent) {
+  MosParams p = MosParams::nmos_5um(1.0);
+  p.lambda = 0.05;
+  const auto a = mos_level1(p, MosType::kNmos, 2.0, 2.0);
+  const auto b = mos_level1(p, MosType::kNmos, 2.0, 4.0);
+  EXPECT_GT(b.id, a.id);
+}
+
+// NMOS common-source stage with resistive load: solvable by hand.
+TEST(MosDc, CommonSourceOperatingPoint) {
+  Netlist n;
+  const NodeId vdd = n.node("vdd");
+  const NodeId g = n.node("g");
+  const NodeId d = n.node("d");
+  n.add<VoltageSource>(vdd, kGround, kVdd);
+  n.add<VoltageSource>(g, kGround, 2.0);
+  n.add<Resistor>(vdd, d, 10e3);
+  MosParams p = MosParams::nmos_5um(10.0);
+  p.lambda = 0.0;
+  n.add<Mosfet>(MosType::kNmos, d, g, kGround, p);
+  const DcResult op = dc_operating_point(n);
+  // Assume saturation: id = 0.5*24e-6*10*(1)^2 = 120 uA; vd = 5 - 1.2 = 3.8 V.
+  EXPECT_NEAR(op.voltage("d"), 3.8, 0.01);
+}
+
+TEST(MosDc, DiodeConnectedNmos) {
+  // Diode-connected NMOS fed by a current source: vgs solves
+  // I = 0.5 beta (vgs - vt)^2.
+  Netlist n;
+  const NodeId d = n.node("d");
+  MosParams p = MosParams::nmos_5um(10.0);
+  p.lambda = 0.0;
+  n.add<CurrentSource>(n.node("vdd"), d, 0.0);  // placeholder to create vdd
+  Netlist m;
+  const NodeId vd = m.node("d");
+  MosParams q = MosParams::nmos_5um(10.0);
+  q.lambda = 0.0;
+  m.add<CurrentSource>(kGround, vd, 120e-6);  // pushes 120 uA into the drain
+  m.add<Mosfet>(MosType::kNmos, vd, vd, kGround, q);
+  const DcResult op = dc_operating_point(m);
+  // 120e-6 = 0.5 * 240e-6 * vov^2 -> vov = 1, vgs = 2.
+  EXPECT_NEAR(op.voltage("d"), 2.0, 0.01);
+}
+
+TEST(MosDc, CmosInverterTransfersHighAndLow) {
+  // Static CMOS inverter: in=0 -> out=VDD; in=VDD -> out=0.
+  auto build = [](double vin) {
+    Netlist n;
+    const NodeId vdd = n.node("vdd");
+    const NodeId in = n.node("in");
+    const NodeId out = n.node("out");
+    n.add<VoltageSource>(vdd, kGround, kVdd);
+    n.add<VoltageSource>(in, kGround, vin);
+    n.add<Mosfet>(MosType::kNmos, out, in, kGround, MosParams::nmos_5um(10.0));
+    n.add<Mosfet>(MosType::kPmos, out, in, vdd, MosParams::pmos_5um(30.0));
+    return dc_operating_point(n).voltage("out");
+  };
+  EXPECT_NEAR(build(0.0), kVdd, 0.02);
+  EXPECT_NEAR(build(kVdd), 0.0, 0.02);
+  // Mid-rail input lands between the rails (both devices on).
+  const double mid = build(2.5);
+  EXPECT_GT(mid, 0.5);
+  EXPECT_LT(mid, 4.5);
+}
+
+TEST(MosDc, InverterTransferIsMonotonicDecreasing) {
+  Netlist n;
+  const NodeId vdd = n.node("vdd");
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add<VoltageSource>(vdd, kGround, kVdd);
+  auto* vin = n.add<VoltageSource>(in, kGround, 0.0);
+  n.add<Mosfet>(MosType::kNmos, out, in, kGround, MosParams::nmos_5um(10.0));
+  n.add<Mosfet>(MosType::kPmos, out, in, vdd, MosParams::pmos_5um(30.0));
+  std::vector<double> sweep;
+  for (int i = 0; i <= 50; ++i) sweep.push_back(kVdd * i / 50.0);
+  const auto vout = dc_sweep(
+      n, sweep, [&](Netlist&, double v) { vin->set_dc(v); }, "out");
+  for (std::size_t i = 1; i < vout.size(); ++i) {
+    EXPECT_LE(vout[i], vout[i - 1] + 1e-6) << "i=" << i;
+  }
+}
+
+TEST(MosDc, NmosCurrentMirrorCopies) {
+  Netlist n;
+  const NodeId vdd = n.node("vdd");
+  const NodeId ref = n.node("ref");
+  const NodeId out = n.node("out");
+  n.add<VoltageSource>(vdd, kGround, kVdd);
+  // 100 uA into the diode-connected reference.
+  n.add<CurrentSource>(vdd, ref, 100e-6);
+  MosParams p = MosParams::nmos_5um(10.0);
+  p.lambda = 0.0;
+  n.add<Mosfet>(MosType::kNmos, ref, ref, kGround, p);
+  auto* m2 = n.add<Mosfet>(MosType::kNmos, out, ref, kGround, p);
+  n.add<Resistor>(vdd, out, 10e3);
+  const DcResult op = dc_operating_point(n);
+  EXPECT_NEAR(m2->drain_current(op.raw()), 100e-6, 2e-6);
+  EXPECT_NEAR(op.voltage("out"), kVdd - 1.0, 0.05);
+}
+
+TEST(MosTransient, InverterSwitchingDelayWithLoadCap) {
+  // An inverter driving a load capacitor slews between rails when the
+  // input steps; checks the nonlinear transient path end to end.
+  Netlist n;
+  const NodeId vdd = n.node("vdd");
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add<VoltageSource>(vdd, kGround, kVdd);
+  n.add<VoltageSource>(in, kGround,
+                       std::make_shared<PwlWave>(std::vector<std::pair<double, double>>{
+                           {0.0, 0.0}, {1e-6, 0.0}, {1.1e-6, 5.0}}));
+  n.add<Mosfet>(MosType::kNmos, out, in, kGround, MosParams::nmos_5um(10.0));
+  n.add<Mosfet>(MosType::kPmos, out, in, vdd, MosParams::pmos_5um(30.0));
+  n.add<Capacitor>(out, kGround, 10e-12);
+  TransientOptions opts;
+  opts.dt = 20e-9;
+  opts.t_stop = 10e-6;
+  const TransientResult res = transient(n, opts);
+  const auto& v = res.voltage("out");
+  EXPECT_NEAR(v.front(), kVdd, 0.05);  // input low -> output high
+  EXPECT_NEAR(v.back(), 0.0, 0.05);    // input high -> output discharged
+}
+
+}  // namespace
+}  // namespace msbist::circuit

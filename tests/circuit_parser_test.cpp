@@ -1,0 +1,149 @@
+// Unit tests for the SPICE-deck netlist parser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/dc.h"
+#include "circuit/elements.h"
+#include "circuit/parser.h"
+#include "circuit/transient.h"
+
+namespace msbist::circuit {
+namespace {
+
+TEST(SpiceValue, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("42"), 42.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("-3.5"), -3.5);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1e-6"), 1e-6);
+}
+
+TEST(SpiceValue, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("4.7k"), 4700.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("10p"), 10e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("100n"), 100e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2.5u"), 2.5e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("5m"), 5e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1MEG"), 1e6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2g"), 2e9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("3f"), 3e-15);
+}
+
+TEST(SpiceValue, UnitLettersTolerated) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("10pF"), 10e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("4.7kohm"), 4700.0);
+}
+
+TEST(SpiceValue, MalformedThrows) {
+  EXPECT_THROW(parse_spice_value(""), std::invalid_argument);
+  EXPECT_THROW(parse_spice_value("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_spice_value("1x"), std::invalid_argument);
+}
+
+TEST(Parser, VoltageDividerDeck) {
+  Netlist n = parse_netlist(R"(
+* a classic divider
+V1 in 0 10
+R1 in mid 1k
+R2 mid 0 3k
+.END
+)");
+  const DcResult op = dc_operating_point(n);
+  EXPECT_NEAR(op.voltage("mid"), 7.5, 1e-6);
+  EXPECT_NE(n.find("V1"), nullptr);
+  EXPECT_NE(n.find("R2"), nullptr);
+}
+
+TEST(Parser, CommentsAndBlankLines) {
+  Netlist n = parse_netlist(
+      "\n* comment\nV1 a 0 1 ; trailing comment\n\nR1 a 0 1k\n");
+  EXPECT_NEAR(dc_operating_point(n).voltage("a"), 1.0, 1e-9);
+}
+
+TEST(Parser, SineSourceCard) {
+  Netlist n = parse_netlist("V1 in 0 SIN(2.5 1.0 50)\nR1 in 0 1k\n");
+  auto* vs = dynamic_cast<VoltageSource*>(n.find("V1"));
+  ASSERT_NE(vs, nullptr);
+  EXPECT_NEAR(vs->level(0.0), 2.5, 1e-12);
+  EXPECT_NEAR(vs->level(0.005), 3.5, 1e-9);  // quarter period of 50 Hz
+}
+
+TEST(Parser, PwlAndPulseCards) {
+  Netlist n = parse_netlist(
+      "V1 a 0 PWL(0 0 1m 5)\n"
+      "V2 b 0 PULSE(0 5 0 1u 1u 10u 100u)\n"
+      "R1 a 0 1k\nR2 b 0 1k\n");
+  auto* v1 = dynamic_cast<VoltageSource*>(n.find("V1"));
+  auto* v2 = dynamic_cast<VoltageSource*>(n.find("V2"));
+  ASSERT_NE(v1, nullptr);
+  ASSERT_NE(v2, nullptr);
+  EXPECT_NEAR(v1->level(0.5e-3), 2.5, 1e-9);
+  EXPECT_NEAR(v2->level(5e-6), 5.0, 1e-9);
+  EXPECT_NEAR(v2->level(50e-6), 0.0, 1e-9);
+}
+
+TEST(Parser, CapacitorWithInitialCondition) {
+  Netlist n = parse_netlist("C1 a 0 1u IC=3\nR1 a 0 1k\n");
+  TransientOptions opts;
+  opts.dt = 10e-6;
+  opts.t_stop = 100e-6;
+  opts.use_initial_conditions = true;
+  const TransientResult res = transient(n, opts);
+  EXPECT_NEAR(res.voltage("a").front(), 3.0, 0.05);
+}
+
+TEST(Parser, ControlledSources) {
+  Netlist n = parse_netlist(
+      "V1 in 0 0.5\n"
+      "E1 out 0 in 0 10\n"
+      "R1 out 0 10k\n");
+  EXPECT_NEAR(dc_operating_point(n).voltage("out"), 5.0, 1e-9);
+}
+
+TEST(Parser, MosfetCardWithOptions) {
+  Netlist n = parse_netlist(
+      "Vdd vdd 0 5\n"
+      "Vg g 0 2\n"
+      "Rd vdd d 10k\n"
+      "M1 d g 0 NMOS W/L=10 LAMBDA=0\n");
+  // Same bias as the C++-built common-source test: vd = 5 - 1.2 = 3.8 V.
+  EXPECT_NEAR(dc_operating_point(n).voltage("d"), 3.8, 0.01);
+}
+
+TEST(Parser, ClockedSwitchCard) {
+  Netlist n = parse_netlist(
+      "V1 in 0 2\n"
+      "S1 in out CLOCK(1m 0.5m) RON=10 ROFF=1g\n"
+      "C1 out 0 10n\n");
+  TransientOptions opts;
+  opts.dt = 1e-6;
+  opts.t_stop = 0.9e-3;
+  opts.use_initial_conditions = true;
+  opts.method = Integration::kBackwardEuler;
+  const TransientResult res = transient(n, opts);
+  EXPECT_NEAR(res.voltage("out").back(), 2.0, 1e-2);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist("V1 a 0 1\nR1 a 0\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, UnknownCardThrows) {
+  EXPECT_THROW(parse_netlist("Q1 a b c 1k\n"), std::invalid_argument);
+}
+
+TEST(Parser, BadMosTypeThrows) {
+  EXPECT_THROW(parse_netlist("M1 d g 0 JFET\n"), std::invalid_argument);
+}
+
+TEST(Parser, EndStopsParsing) {
+  Netlist n = parse_netlist("V1 a 0 1\nR1 a 0 1k\n.END\ngarbage here\n");
+  EXPECT_NEAR(dc_operating_point(n).voltage("a"), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace msbist::circuit

@@ -1,0 +1,79 @@
+// Unit tests for the Device/Batch fabrication model and report tables.
+#include <gtest/gtest.h>
+
+#include "core/device.h"
+#include "core/report.h"
+
+namespace msbist::core {
+namespace {
+
+TEST(DeviceTest, TypicalDieMatchesPaperCharacterization) {
+  Device d = Device::fabricate(0);
+  const adc::AdcMetrics m = d.characterize();
+  // Paper spec table: offset < 0.2 LSB (allowing measurement slack),
+  // gain within +/-0.5 LSB, INL max ~1.3, DNL max ~1.2.
+  EXPECT_LT(std::abs(m.offset_lsb), 0.25);
+  EXPECT_LT(std::abs(m.gain_error_lsb), 0.55);
+  EXPECT_NEAR(m.max_abs_dnl, 1.2, 0.25);
+  EXPECT_NEAR(m.max_abs_inl, 1.3, 0.25);
+}
+
+TEST(DeviceTest, SameSeedSameDie) {
+  Device a = Device::fabricate(7);
+  Device b = Device::fabricate(7);
+  const auto ra = a.run_bist();
+  const auto rb = b.run_bist();
+  EXPECT_EQ(ra.pass, rb.pass);
+  EXPECT_EQ(ra.compressed.digital_signature, rb.compressed.digital_signature);
+  EXPECT_EQ(ra.analog.fall_times_s, rb.analog.fall_times_s);
+}
+
+TEST(DeviceTest, DifferentSeedsDiffer) {
+  Device a = Device::fabricate(1);
+  Device b = Device::fabricate(2);
+  // Different dies measure at least slightly different fall times.
+  const auto ra = a.run_bist();
+  const auto rb = b.run_bist();
+  EXPECT_NE(ra.analog.fall_times_s, rb.analog.fall_times_s);
+}
+
+TEST(BatchTest, PaperBatchAllPass) {
+  // "A batch of 10 devices were fabricated... All devices passed the
+  // analogue, digital and compressed tests."
+  Batch batch = Batch::paper_batch();
+  ASSERT_EQ(batch.size(), 10u);
+  const auto res = batch.run_production_test();
+  EXPECT_TRUE(res.all_passed()) << res.passed << "/10 passed";
+}
+
+TEST(BatchTest, FaultyDieFailsInBatch) {
+  adc::DualSlopeAdcConfig bad = adc::DualSlopeAdcConfig::characterized();
+  bad.latch_faults.stuck_high_mask = 0x20;
+  Batch batch(3, 42, bad);
+  const auto res = batch.run_production_test();
+  EXPECT_EQ(res.passed, 0u);
+}
+
+TEST(ReportTable, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::num(1.5, 2)});
+  t.add_row({"b", "x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+}
+
+TEST(ReportTable, Validation) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"x", "y"}), std::invalid_argument);
+}
+
+TEST(ReportTable, NumPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace msbist::core

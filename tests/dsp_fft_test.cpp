@@ -1,0 +1,145 @@
+// Unit tests for dsp/fft.h — radix-2 and Bluestein transforms.
+#include "dsp/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "dsp/vec.h"
+
+namespace msbist::dsp {
+namespace {
+
+// O(N^2) reference DFT.
+cvec reference_dft(const cvec& x) {
+  const std::size_t n = x.size();
+  cvec out(n, {0.0, 0.0});
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t m = 0; m < n; ++m) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k * m) /
+                         static_cast<double>(n);
+      out[k] += x[m] * std::complex<double>{std::cos(ang), std::sin(ang)};
+    }
+  }
+  return out;
+}
+
+double max_error(const cvec& a, const cvec& b) {
+  double e = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) e = std::max(e, std::abs(a[i] - b[i]));
+  return e;
+}
+
+cvec random_signal(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  cvec x(n);
+  for (auto& v : x) v = {d(rng), d(rng)};
+  return x;
+}
+
+TEST(Fft, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(5), 8u);
+  EXPECT_EQ(next_power_of_two(1024), 1024u);
+}
+
+TEST(Fft, EmptyInput) {
+  EXPECT_TRUE(fft({}).empty());
+  EXPECT_TRUE(ifft({}).empty());
+}
+
+TEST(Fft, SingleSample) {
+  const cvec x{{3.0, -1.0}};
+  const cvec X = fft(x);
+  ASSERT_EQ(X.size(), 1u);
+  EXPECT_NEAR(std::abs(X[0] - x[0]), 0.0, 1e-15);
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  cvec x(8, {0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  const cvec X = fft(x);
+  for (const auto& v : X) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SineConcentratesInOneBin) {
+  const std::size_t n = 64;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 5.0 * static_cast<double>(i) /
+                    static_cast<double>(n));
+  }
+  const cvec X = fft_real(x);
+  // Bin 5 magnitude should be N/2; all others (except conjugate bin 59) ~0.
+  EXPECT_NEAR(std::abs(X[5]), static_cast<double>(n) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(X[59]), static_cast<double>(n) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(X[4]), 0.0, 1e-9);
+}
+
+TEST(Fft, MatchesReferenceDftPowerOfTwo) {
+  const cvec x = random_signal(32, 42);
+  EXPECT_LT(max_error(fft(x), reference_dft(x)), 1e-10);
+}
+
+TEST(Fft, MatchesReferenceDftNonPowerOfTwo) {
+  for (std::size_t n : {3u, 5u, 7u, 12u, 15u, 31u, 100u}) {
+    const cvec x = random_signal(n, 1000 + n);
+    EXPECT_LT(max_error(fft(x), reference_dft(x)), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Fft, RoundTripIdentity) {
+  for (std::size_t n : {8u, 15u, 64u, 100u}) {
+    const cvec x = random_signal(n, 7 * n);
+    const cvec y = ifft(fft(x));
+    EXPECT_LT(max_error(x, y), 1e-10) << "n=" << n;
+  }
+}
+
+TEST(Fft, LinearityProperty) {
+  const cvec x = random_signal(24, 1);
+  const cvec y = random_signal(24, 2);
+  cvec sum(24);
+  for (std::size_t i = 0; i < 24; ++i) sum[i] = 2.0 * x[i] + 3.0 * y[i];
+  const cvec lhs = fft(sum);
+  const cvec fx = fft(x);
+  const cvec fy = fft(y);
+  cvec rhs(24);
+  for (std::size_t i = 0; i < 24; ++i) rhs[i] = 2.0 * fx[i] + 3.0 * fy[i];
+  EXPECT_LT(max_error(lhs, rhs), 1e-10);
+}
+
+TEST(Fft, ParsevalTheorem) {
+  const cvec x = random_signal(50, 99);
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  const cvec X = fft(x);
+  double freq_energy = 0.0;
+  for (const auto& v : X) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(x.size()), time_energy, 1e-9);
+}
+
+TEST(Fft, RealSignalHasConjugateSymmetry) {
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<double> x(40);
+  for (auto& v : x) v = d(rng);
+  const cvec X = fft_real(x);
+  for (std::size_t k = 1; k < x.size(); ++k) {
+    EXPECT_NEAR(std::abs(X[k] - std::conj(X[x.size() - k])), 0.0, 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace msbist::dsp

@@ -1,0 +1,210 @@
+// Unit tests for the extension features: parametric faults, spectral
+// detection, the DAC macro, and the servo transition method.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adc/dac.h"
+#include "adc/dual_slope.h"
+#include "adc/metrics.h"
+#include "circuit/dc.h"
+#include "circuit/elements.h"
+#include "circuit/mos.h"
+#include "faults/parametric.h"
+#include "tsrt/transient_test.h"
+
+namespace msbist {
+namespace {
+
+// --- parametric faults ---
+
+TEST(Parametric, DegradeAllDevices) {
+  circuit::Netlist n;
+  n.add<circuit::Mosfet>(circuit::MosType::kNmos, n.node("d"), n.node("g"),
+                         circuit::kGround, circuit::MosParams::nmos_5um());
+  n.add<circuit::Mosfet>(circuit::MosType::kPmos, n.node("d2"), n.node("g"),
+                         n.node("vdd"), circuit::MosParams::pmos_5um());
+  const int touched =
+      faults::inject_parametric(n, faults::ParametricFault::degrade_kp(0.5));
+  EXPECT_EQ(touched, 2);
+  for (const auto& el : n.elements()) {
+    const auto* mos = dynamic_cast<const circuit::Mosfet*>(el.get());
+    ASSERT_NE(mos, nullptr);
+    EXPECT_LT(mos->params().kp, 15e-6);
+  }
+}
+
+TEST(Parametric, SingleDeviceByIndex) {
+  circuit::Netlist n;
+  n.add<circuit::Resistor>(n.node("a"), circuit::kGround, 1e3);  // not a MOS
+  auto* m0 = n.add<circuit::Mosfet>(circuit::MosType::kNmos, n.node("d"), n.node("g"),
+                                    circuit::kGround, circuit::MosParams::nmos_5um());
+  auto* m1 = n.add<circuit::Mosfet>(circuit::MosType::kNmos, n.node("d2"), n.node("g"),
+                                    circuit::kGround, circuit::MosParams::nmos_5um());
+  const double vt0 = m0->params().vt;
+  EXPECT_EQ(faults::inject_parametric(n, faults::ParametricFault::shift_vt(0.3, 1)), 1);
+  EXPECT_DOUBLE_EQ(m0->params().vt, vt0);
+  EXPECT_NEAR(m1->params().vt, vt0 + 0.3, 1e-12);
+}
+
+TEST(Parametric, OutOfRangeIndexTouchesNothing) {
+  circuit::Netlist n;
+  n.add<circuit::Mosfet>(circuit::MosType::kNmos, n.node("d"), n.node("g"),
+                         circuit::kGround, circuit::MosParams::nmos_5um());
+  EXPECT_EQ(faults::inject_parametric(n, faults::ParametricFault::degrade_kp(0.5, 7)), 0);
+}
+
+TEST(Parametric, InvalidScaleThrows) {
+  EXPECT_THROW(faults::ParametricFault::degrade_kp(0.0), std::invalid_argument);
+}
+
+TEST(Parametric, SevereDegradationDetectedByTsrt) {
+  using namespace tsrt;
+  const TsrtOptions opts = paper_options(CircuitKind::kOp1Follower);
+  const TsrtRun golden =
+      run_transient_test(CircuitKind::kOp1Follower, std::nullopt, opts);
+  // 90 % beta loss on every device: slew collapses, signature shifts.
+  const TsrtRun weak = run_transient_test(
+      CircuitKind::kOp1Follower, faults::ParametricFault::degrade_kp(0.1), opts);
+  EXPECT_GT(correlation_detection_percent(golden, weak), 10.0);
+  // A 2 % drift stays within tolerance (no false alarm on in-spec drift).
+  const TsrtRun drift = run_transient_test(
+      CircuitKind::kOp1Follower, faults::ParametricFault::degrade_kp(0.98), opts);
+  EXPECT_LT(correlation_detection_percent(golden, drift), 5.0);
+}
+
+TEST(Parametric, ParametricRunRejectsEmptyTarget) {
+  using namespace tsrt;
+  EXPECT_THROW(run_transient_test(CircuitKind::kOp1Follower,
+                                  faults::ParametricFault::degrade_kp(0.5, 99),
+                                  paper_options(CircuitKind::kOp1Follower)),
+               std::invalid_argument);
+}
+
+// --- spectral detection ---
+
+TEST(SpectrumDetect, SelfComparisonIsZero) {
+  using namespace tsrt;
+  const TsrtRun run = run_transient_test(CircuitKind::kOp1Follower, std::nullopt,
+                                         paper_options(CircuitKind::kOp1Follower));
+  EXPECT_DOUBLE_EQ(spectrum_detection_percent(run, run), 0.0);
+}
+
+TEST(SpectrumDetect, HardFaultChangesSpectrum) {
+  using namespace tsrt;
+  const TsrtOptions opts = paper_options(CircuitKind::kOp1Follower);
+  const TsrtRun golden =
+      run_transient_test(CircuitKind::kOp1Follower, std::nullopt, opts);
+  const TsrtRun faulty = run_transient_test(
+      CircuitKind::kOp1Follower, faults::FaultSpec::stuck_at(8, true), opts);
+  EXPECT_GT(spectrum_detection_percent(golden, faulty), 10.0);
+}
+
+// --- DAC macro ---
+
+TEST(DacTest, IdealTransferIsExact) {
+  adc::Dac dac(adc::DacConfig::ideal(8, 2.56));
+  EXPECT_DOUBLE_EQ(dac.output(0), 0.0);
+  EXPECT_NEAR(dac.output(128), 1.28, 1e-12);
+  EXPECT_NEAR(dac.output(255), 2.56 - dac.lsb_volts(), 1e-12);
+  EXPECT_NEAR(dac.lsb_volts(), 0.01, 1e-12);
+}
+
+TEST(DacTest, CodeClamped) {
+  adc::Dac dac(adc::DacConfig::ideal(4, 1.6));
+  EXPECT_DOUBLE_EQ(dac.output(99), dac.output(15));
+}
+
+TEST(DacTest, IdealMetricsAreClean) {
+  adc::Dac dac(adc::DacConfig::ideal(8));
+  const adc::DacMetrics m = adc::dac_metrics(dac);
+  EXPECT_LT(m.max_abs_dnl, 1e-9);
+  EXPECT_LT(m.max_abs_inl, 1e-9);
+  EXPECT_TRUE(m.monotonic);
+  EXPECT_NEAR(m.offset_lsb, 0.0, 1e-9);
+}
+
+TEST(DacTest, MsbWeightErrorShowsAtMajorCarry) {
+  adc::DacConfig cfg = adc::DacConfig::ideal(8);
+  cfg.weight_errors.assign(8, 0.0);
+  cfg.weight_errors[0] = -0.02;  // MSB 2 % light
+  const adc::DacMetrics m = adc::dac_metrics(adc::Dac(cfg));
+  // DNL spike at the 127 -> 128 major carry: dV = w_msb - sum(others) - lsb.
+  std::size_t worst = 0;
+  for (std::size_t k = 1; k < m.dnl_lsb.size(); ++k) {
+    if (std::abs(m.dnl_lsb[k]) > std::abs(m.dnl_lsb[worst])) worst = k;
+  }
+  EXPECT_EQ(worst, 127u);
+  EXPECT_LT(m.dnl_lsb[127], -1.0);  // non-monotonic major carry
+  EXPECT_FALSE(m.monotonic);
+}
+
+TEST(DacTest, FabricatedStaysNearSpec) {
+  analog::ProcessVariation pv(21);
+  adc::Dac dac(adc::DacConfig::fabricated(pv, 8));
+  const adc::DacMetrics m = adc::dac_metrics(dac);
+  EXPECT_LT(m.max_abs_dnl, 2.0);
+  EXPECT_LT(std::abs(m.offset_lsb), 0.5);
+}
+
+TEST(DacTest, AdcDacLoopback) {
+  // The self-calibration idea from the paper's background: convert DAC
+  // levels with the ADC; the loopback code error stays within the two
+  // converters' combined error budget.
+  adc::Dac dac(adc::DacConfig::ideal(8, 2.5));
+  adc::DualSlopeAdc conv(adc::DualSlopeAdcConfig::ideal());
+  for (std::uint32_t code = 8; code < 250; code += 24) {
+    const double v = dac.output(code);
+    const std::uint32_t adc_code = conv.code_for(v);
+    const std::uint32_t expected = conv.ideal_code(v);
+    EXPECT_NEAR(static_cast<double>(adc_code), static_cast<double>(expected), 1.5)
+        << "dac code " << code;
+  }
+}
+
+TEST(DacTest, Validation) {
+  adc::DacConfig cfg = adc::DacConfig::ideal(8);
+  cfg.weight_errors.assign(3, 0.0);  // wrong size
+  EXPECT_THROW(adc::Dac{cfg}, std::invalid_argument);
+  adc::DacConfig zero = adc::DacConfig::ideal(0);
+  EXPECT_THROW(adc::Dac{zero}, std::invalid_argument);
+}
+
+// --- servo transition measurement ---
+
+TEST(Servo, FindsIdealTransition) {
+  const double lsb = 0.01;
+  const adc::AdcTransferFn xfer = [=](double v) {
+    return static_cast<std::uint32_t>(std::max(0.0, std::floor(v / lsb)));
+  };
+  const double t10 = adc::measure_transition_servo(xfer, 10, 0.0, 0.3);
+  EXPECT_NEAR(t10, 0.10, 1e-5);
+}
+
+TEST(Servo, MatchesRampMethodOnTheRealAdc) {
+  adc::DualSlopeAdc a(adc::DualSlopeAdcConfig::characterized());
+  adc::DualSlopeAdc b(adc::DualSlopeAdcConfig::characterized());
+  const adc::AdcTransferFn xa = [&](double v) -> std::uint32_t {
+    return 300u - a.code_for(v);
+  };
+  const adc::AdcTransferFn xb = [&](double v) -> std::uint32_t {
+    return 300u - b.code_for(v);
+  };
+  // Transition into ascending code 90 (i.e. raw code 210).
+  const double servo = adc::measure_transition_servo(xb, 90, 0.3, 0.7, 31);
+  const auto tl = adc::measure_transitions_ramp(xa, 0.3, 0.7, 0.0005, 16);
+  // Find the ramp-measured transition into code 90.
+  ASSERT_FALSE(tl.transitions.empty());
+  const std::size_t idx = 90 - (tl.base_code + 1);
+  ASSERT_LT(idx, tl.transitions.size());
+  EXPECT_NEAR(servo, tl.transitions[idx], 0.004);  // within half an LSB
+}
+
+TEST(Servo, Validation) {
+  const adc::AdcTransferFn xfer = [](double) { return 0u; };
+  EXPECT_THROW(adc::measure_transition_servo(xfer, 1, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(adc::measure_transition_servo(xfer, 1, 0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msbist

@@ -1,0 +1,156 @@
+// Unit tests for fault models, universes, injection and campaigns.
+#include <gtest/gtest.h>
+
+#include "analog/opamp.h"
+#include "circuit/dc.h"
+#include "circuit/elements.h"
+#include "faults/campaign.h"
+#include "faults/fault.h"
+#include "faults/universe.h"
+
+namespace msbist::faults {
+namespace {
+
+TEST(Universe, Op1HasSixteenFaults) {
+  const auto u = op1_fault_universe();
+  EXPECT_EQ(u.size(), 16u);
+  int singles = 0, doubles = 0;
+  for (const auto& f : u) {
+    if (f.kind == FaultKind::kStuckAt0 || f.kind == FaultKind::kStuckAt1) ++singles;
+    if (f.kind == FaultKind::kDoubleStuck) ++doubles;
+  }
+  EXPECT_EQ(singles, 10);  // nodes 4, 5, 7, 8, 3 x two polarities
+  EXPECT_EQ(doubles, 6);   // pairs 8-9, 5-8, 4-6 x two polarities
+}
+
+TEST(Universe, ScHasTwelveFaults) {
+  const auto u = sc_fault_universe();
+  EXPECT_EQ(u.size(), 12u);
+  int singles = 0, bridges = 0;
+  for (const auto& f : u) {
+    if (f.kind == FaultKind::kStuckAt0 || f.kind == FaultKind::kStuckAt1) ++singles;
+    if (f.kind == FaultKind::kBridge) ++bridges;
+  }
+  EXPECT_EQ(singles, 10);  // integrator nodes 4, 5, 7, 8, 9
+  EXPECT_EQ(bridges, 2);   // 6-7 and 5-8
+}
+
+TEST(Universe, LabelsAreUnique) {
+  for (const auto& universe : {op1_fault_universe(), sc_fault_universe()}) {
+    std::vector<std::string> labels;
+    for (const auto& f : universe) labels.push_back(f.label);
+    std::sort(labels.begin(), labels.end());
+    EXPECT_EQ(std::adjacent_find(labels.begin(), labels.end()), labels.end());
+  }
+}
+
+TEST(Universe, AllSingleStuckRange) {
+  const auto u = all_single_stuck(1, 9);
+  EXPECT_EQ(u.size(), 18u);
+  EXPECT_THROW(all_single_stuck(5, 3), std::invalid_argument);
+}
+
+TEST(Inject, StuckAtClampsNode) {
+  circuit::Netlist n;
+  const circuit::NodeId a = n.node("victim");
+  n.add<circuit::VoltageSource>(n.node("drv0"), circuit::kGround, 2.0);
+  n.add<circuit::Resistor>(n.find_node("drv0"), a, 10e3);
+  inject(n, FaultSpec::stuck_at(1, /*high=*/false),
+         [](int) { return std::string("victim"); });
+  const circuit::DcResult op = circuit::dc_operating_point(n);
+  // 10 ohm clamp against a 10 kohm driver: node pinned near 0 V.
+  EXPECT_NEAR(op.voltage("victim"), 0.0, 0.01);
+}
+
+TEST(Inject, StuckAt1ClampsHigh) {
+  circuit::Netlist n;
+  const circuit::NodeId a = n.node("victim");
+  n.add<circuit::Resistor>(a, circuit::kGround, 10e3);
+  inject(n, FaultSpec::stuck_at(1, /*high=*/true),
+         [](int) { return std::string("victim"); });
+  const circuit::DcResult op = circuit::dc_operating_point(n);
+  EXPECT_NEAR(op.voltage("victim"), 5.0, 0.01);
+}
+
+TEST(Inject, BridgeTiesNodes) {
+  circuit::Netlist n;
+  const circuit::NodeId a = n.node("na");
+  const circuit::NodeId b = n.node("nb");
+  n.add<circuit::VoltageSource>(a, circuit::kGround, 4.0);
+  n.add<circuit::Resistor>(b, circuit::kGround, 1e6);
+  inject(n, FaultSpec::bridge(1, 2), [](int node) {
+    return node == 1 ? std::string("na") : std::string("nb");
+  });
+  const circuit::DcResult op = circuit::dc_operating_point(n);
+  // 50 ohm bridge against 1 Mohm to ground: nb pulled to ~4 V.
+  EXPECT_NEAR(op.voltage("nb"), 4.0, 0.01);
+}
+
+TEST(Inject, DoubleStuckClampsBoth) {
+  circuit::Netlist n;
+  n.add<circuit::Resistor>(n.node("na"), circuit::kGround, 1e5);
+  n.add<circuit::Resistor>(n.node("nb"), circuit::kGround, 1e5);
+  inject(n, FaultSpec::double_stuck(1, 2, true), [](int node) {
+    return node == 1 ? std::string("na") : std::string("nb");
+  });
+  const circuit::DcResult op = circuit::dc_operating_point(n);
+  EXPECT_NEAR(op.voltage("na"), 5.0, 0.01);
+  EXPECT_NEAR(op.voltage("nb"), 5.0, 0.01);
+}
+
+TEST(Inject, RequiresNodeMap) {
+  circuit::Netlist n;
+  n.node("x");
+  EXPECT_THROW(inject(n, FaultSpec::stuck_at(1, false), nullptr),
+               std::invalid_argument);
+}
+
+TEST(Inject, FaultOnOp1NodeChangesOperatingPoint) {
+  // The mechanism end to end: inject SA0 at the OP1 bias node and verify
+  // the DC operating point moves.
+  circuit::Netlist clean_net;
+  const analog::Op1Nodes nodes = analog::build_op1(clean_net);
+  clean_net.add<circuit::VoltageSource>(clean_net.find_node(nodes.in_plus),
+                                        circuit::kGround, 2.5);
+  clean_net.add<circuit::VoltageSource>(clean_net.find_node(nodes.in_minus),
+                                        circuit::kGround, 2.5);
+  const double clean_bias = circuit::dc_operating_point(clean_net).voltage(nodes.bias_p);
+
+  circuit::Netlist faulty_net;
+  const analog::Op1Nodes fnodes = analog::build_op1(faulty_net);
+  faulty_net.add<circuit::VoltageSource>(faulty_net.find_node(fnodes.in_plus),
+                                         circuit::kGround, 2.5);
+  faulty_net.add<circuit::VoltageSource>(faulty_net.find_node(fnodes.in_minus),
+                                         circuit::kGround, 2.5);
+  inject(faulty_net, FaultSpec::stuck_at(4, false),
+         [fnodes](int k) { return fnodes.numbered(k); });
+  const double faulty_bias =
+      circuit::dc_operating_point(faulty_net).voltage(fnodes.bias_p);
+  EXPECT_GT(clean_bias, 2.0);
+  EXPECT_LT(faulty_bias, 0.1);
+}
+
+TEST(Campaign, CountsDetections) {
+  const auto universe = sc_fault_universe();
+  const CampaignReport rep = run_campaign(universe, [](const FaultSpec& f) {
+    FaultResult r;
+    r.fault = f;
+    r.detected = f.kind != FaultKind::kBridge;  // pretend bridges escape
+    return r;
+  });
+  EXPECT_EQ(rep.results.size(), 12u);
+  EXPECT_EQ(rep.detected_count, 10u);
+  EXPECT_NEAR(rep.coverage(), 10.0 / 12.0, 1e-12);
+}
+
+TEST(Campaign, EmptyUniverse) {
+  const CampaignReport rep = run_campaign({}, [](const FaultSpec& f) {
+    FaultResult r;
+    r.fault = f;
+    return r;
+  });
+  EXPECT_DOUBLE_EQ(rep.coverage(), 0.0);
+}
+
+}  // namespace
+}  // namespace msbist::faults

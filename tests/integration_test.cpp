@@ -1,0 +1,118 @@
+// Cross-module integration tests: full campaigns, parser-to-experiment
+// flows, and the device-to-tester serial path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bist/test_access.h"
+#include "circuit/parser.h"
+#include "circuit/transient.h"
+#include "core/device.h"
+#include "faults/campaign.h"
+#include "faults/universe.h"
+#include "tsrt/transient_test.h"
+
+namespace msbist {
+namespace {
+
+TEST(Integration, FullCampaignOverOp1Universe) {
+  // Wire the campaign runner to the real TSRT engine: 100 % coverage of
+  // the paper's 16-fault universe with the combined signature.
+  using namespace tsrt;
+  const TsrtOptions opts = paper_options(CircuitKind::kOp1Follower);
+  const TsrtRun golden =
+      run_transient_test(CircuitKind::kOp1Follower, std::nullopt, opts);
+  const faults::CampaignReport report = faults::run_campaign(
+      faults::op1_fault_universe(), [&](const faults::FaultSpec& f) {
+        faults::FaultResult r;
+        r.fault = f;
+        const TsrtRun faulty = run_transient_test(CircuitKind::kOp1Follower, f, opts);
+        r.score = combined_detection_percent(golden, faulty);
+        r.detected = is_detected(r.score);
+        return r;
+      });
+  EXPECT_EQ(report.results.size(), 16u);
+  EXPECT_DOUBLE_EQ(report.coverage(), 1.0);
+  for (const auto& r : report.results) {
+    EXPECT_GT(r.score, 30.0) << r.fault.label;
+  }
+}
+
+TEST(Integration, SpiceDeckRcFilterMatchesBuiltCircuit) {
+  // The same RC low-pass built from a deck and from the C++ API must
+  // produce identical transients.
+  circuit::Netlist parsed = circuit::parse_netlist(
+      "V1 in 0 PWL(0 0 1n 5)\n"
+      "R1 in out 1k\n"
+      "C1 out 0 1u\n");
+  circuit::Netlist built;
+  const auto in = built.node("in");
+  const auto out = built.node("out");
+  built.add<circuit::VoltageSource>(
+      in, circuit::kGround,
+      std::make_shared<circuit::PwlWave>(
+          std::vector<std::pair<double, double>>{{0.0, 0.0}, {1e-9, 5.0}}));
+  built.add<circuit::Resistor>(in, out, 1e3);
+  built.add<circuit::Capacitor>(out, circuit::kGround, 1e-6);
+
+  circuit::TransientOptions opts;
+  opts.dt = 10e-6;
+  opts.t_stop = 2e-3;
+  const auto a = circuit::transient(parsed, opts);
+  const auto b = circuit::transient(built, opts);
+  const auto& va = a.voltage("out");
+  const auto& vb = b.voltage("out");
+  ASSERT_EQ(va.size(), vb.size());
+  for (std::size_t k = 0; k < va.size(); ++k) EXPECT_NEAR(va[k], vb[k], 1e-12);
+}
+
+TEST(Integration, DeviceVerdictSurvivesSerialLink) {
+  // Device -> BIST -> result word -> scan chain -> tester reassembly.
+  core::Device good = core::Device::fabricate(3);
+  adc::DualSlopeAdcConfig bad_cfg = adc::DualSlopeAdcConfig::characterized();
+  bad_cfg.latch_faults.stuck_high_mask = 0x10;
+  core::Device bad(4, bad_cfg);
+
+  for (auto* die : {&good, &bad}) {
+    const bist::BistReport rep = die->run_bist();
+    bist::TestAccessPort port;
+    port.capture(bist::ResultWord::pack(rep));
+    const bist::ResultWord seen =
+        bist::TestAccessPort::reassemble(port.shift_out());
+    EXPECT_EQ(seen.overall_pass(), rep.pass);
+    EXPECT_EQ(seen.digital_signature(), rep.compressed.digital_signature & 0xFFFF);
+  }
+}
+
+TEST(Integration, CharacterizationConsistentAcrossMethods) {
+  // Ramp-method transitions and servo-method single transitions must
+  // agree on the same die within a fraction of an LSB.
+  core::Device die = core::Device::fabricate(0);
+  auto& adc = die.adc();
+  const adc::AdcTransferFn xfer = [&](double v) -> std::uint32_t {
+    return adc.full_scale_code() + 40u - adc.code_for(v);
+  };
+  const auto tl = adc::measure_transitions_ramp(xfer, 0.19, 0.52, 0.0005, 16);
+  ASSERT_GE(tl.transitions.size(), 20u);
+  const std::uint32_t probe_code = tl.base_code + 10;
+  const double servo = adc::measure_transition_servo(xfer, probe_code, 0.19, 0.52, 31);
+  EXPECT_NEAR(servo, tl.transitions[9], 0.005);
+}
+
+TEST(Integration, AllThreeCircuitsShareTheFaultMechanism) {
+  // The same FaultSpec applies across circuits through each circuit's
+  // node map — smoke the whole matrix once.
+  using namespace tsrt;
+  const auto fault = faults::FaultSpec::stuck_at(8, false);
+  for (auto kind : {CircuitKind::kOp1Follower, CircuitKind::kScIntegratorAlone,
+                    CircuitKind::kScIntegratorComparator}) {
+    TsrtOptions opts = paper_options(kind);
+    const TsrtRun golden = run_transient_test(kind, std::nullopt, opts);
+    const TsrtRun faulty = run_transient_test(kind, fault, opts);
+    EXPECT_GT(combined_detection_percent(golden, faulty), 20.0)
+        << circuit_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace msbist

@@ -1,0 +1,67 @@
+// Unit tests for the pole-extraction comparison path (approach 2 with
+// real pole extraction on the OP1 cell).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "faults/universe.h"
+#include "tsrt/pole_compare.h"
+
+namespace msbist::tsrt {
+namespace {
+
+TEST(PoleCompare, GoldenOp1ModelIsSane) {
+  const PoleSignature sig = extract_pole_signature(std::nullopt);
+  EXPECT_GT(sig.dc_gain, 1e3);            // healthy open-loop gain
+  ASSERT_GE(sig.poles.size(), 2u);
+  for (const auto& p : sig.poles) EXPECT_LT(p.real(), 0.0);  // stable
+  // Miller-compensated: dominant pole well separated.
+  EXPECT_GT(std::abs(sig.poles[1].real()), 10.0 * std::abs(sig.poles[0].real()));
+}
+
+TEST(PoleCompare, GoldenSelfComparisonIsZero) {
+  const PoleSignature sig = extract_pole_signature(std::nullopt);
+  EXPECT_DOUBLE_EQ(pole_detection_percent(sig, sig), 0.0);
+}
+
+TEST(PoleCompare, ImpulseOfSingleRealPole) {
+  PoleSignature sig;
+  sig.poles = {{-100.0, 0.0}};
+  sig.dc_gain = 2.0;
+  // H(s) = 200/(s+100): h(t) = 200 e^{-100 t}.
+  const auto h = impulse_from_signature(sig, 1e-3, 20);
+  EXPECT_NEAR(h[0], 200.0, 1e-6);
+  EXPECT_NEAR(h[10], 200.0 * std::exp(-1.0), 1e-4);
+}
+
+TEST(PoleCompare, EmptySignatureGivesZeros) {
+  PoleSignature empty;
+  const auto h = impulse_from_signature(empty, 1e-3, 4);
+  for (double v : h) EXPECT_DOUBLE_EQ(v, 0.0);
+  PoleSignature ref;
+  ref.poles = {{-1.0, 0.0}};
+  ref.dc_gain = 1.0;
+  EXPECT_THROW(pole_detection_percent(empty, ref), std::invalid_argument);
+}
+
+TEST(PoleCompare, EveryOp1FaultShiftsTheModel) {
+  // The paper's approach-2 claim on circuit 1's fault set: every faulty
+  // circuit's extracted model differs observably from the fault-free one.
+  const PoleSignature golden = extract_pole_signature(std::nullopt);
+  for (const auto& f : faults::op1_fault_universe()) {
+    const PoleSignature faulty = extract_pole_signature(f);
+    EXPECT_GT(pole_detection_percent(golden, faulty), 30.0) << f.label;
+  }
+}
+
+TEST(PoleCompare, OpenLoopFaultsKillTheGain) {
+  // Open loop, a clamped internal node destroys the DC gain — the
+  // complement of the closed-loop view where feedback masks it.
+  const PoleSignature faulty =
+      extract_pole_signature(faults::FaultSpec::stuck_at(7, false));
+  const PoleSignature golden = extract_pole_signature(std::nullopt);
+  EXPECT_LT(faulty.dc_gain, 0.01 * golden.dc_gain);
+}
+
+}  // namespace
+}  // namespace msbist::tsrt
