@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_integrator.dir/bench_ablation_integrator.cpp.o"
+  "CMakeFiles/bench_ablation_integrator.dir/bench_ablation_integrator.cpp.o.d"
+  "bench_ablation_integrator"
+  "bench_ablation_integrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_integrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

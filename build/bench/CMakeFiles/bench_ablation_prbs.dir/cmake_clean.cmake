@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prbs.dir/bench_ablation_prbs.cpp.o"
+  "CMakeFiles/bench_ablation_prbs.dir/bench_ablation_prbs.cpp.o.d"
+  "bench_ablation_prbs"
+  "bench_ablation_prbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

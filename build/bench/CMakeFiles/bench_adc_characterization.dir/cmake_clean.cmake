@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adc_characterization.dir/bench_adc_characterization.cpp.o"
+  "CMakeFiles/bench_adc_characterization.dir/bench_adc_characterization.cpp.o.d"
+  "bench_adc_characterization"
+  "bench_adc_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adc_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

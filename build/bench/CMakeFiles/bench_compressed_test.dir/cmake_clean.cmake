@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compressed_test.dir/bench_compressed_test.cpp.o"
+  "CMakeFiles/bench_compressed_test.dir/bench_compressed_test.cpp.o.d"
+  "bench_compressed_test"
+  "bench_compressed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compressed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dac_loopback.dir/bench_dac_loopback.cpp.o"
+  "CMakeFiles/bench_dac_loopback.dir/bench_dac_loopback.cpp.o.d"
+  "bench_dac_loopback"
+  "bench_dac_loopback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dac_loopback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

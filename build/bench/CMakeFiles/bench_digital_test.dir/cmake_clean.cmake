@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_digital_test.dir/bench_digital_test.cpp.o"
+  "CMakeFiles/bench_digital_test.dir/bench_digital_test.cpp.o.d"
+  "bench_digital_test"
+  "bench_digital_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_digital_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

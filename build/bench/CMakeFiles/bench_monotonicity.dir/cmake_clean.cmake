@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_monotonicity.dir/bench_monotonicity.cpp.o"
+  "CMakeFiles/bench_monotonicity.dir/bench_monotonicity.cpp.o.d"
+  "bench_monotonicity"
+  "bench_monotonicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_monotonicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

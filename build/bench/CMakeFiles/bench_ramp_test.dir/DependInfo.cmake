@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ramp_test.cpp" "bench/CMakeFiles/bench_ramp_test.dir/bench_ramp_test.cpp.o" "gcc" "bench/CMakeFiles/bench_ramp_test.dir/bench_ramp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/msbist_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_adc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_tsrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

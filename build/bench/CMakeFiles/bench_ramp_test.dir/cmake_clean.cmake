@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ramp_test.dir/bench_ramp_test.cpp.o"
+  "CMakeFiles/bench_ramp_test.dir/bench_ramp_test.cpp.o.d"
+  "bench_ramp_test"
+  "bench_ramp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ramp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sigma_delta.dir/bench_sigma_delta.cpp.o"
+  "CMakeFiles/bench_sigma_delta.dir/bench_sigma_delta.cpp.o.d"
+  "bench_sigma_delta"
+  "bench_sigma_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sigma_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_soft_faults.dir/bench_soft_faults.cpp.o"
+  "CMakeFiles/bench_soft_faults.dir/bench_soft_faults.cpp.o.d"
+  "bench_soft_faults"
+  "bench_soft_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_soft_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transient_detection.dir/bench_transient_detection.cpp.o"
+  "CMakeFiles/bench_transient_detection.dir/bench_transient_detection.cpp.o.d"
+  "bench_transient_detection"
+  "bench_transient_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transient_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_circuit_playground.dir/circuit_playground.cpp.o"
+  "CMakeFiles/example_circuit_playground.dir/circuit_playground.cpp.o.d"
+  "example_circuit_playground"
+  "example_circuit_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_circuit_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

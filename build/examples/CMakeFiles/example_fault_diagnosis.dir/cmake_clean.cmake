@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fault_diagnosis.dir/fault_diagnosis.cpp.o"
+  "CMakeFiles/example_fault_diagnosis.dir/fault_diagnosis.cpp.o.d"
+  "example_fault_diagnosis"
+  "example_fault_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fault_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pole_extraction.dir/pole_extraction.cpp.o"
+  "CMakeFiles/example_pole_extraction.dir/pole_extraction.cpp.o.d"
+  "example_pole_extraction"
+  "example_pole_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pole_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_production_test.dir/production_test.cpp.o"
+  "CMakeFiles/example_production_test.dir/production_test.cpp.o.d"
+  "example_production_test"
+  "example_production_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_production_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adc/dac.cpp" "src/CMakeFiles/msbist_adc.dir/adc/dac.cpp.o" "gcc" "src/CMakeFiles/msbist_adc.dir/adc/dac.cpp.o.d"
+  "/root/repo/src/adc/dual_slope.cpp" "src/CMakeFiles/msbist_adc.dir/adc/dual_slope.cpp.o" "gcc" "src/CMakeFiles/msbist_adc.dir/adc/dual_slope.cpp.o.d"
+  "/root/repo/src/adc/metrics.cpp" "src/CMakeFiles/msbist_adc.dir/adc/metrics.cpp.o" "gcc" "src/CMakeFiles/msbist_adc.dir/adc/metrics.cpp.o.d"
+  "/root/repo/src/adc/sigma_delta.cpp" "src/CMakeFiles/msbist_adc.dir/adc/sigma_delta.cpp.o" "gcc" "src/CMakeFiles/msbist_adc.dir/adc/sigma_delta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/msbist_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msbist_adc.dir/adc/dac.cpp.o"
+  "CMakeFiles/msbist_adc.dir/adc/dac.cpp.o.d"
+  "CMakeFiles/msbist_adc.dir/adc/dual_slope.cpp.o"
+  "CMakeFiles/msbist_adc.dir/adc/dual_slope.cpp.o.d"
+  "CMakeFiles/msbist_adc.dir/adc/metrics.cpp.o"
+  "CMakeFiles/msbist_adc.dir/adc/metrics.cpp.o.d"
+  "CMakeFiles/msbist_adc.dir/adc/sigma_delta.cpp.o"
+  "CMakeFiles/msbist_adc.dir/adc/sigma_delta.cpp.o.d"
+  "libmsbist_adc.a"
+  "libmsbist_adc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msbist_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

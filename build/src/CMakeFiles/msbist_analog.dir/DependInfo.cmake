@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/comparator.cpp" "src/CMakeFiles/msbist_analog.dir/analog/comparator.cpp.o" "gcc" "src/CMakeFiles/msbist_analog.dir/analog/comparator.cpp.o.d"
+  "/root/repo/src/analog/current_comparator.cpp" "src/CMakeFiles/msbist_analog.dir/analog/current_comparator.cpp.o" "gcc" "src/CMakeFiles/msbist_analog.dir/analog/current_comparator.cpp.o.d"
+  "/root/repo/src/analog/macro.cpp" "src/CMakeFiles/msbist_analog.dir/analog/macro.cpp.o" "gcc" "src/CMakeFiles/msbist_analog.dir/analog/macro.cpp.o.d"
+  "/root/repo/src/analog/opamp.cpp" "src/CMakeFiles/msbist_analog.dir/analog/opamp.cpp.o" "gcc" "src/CMakeFiles/msbist_analog.dir/analog/opamp.cpp.o.d"
+  "/root/repo/src/analog/references.cpp" "src/CMakeFiles/msbist_analog.dir/analog/references.cpp.o" "gcc" "src/CMakeFiles/msbist_analog.dir/analog/references.cpp.o.d"
+  "/root/repo/src/analog/sc_integrator.cpp" "src/CMakeFiles/msbist_analog.dir/analog/sc_integrator.cpp.o" "gcc" "src/CMakeFiles/msbist_analog.dir/analog/sc_integrator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/msbist_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msbist_analog.dir/analog/comparator.cpp.o"
+  "CMakeFiles/msbist_analog.dir/analog/comparator.cpp.o.d"
+  "CMakeFiles/msbist_analog.dir/analog/current_comparator.cpp.o"
+  "CMakeFiles/msbist_analog.dir/analog/current_comparator.cpp.o.d"
+  "CMakeFiles/msbist_analog.dir/analog/macro.cpp.o"
+  "CMakeFiles/msbist_analog.dir/analog/macro.cpp.o.d"
+  "CMakeFiles/msbist_analog.dir/analog/opamp.cpp.o"
+  "CMakeFiles/msbist_analog.dir/analog/opamp.cpp.o.d"
+  "CMakeFiles/msbist_analog.dir/analog/references.cpp.o"
+  "CMakeFiles/msbist_analog.dir/analog/references.cpp.o.d"
+  "CMakeFiles/msbist_analog.dir/analog/sc_integrator.cpp.o"
+  "CMakeFiles/msbist_analog.dir/analog/sc_integrator.cpp.o.d"
+  "libmsbist_analog.a"
+  "libmsbist_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msbist_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmsbist_analog.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bist/controller.cpp" "src/CMakeFiles/msbist_bist.dir/bist/controller.cpp.o" "gcc" "src/CMakeFiles/msbist_bist.dir/bist/controller.cpp.o.d"
+  "/root/repo/src/bist/level_sensor.cpp" "src/CMakeFiles/msbist_bist.dir/bist/level_sensor.cpp.o" "gcc" "src/CMakeFiles/msbist_bist.dir/bist/level_sensor.cpp.o.d"
+  "/root/repo/src/bist/overhead.cpp" "src/CMakeFiles/msbist_bist.dir/bist/overhead.cpp.o" "gcc" "src/CMakeFiles/msbist_bist.dir/bist/overhead.cpp.o.d"
+  "/root/repo/src/bist/ramp_generator.cpp" "src/CMakeFiles/msbist_bist.dir/bist/ramp_generator.cpp.o" "gcc" "src/CMakeFiles/msbist_bist.dir/bist/ramp_generator.cpp.o.d"
+  "/root/repo/src/bist/signature_compressor.cpp" "src/CMakeFiles/msbist_bist.dir/bist/signature_compressor.cpp.o" "gcc" "src/CMakeFiles/msbist_bist.dir/bist/signature_compressor.cpp.o.d"
+  "/root/repo/src/bist/step_generator.cpp" "src/CMakeFiles/msbist_bist.dir/bist/step_generator.cpp.o" "gcc" "src/CMakeFiles/msbist_bist.dir/bist/step_generator.cpp.o.d"
+  "/root/repo/src/bist/test_access.cpp" "src/CMakeFiles/msbist_bist.dir/bist/test_access.cpp.o" "gcc" "src/CMakeFiles/msbist_bist.dir/bist/test_access.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/msbist_adc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

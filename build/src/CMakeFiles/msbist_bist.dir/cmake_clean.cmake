@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msbist_bist.dir/bist/controller.cpp.o"
+  "CMakeFiles/msbist_bist.dir/bist/controller.cpp.o.d"
+  "CMakeFiles/msbist_bist.dir/bist/level_sensor.cpp.o"
+  "CMakeFiles/msbist_bist.dir/bist/level_sensor.cpp.o.d"
+  "CMakeFiles/msbist_bist.dir/bist/overhead.cpp.o"
+  "CMakeFiles/msbist_bist.dir/bist/overhead.cpp.o.d"
+  "CMakeFiles/msbist_bist.dir/bist/ramp_generator.cpp.o"
+  "CMakeFiles/msbist_bist.dir/bist/ramp_generator.cpp.o.d"
+  "CMakeFiles/msbist_bist.dir/bist/signature_compressor.cpp.o"
+  "CMakeFiles/msbist_bist.dir/bist/signature_compressor.cpp.o.d"
+  "CMakeFiles/msbist_bist.dir/bist/step_generator.cpp.o"
+  "CMakeFiles/msbist_bist.dir/bist/step_generator.cpp.o.d"
+  "CMakeFiles/msbist_bist.dir/bist/test_access.cpp.o"
+  "CMakeFiles/msbist_bist.dir/bist/test_access.cpp.o.d"
+  "libmsbist_bist.a"
+  "libmsbist_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msbist_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

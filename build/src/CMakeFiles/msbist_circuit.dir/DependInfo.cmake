@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/ac.cpp" "src/CMakeFiles/msbist_circuit.dir/circuit/ac.cpp.o" "gcc" "src/CMakeFiles/msbist_circuit.dir/circuit/ac.cpp.o.d"
+  "/root/repo/src/circuit/dc.cpp" "src/CMakeFiles/msbist_circuit.dir/circuit/dc.cpp.o" "gcc" "src/CMakeFiles/msbist_circuit.dir/circuit/dc.cpp.o.d"
+  "/root/repo/src/circuit/elements.cpp" "src/CMakeFiles/msbist_circuit.dir/circuit/elements.cpp.o" "gcc" "src/CMakeFiles/msbist_circuit.dir/circuit/elements.cpp.o.d"
+  "/root/repo/src/circuit/mos.cpp" "src/CMakeFiles/msbist_circuit.dir/circuit/mos.cpp.o" "gcc" "src/CMakeFiles/msbist_circuit.dir/circuit/mos.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/msbist_circuit.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/msbist_circuit.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/parser.cpp" "src/CMakeFiles/msbist_circuit.dir/circuit/parser.cpp.o" "gcc" "src/CMakeFiles/msbist_circuit.dir/circuit/parser.cpp.o.d"
+  "/root/repo/src/circuit/solver.cpp" "src/CMakeFiles/msbist_circuit.dir/circuit/solver.cpp.o" "gcc" "src/CMakeFiles/msbist_circuit.dir/circuit/solver.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "src/CMakeFiles/msbist_circuit.dir/circuit/transient.cpp.o" "gcc" "src/CMakeFiles/msbist_circuit.dir/circuit/transient.cpp.o.d"
+  "/root/repo/src/circuit/waveform.cpp" "src/CMakeFiles/msbist_circuit.dir/circuit/waveform.cpp.o" "gcc" "src/CMakeFiles/msbist_circuit.dir/circuit/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/msbist_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msbist_circuit.dir/circuit/ac.cpp.o"
+  "CMakeFiles/msbist_circuit.dir/circuit/ac.cpp.o.d"
+  "CMakeFiles/msbist_circuit.dir/circuit/dc.cpp.o"
+  "CMakeFiles/msbist_circuit.dir/circuit/dc.cpp.o.d"
+  "CMakeFiles/msbist_circuit.dir/circuit/elements.cpp.o"
+  "CMakeFiles/msbist_circuit.dir/circuit/elements.cpp.o.d"
+  "CMakeFiles/msbist_circuit.dir/circuit/mos.cpp.o"
+  "CMakeFiles/msbist_circuit.dir/circuit/mos.cpp.o.d"
+  "CMakeFiles/msbist_circuit.dir/circuit/netlist.cpp.o"
+  "CMakeFiles/msbist_circuit.dir/circuit/netlist.cpp.o.d"
+  "CMakeFiles/msbist_circuit.dir/circuit/parser.cpp.o"
+  "CMakeFiles/msbist_circuit.dir/circuit/parser.cpp.o.d"
+  "CMakeFiles/msbist_circuit.dir/circuit/solver.cpp.o"
+  "CMakeFiles/msbist_circuit.dir/circuit/solver.cpp.o.d"
+  "CMakeFiles/msbist_circuit.dir/circuit/transient.cpp.o"
+  "CMakeFiles/msbist_circuit.dir/circuit/transient.cpp.o.d"
+  "CMakeFiles/msbist_circuit.dir/circuit/waveform.cpp.o"
+  "CMakeFiles/msbist_circuit.dir/circuit/waveform.cpp.o.d"
+  "libmsbist_circuit.a"
+  "libmsbist_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msbist_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

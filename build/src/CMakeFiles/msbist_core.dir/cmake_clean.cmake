@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msbist_core.dir/core/device.cpp.o"
+  "CMakeFiles/msbist_core.dir/core/device.cpp.o.d"
+  "CMakeFiles/msbist_core.dir/core/report.cpp.o"
+  "CMakeFiles/msbist_core.dir/core/report.cpp.o.d"
+  "libmsbist_core.a"
+  "libmsbist_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msbist_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/digital/counter.cpp" "src/CMakeFiles/msbist_digital.dir/digital/counter.cpp.o" "gcc" "src/CMakeFiles/msbist_digital.dir/digital/counter.cpp.o.d"
+  "/root/repo/src/digital/fsm.cpp" "src/CMakeFiles/msbist_digital.dir/digital/fsm.cpp.o" "gcc" "src/CMakeFiles/msbist_digital.dir/digital/fsm.cpp.o.d"
+  "/root/repo/src/digital/latch.cpp" "src/CMakeFiles/msbist_digital.dir/digital/latch.cpp.o" "gcc" "src/CMakeFiles/msbist_digital.dir/digital/latch.cpp.o.d"
+  "/root/repo/src/digital/signature.cpp" "src/CMakeFiles/msbist_digital.dir/digital/signature.cpp.o" "gcc" "src/CMakeFiles/msbist_digital.dir/digital/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/msbist_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

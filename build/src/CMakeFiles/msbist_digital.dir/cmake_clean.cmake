@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msbist_digital.dir/digital/counter.cpp.o"
+  "CMakeFiles/msbist_digital.dir/digital/counter.cpp.o.d"
+  "CMakeFiles/msbist_digital.dir/digital/fsm.cpp.o"
+  "CMakeFiles/msbist_digital.dir/digital/fsm.cpp.o.d"
+  "CMakeFiles/msbist_digital.dir/digital/latch.cpp.o"
+  "CMakeFiles/msbist_digital.dir/digital/latch.cpp.o.d"
+  "CMakeFiles/msbist_digital.dir/digital/signature.cpp.o"
+  "CMakeFiles/msbist_digital.dir/digital/signature.cpp.o.d"
+  "libmsbist_digital.a"
+  "libmsbist_digital.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msbist_digital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

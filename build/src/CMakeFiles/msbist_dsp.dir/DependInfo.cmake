@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/convolution.cpp" "src/CMakeFiles/msbist_dsp.dir/dsp/convolution.cpp.o" "gcc" "src/CMakeFiles/msbist_dsp.dir/dsp/convolution.cpp.o.d"
+  "/root/repo/src/dsp/correlation.cpp" "src/CMakeFiles/msbist_dsp.dir/dsp/correlation.cpp.o" "gcc" "src/CMakeFiles/msbist_dsp.dir/dsp/correlation.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/CMakeFiles/msbist_dsp.dir/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/msbist_dsp.dir/dsp/fft.cpp.o.d"
+  "/root/repo/src/dsp/matrix.cpp" "src/CMakeFiles/msbist_dsp.dir/dsp/matrix.cpp.o" "gcc" "src/CMakeFiles/msbist_dsp.dir/dsp/matrix.cpp.o.d"
+  "/root/repo/src/dsp/noise.cpp" "src/CMakeFiles/msbist_dsp.dir/dsp/noise.cpp.o" "gcc" "src/CMakeFiles/msbist_dsp.dir/dsp/noise.cpp.o.d"
+  "/root/repo/src/dsp/polynomial.cpp" "src/CMakeFiles/msbist_dsp.dir/dsp/polynomial.cpp.o" "gcc" "src/CMakeFiles/msbist_dsp.dir/dsp/polynomial.cpp.o.d"
+  "/root/repo/src/dsp/prbs.cpp" "src/CMakeFiles/msbist_dsp.dir/dsp/prbs.cpp.o" "gcc" "src/CMakeFiles/msbist_dsp.dir/dsp/prbs.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/CMakeFiles/msbist_dsp.dir/dsp/resample.cpp.o" "gcc" "src/CMakeFiles/msbist_dsp.dir/dsp/resample.cpp.o.d"
+  "/root/repo/src/dsp/spectrum.cpp" "src/CMakeFiles/msbist_dsp.dir/dsp/spectrum.cpp.o" "gcc" "src/CMakeFiles/msbist_dsp.dir/dsp/spectrum.cpp.o.d"
+  "/root/repo/src/dsp/state_space.cpp" "src/CMakeFiles/msbist_dsp.dir/dsp/state_space.cpp.o" "gcc" "src/CMakeFiles/msbist_dsp.dir/dsp/state_space.cpp.o.d"
+  "/root/repo/src/dsp/vec.cpp" "src/CMakeFiles/msbist_dsp.dir/dsp/vec.cpp.o" "gcc" "src/CMakeFiles/msbist_dsp.dir/dsp/vec.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/CMakeFiles/msbist_dsp.dir/dsp/window.cpp.o" "gcc" "src/CMakeFiles/msbist_dsp.dir/dsp/window.cpp.o.d"
+  "/root/repo/src/dsp/ztransfer.cpp" "src/CMakeFiles/msbist_dsp.dir/dsp/ztransfer.cpp.o" "gcc" "src/CMakeFiles/msbist_dsp.dir/dsp/ztransfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msbist_dsp.dir/dsp/convolution.cpp.o"
+  "CMakeFiles/msbist_dsp.dir/dsp/convolution.cpp.o.d"
+  "CMakeFiles/msbist_dsp.dir/dsp/correlation.cpp.o"
+  "CMakeFiles/msbist_dsp.dir/dsp/correlation.cpp.o.d"
+  "CMakeFiles/msbist_dsp.dir/dsp/fft.cpp.o"
+  "CMakeFiles/msbist_dsp.dir/dsp/fft.cpp.o.d"
+  "CMakeFiles/msbist_dsp.dir/dsp/matrix.cpp.o"
+  "CMakeFiles/msbist_dsp.dir/dsp/matrix.cpp.o.d"
+  "CMakeFiles/msbist_dsp.dir/dsp/noise.cpp.o"
+  "CMakeFiles/msbist_dsp.dir/dsp/noise.cpp.o.d"
+  "CMakeFiles/msbist_dsp.dir/dsp/polynomial.cpp.o"
+  "CMakeFiles/msbist_dsp.dir/dsp/polynomial.cpp.o.d"
+  "CMakeFiles/msbist_dsp.dir/dsp/prbs.cpp.o"
+  "CMakeFiles/msbist_dsp.dir/dsp/prbs.cpp.o.d"
+  "CMakeFiles/msbist_dsp.dir/dsp/resample.cpp.o"
+  "CMakeFiles/msbist_dsp.dir/dsp/resample.cpp.o.d"
+  "CMakeFiles/msbist_dsp.dir/dsp/spectrum.cpp.o"
+  "CMakeFiles/msbist_dsp.dir/dsp/spectrum.cpp.o.d"
+  "CMakeFiles/msbist_dsp.dir/dsp/state_space.cpp.o"
+  "CMakeFiles/msbist_dsp.dir/dsp/state_space.cpp.o.d"
+  "CMakeFiles/msbist_dsp.dir/dsp/vec.cpp.o"
+  "CMakeFiles/msbist_dsp.dir/dsp/vec.cpp.o.d"
+  "CMakeFiles/msbist_dsp.dir/dsp/window.cpp.o"
+  "CMakeFiles/msbist_dsp.dir/dsp/window.cpp.o.d"
+  "CMakeFiles/msbist_dsp.dir/dsp/ztransfer.cpp.o"
+  "CMakeFiles/msbist_dsp.dir/dsp/ztransfer.cpp.o.d"
+  "libmsbist_dsp.a"
+  "libmsbist_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msbist_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/campaign.cpp" "src/CMakeFiles/msbist_faults.dir/faults/campaign.cpp.o" "gcc" "src/CMakeFiles/msbist_faults.dir/faults/campaign.cpp.o.d"
+  "/root/repo/src/faults/fault.cpp" "src/CMakeFiles/msbist_faults.dir/faults/fault.cpp.o" "gcc" "src/CMakeFiles/msbist_faults.dir/faults/fault.cpp.o.d"
+  "/root/repo/src/faults/parametric.cpp" "src/CMakeFiles/msbist_faults.dir/faults/parametric.cpp.o" "gcc" "src/CMakeFiles/msbist_faults.dir/faults/parametric.cpp.o.d"
+  "/root/repo/src/faults/universe.cpp" "src/CMakeFiles/msbist_faults.dir/faults/universe.cpp.o" "gcc" "src/CMakeFiles/msbist_faults.dir/faults/universe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/msbist_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

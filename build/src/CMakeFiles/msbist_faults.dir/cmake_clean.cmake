@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msbist_faults.dir/faults/campaign.cpp.o"
+  "CMakeFiles/msbist_faults.dir/faults/campaign.cpp.o.d"
+  "CMakeFiles/msbist_faults.dir/faults/fault.cpp.o"
+  "CMakeFiles/msbist_faults.dir/faults/fault.cpp.o.d"
+  "CMakeFiles/msbist_faults.dir/faults/parametric.cpp.o"
+  "CMakeFiles/msbist_faults.dir/faults/parametric.cpp.o.d"
+  "CMakeFiles/msbist_faults.dir/faults/universe.cpp.o"
+  "CMakeFiles/msbist_faults.dir/faults/universe.cpp.o.d"
+  "libmsbist_faults.a"
+  "libmsbist_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msbist_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

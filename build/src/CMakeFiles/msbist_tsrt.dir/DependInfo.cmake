@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsrt/detector.cpp" "src/CMakeFiles/msbist_tsrt.dir/tsrt/detector.cpp.o" "gcc" "src/CMakeFiles/msbist_tsrt.dir/tsrt/detector.cpp.o.d"
+  "/root/repo/src/tsrt/example_circuits.cpp" "src/CMakeFiles/msbist_tsrt.dir/tsrt/example_circuits.cpp.o" "gcc" "src/CMakeFiles/msbist_tsrt.dir/tsrt/example_circuits.cpp.o.d"
+  "/root/repo/src/tsrt/impulse_compare.cpp" "src/CMakeFiles/msbist_tsrt.dir/tsrt/impulse_compare.cpp.o" "gcc" "src/CMakeFiles/msbist_tsrt.dir/tsrt/impulse_compare.cpp.o.d"
+  "/root/repo/src/tsrt/pole_compare.cpp" "src/CMakeFiles/msbist_tsrt.dir/tsrt/pole_compare.cpp.o" "gcc" "src/CMakeFiles/msbist_tsrt.dir/tsrt/pole_compare.cpp.o.d"
+  "/root/repo/src/tsrt/transient_test.cpp" "src/CMakeFiles/msbist_tsrt.dir/tsrt/transient_test.cpp.o" "gcc" "src/CMakeFiles/msbist_tsrt.dir/tsrt/transient_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/msbist_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_analog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

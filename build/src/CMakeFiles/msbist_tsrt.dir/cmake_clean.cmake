@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msbist_tsrt.dir/tsrt/detector.cpp.o"
+  "CMakeFiles/msbist_tsrt.dir/tsrt/detector.cpp.o.d"
+  "CMakeFiles/msbist_tsrt.dir/tsrt/example_circuits.cpp.o"
+  "CMakeFiles/msbist_tsrt.dir/tsrt/example_circuits.cpp.o.d"
+  "CMakeFiles/msbist_tsrt.dir/tsrt/impulse_compare.cpp.o"
+  "CMakeFiles/msbist_tsrt.dir/tsrt/impulse_compare.cpp.o.d"
+  "CMakeFiles/msbist_tsrt.dir/tsrt/pole_compare.cpp.o"
+  "CMakeFiles/msbist_tsrt.dir/tsrt/pole_compare.cpp.o.d"
+  "CMakeFiles/msbist_tsrt.dir/tsrt/transient_test.cpp.o"
+  "CMakeFiles/msbist_tsrt.dir/tsrt/transient_test.cpp.o.d"
+  "libmsbist_tsrt.a"
+  "libmsbist_tsrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msbist_tsrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adc_test.cpp" "tests/CMakeFiles/msbist_tests.dir/adc_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/adc_test.cpp.o.d"
+  "/root/repo/tests/analog_macros_test.cpp" "tests/CMakeFiles/msbist_tests.dir/analog_macros_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/analog_macros_test.cpp.o.d"
+  "/root/repo/tests/bist_access_test.cpp" "tests/CMakeFiles/msbist_tests.dir/bist_access_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/bist_access_test.cpp.o.d"
+  "/root/repo/tests/bist_test.cpp" "tests/CMakeFiles/msbist_tests.dir/bist_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/bist_test.cpp.o.d"
+  "/root/repo/tests/circuit_ac_test.cpp" "tests/CMakeFiles/msbist_tests.dir/circuit_ac_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/circuit_ac_test.cpp.o.d"
+  "/root/repo/tests/circuit_linear_test.cpp" "tests/CMakeFiles/msbist_tests.dir/circuit_linear_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/circuit_linear_test.cpp.o.d"
+  "/root/repo/tests/circuit_mos_test.cpp" "tests/CMakeFiles/msbist_tests.dir/circuit_mos_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/circuit_mos_test.cpp.o.d"
+  "/root/repo/tests/circuit_parser_test.cpp" "tests/CMakeFiles/msbist_tests.dir/circuit_parser_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/circuit_parser_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/msbist_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/digital_test.cpp" "tests/CMakeFiles/msbist_tests.dir/digital_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/digital_test.cpp.o.d"
+  "/root/repo/tests/dsp_convolution_correlation_test.cpp" "tests/CMakeFiles/msbist_tests.dir/dsp_convolution_correlation_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/dsp_convolution_correlation_test.cpp.o.d"
+  "/root/repo/tests/dsp_fft_test.cpp" "tests/CMakeFiles/msbist_tests.dir/dsp_fft_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/dsp_fft_test.cpp.o.d"
+  "/root/repo/tests/dsp_matrix_test.cpp" "tests/CMakeFiles/msbist_tests.dir/dsp_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/dsp_matrix_test.cpp.o.d"
+  "/root/repo/tests/dsp_misc_test.cpp" "tests/CMakeFiles/msbist_tests.dir/dsp_misc_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/dsp_misc_test.cpp.o.d"
+  "/root/repo/tests/dsp_prbs_test.cpp" "tests/CMakeFiles/msbist_tests.dir/dsp_prbs_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/dsp_prbs_test.cpp.o.d"
+  "/root/repo/tests/dsp_state_space_test.cpp" "tests/CMakeFiles/msbist_tests.dir/dsp_state_space_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/dsp_state_space_test.cpp.o.d"
+  "/root/repo/tests/dsp_vec_test.cpp" "tests/CMakeFiles/msbist_tests.dir/dsp_vec_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/dsp_vec_test.cpp.o.d"
+  "/root/repo/tests/dsp_ztransfer_polynomial_test.cpp" "tests/CMakeFiles/msbist_tests.dir/dsp_ztransfer_polynomial_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/dsp_ztransfer_polynomial_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/msbist_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/faults_test.cpp" "tests/CMakeFiles/msbist_tests.dir/faults_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/faults_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/msbist_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/msbist_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/tsrt_pole_test.cpp" "tests/CMakeFiles/msbist_tests.dir/tsrt_pole_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/tsrt_pole_test.cpp.o.d"
+  "/root/repo/tests/tsrt_test.cpp" "tests/CMakeFiles/msbist_tests.dir/tsrt_test.cpp.o" "gcc" "tests/CMakeFiles/msbist_tests.dir/tsrt_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/msbist_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_adc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_tsrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msbist_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
