@@ -1,0 +1,61 @@
+#include "analysis/diagnostic.h"
+
+namespace msbist::analysis {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::format() const {
+  std::string out = std::string(to_string(severity)) + "[" + rule + "]";
+  if (!node.empty()) out += " node '" + node + "'";
+  if (!element.empty()) out += " element '" + element + "'";
+  out += ": " + message;
+  if (!hint.empty()) out += " (fix: " + hint + ")";
+  return out;
+}
+
+std::size_t Report::count(Severity s) const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics_) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+std::vector<Diagnostic> Report::for_rule(const std::string& rule) const {
+  std::vector<Diagnostic> out;
+  for (const auto& d : diagnostics_) {
+    if (d.rule == rule) out.push_back(d);
+  }
+  return out;
+}
+
+std::string Report::format() const {
+  std::string out;
+  for (const auto& d : diagnostics_) {
+    out += d.format();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+std::string erc_what(const std::string& context, const Report& report) {
+  std::string msg = "ERC rejected netlist";
+  if (!context.empty()) msg += " (" + context + ")";
+  msg += ": " + std::to_string(report.count(Severity::kError)) + " error(s)\n";
+  msg += report.format();
+  return msg;
+}
+}  // namespace
+
+ErcError::ErcError(const std::string& context, Report report)
+    : std::runtime_error(erc_what(context, report)), report_(std::move(report)) {}
+
+}  // namespace msbist::analysis

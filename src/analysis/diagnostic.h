@@ -1,0 +1,70 @@
+// Structured diagnostics for the netlist static-analysis (ERC) pipeline.
+//
+// Each ERC pass reports Diagnostics into a Report: a severity, the rule
+// that fired, the offending node and/or element, and a fix hint. This is
+// the static analogue of the paper's fault-to-parameter mapping — a
+// structural defect is named and located before the Newton-Raphson solver
+// ever gets a chance to fail on it cryptically.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace msbist::analysis {
+
+/// Diagnostic severity. Error means the MNA system is (or is very likely
+/// to be) singular or inconsistent; analyses refuse to run. Warning means
+/// the circuit is solvable but suspicious. Info is advisory.
+enum class Severity { kInfo, kWarning, kError };
+
+const char* to_string(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string rule;     ///< pass name that fired, e.g. "dc-path"
+  std::string message;  ///< what is wrong
+  std::string node;     ///< offending node name ("" when not node-specific)
+  std::string element;  ///< offending element label ("" when n/a)
+  std::string hint;     ///< how to fix it
+
+  /// One-line rendering: "error[dc-path] node 'x': ... (fix: ...)".
+  std::string format() const;
+};
+
+/// Ordered collection of diagnostics from one Runner::run.
+class Report {
+ public:
+  void add(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  std::size_t size() const { return diagnostics_.size(); }
+
+  std::size_t count(Severity s) const;
+  bool has_errors() const { return count(Severity::kError) > 0; }
+
+  /// Diagnostics produced by one rule.
+  std::vector<Diagnostic> for_rule(const std::string& rule) const;
+
+  /// Multi-line rendering of every diagnostic.
+  std::string format() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Thrown by the enforcement points (circuit::dc / circuit::transient and
+/// Runner::enforce) when a netlist carries Error-severity diagnostics.
+/// what() carries the full formatted report.
+class ErcError : public std::runtime_error {
+ public:
+  ErcError(const std::string& context, Report report);
+  const Report& report() const { return report_; }
+
+ private:
+  Report report_;
+};
+
+}  // namespace msbist::analysis

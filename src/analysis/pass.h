@@ -1,0 +1,27 @@
+// ERC pass interface.
+//
+// A Pass inspects the pre-built Topology of a netlist and appends
+// Diagnostics to a Report. Passes are stateless with respect to the
+// netlist: all configuration lives in the pass object itself (see
+// TestabilityPass's observed-node list), so a Runner can be reused across
+// many netlists — e.g. re-checking every mutant of a fault campaign.
+#pragma once
+
+#include <string>
+
+#include "analysis/diagnostic.h"
+#include "analysis/topology.h"
+
+namespace msbist::analysis {
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  /// Stable rule identifier, e.g. "dc-path"; becomes Diagnostic::rule.
+  virtual std::string name() const = 0;
+
+  virtual void run(const Topology& topo, Report& out) const = 0;
+};
+
+}  // namespace msbist::analysis

@@ -1,0 +1,259 @@
+#include "analysis/passes.h"
+
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "circuit/elements.h"
+#include "circuit/mos.h"
+
+namespace msbist::analysis {
+
+namespace {
+
+// Minimal union-find over topology vertices.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  /// Returns false when a and b were already in the same set.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+std::string describe_elements_at(const Topology& topo, std::size_t v) {
+  std::string out;
+  const auto& els = topo.elements_at(v);
+  for (std::size_t i = 0; i < els.size() && i < 3; ++i) {
+    if (!out.empty()) out += ", ";
+    out += topo.element_label(*els[i]);
+  }
+  if (els.size() > 3) out += ", ...";
+  return out;
+}
+
+/// True for elements whose DC path is a voltage constraint (an ideal
+/// source pins the voltage across it): loops of these are singular, and
+/// signals do not propagate through them.
+bool is_voltage_constraint(const circuit::Element& e) {
+  return dynamic_cast<const circuit::VoltageSource*>(&e) != nullptr ||
+         dynamic_cast<const circuit::Vcvs*>(&e) != nullptr;
+}
+
+}  // namespace
+
+void FloatingNodePass::run(const Topology& topo, Report& out) const {
+  for (std::size_t v = 0; v < topo.ground(); ++v) {
+    if (topo.degree(v) == 0) {
+      out.add({Severity::kError, name(),
+               "declared but connects to no element; its matrix row is empty",
+               topo.vertex_name(v), "",
+               "wire the node into the circuit or drop the declaration"});
+    } else if (topo.degree(v) == 1) {
+      out.add({Severity::kWarning, name(),
+               "dangles from a single element terminal; no current can flow",
+               topo.vertex_name(v), describe_elements_at(topo, v),
+               "connect a second element or remove the stub"});
+    }
+  }
+}
+
+void DcPathPass::run(const Topology& topo, Report& out) const {
+  const std::vector<bool> reach = topo.dc_reachable({topo.ground()});
+  for (std::size_t v = 0; v < topo.ground(); ++v) {
+    if (topo.degree(v) == 0 || reach[v]) continue;  // degree 0: floating-node's
+    out.add({Severity::kError, name(),
+             "no DC conduction path to ground (only " +
+                 describe_elements_at(topo, v) +
+                 " attach here); the MNA matrix is singular",
+             topo.vertex_name(v), "",
+             "add a DC bias path — a resistor to a biased net, or rework "
+             "capacitor-only / current-source-only connections"});
+  }
+}
+
+void SourceLoopPass::run(const Topology& topo, Report& out) const {
+  // Self-shorted sources first (their dc edge collapses to a self-loop and
+  // never reaches the edge list).
+  for (const auto& el : topo.netlist().elements()) {
+    const auto* vs = dynamic_cast<const circuit::VoltageSource*>(el.get());
+    if (vs != nullptr && topo.vertex(vs->pos()) == topo.vertex(vs->neg())) {
+      out.add({Severity::kError, name(),
+               "voltage source shorts its own terminals; the branch "
+               "constraint row is all zeros",
+               topo.vertex_name(topo.vertex(vs->pos())), topo.element_label(*vs),
+               "connect the source across two distinct nodes"});
+    }
+  }
+  DisjointSet ds(topo.vertex_count());
+  for (const auto& e : topo.dc_edges()) {
+    if (!is_voltage_constraint(*e.element)) continue;
+    if (!ds.unite(e.a, e.b)) {
+      out.add({Severity::kError, name(),
+               "closes a loop of ideal voltage-source branches (two sources "
+               "in parallel are the simplest case); the constraints are "
+               "linearly dependent or contradictory",
+               topo.vertex_name(e.a), topo.element_label(*e.element),
+               "insert a series resistance or remove the redundant source"});
+    }
+  }
+}
+
+void ConnectivityPass::run(const Topology& topo, Report& out) const {
+  DisjointSet ds(topo.vertex_count());
+  for (const auto& e : topo.coupling_edges()) ds.unite(e.a, e.b);
+  const std::size_t ground_root = ds.find(topo.ground());
+  std::unordered_map<std::size_t, std::vector<std::size_t>> islands;
+  for (std::size_t v = 0; v < topo.ground(); ++v) {
+    if (topo.degree(v) == 0) continue;
+    const std::size_t root = ds.find(v);
+    if (root != ground_root) islands[root].push_back(v);
+  }
+  for (const auto& [root, nodes] : islands) {
+    std::string members;
+    for (std::size_t i = 0; i < nodes.size() && i < 4; ++i) {
+      if (!members.empty()) members += ", ";
+      members += topo.vertex_name(nodes[i]);
+    }
+    if (nodes.size() > 4) members += ", ...";
+    out.add({Severity::kWarning, name(),
+             "subgraph {" + members + "} has no coupling to the rest of the "
+             "circuit or ground",
+             topo.vertex_name(nodes.front()), "",
+             "reference the subgraph to ground or remove it"});
+  }
+}
+
+void DuplicateNamePass::run(const Topology& topo, Report& out) const {
+  std::unordered_map<std::string, int> counts;
+  for (const auto& el : topo.netlist().elements()) {
+    if (!el->name().empty()) counts[el->name()] += 1;
+  }
+  for (const auto& [label, count] : counts) {
+    if (count > 1) {
+      out.add({Severity::kError, name(),
+               std::to_string(count) + " elements share this name; "
+               "Netlist::find and branch-current probes are ambiguous",
+               "", label, "give each element a unique name"});
+    }
+  }
+}
+
+void MosGeometryPass::run(const Topology& topo, Report& out) const {
+  for (const auto& el : topo.netlist().elements()) {
+    const auto* m = dynamic_cast<const circuit::Mosfet*>(el.get());
+    if (m == nullptr) continue;
+    const std::string label = topo.element_label(*m);
+    const std::string drain = topo.vertex_name(topo.vertex(m->drain()));
+    const circuit::MosParams& p = m->params();
+    if (p.w_over_l <= 0) {
+      out.add({Severity::kError, name(),
+               "degenerate aspect ratio W/L = " + std::to_string(p.w_over_l),
+               drain, label, "set a positive W/L"});
+    }
+    if (p.kp <= 0) {
+      out.add({Severity::kError, name(),
+               "non-positive transconductance kp = " + std::to_string(p.kp),
+               drain, label, "set a positive kp"});
+    }
+    if (p.vt <= 0) {
+      out.add({Severity::kWarning, name(),
+               "non-positive threshold magnitude vt = " + std::to_string(p.vt) +
+                   " (depletion-mode device in an enhancement-only flow)",
+               drain, label, "check the threshold sign convention"});
+    }
+    if (p.lambda < 0) {
+      out.add({Severity::kWarning, name(),
+               "negative channel-length modulation lambda",
+               drain, label, "lambda must be >= 0"});
+    }
+    const std::size_t vd = topo.vertex(m->drain());
+    const std::size_t vg = topo.vertex(m->gate());
+    const std::size_t vs = topo.vertex(m->source());
+    if (vd == vg && vg == vs) {
+      out.add({Severity::kWarning, name(),
+               "drain, gate and source all tie to one node; the device "
+               "contributes nothing (bulk is implicitly tied to source in "
+               "the level-1 model)",
+               drain, label, "rewire or delete the device"});
+    } else if (vd == vs) {
+      out.add({Severity::kWarning, name(),
+               "drain and source tie to the same node (channel shorted)",
+               drain, label, "rewire the channel terminals"});
+    }
+  }
+}
+
+void TestabilityPass::run(const Topology& topo, Report& out) const {
+  if (observed_.empty()) {
+    out.add({Severity::kInfo, name(),
+             "no BIST observation taps declared; observability not assessed",
+             "", "", "pass the tap nodes (level-sensor / test-access inputs)"});
+    return;
+  }
+  std::vector<bool> seen(topo.vertex_count(), false);
+  std::vector<std::size_t> stack;
+  for (const std::string& tap : observed_) {
+    try {
+      const std::size_t v = topo.vertex(topo.netlist().find_node(tap));
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    } catch (const std::out_of_range&) {
+      out.add({Severity::kWarning, name(),
+               "declared observation tap is not a node of this netlist", tap,
+               "", "fix the tap list"});
+    }
+  }
+  // Signal-propagation BFS: DC conduction edges only, minus ideal voltage
+  // constraints (a pinned voltage sinks the signal), and never expanding
+  // out of the ground vertex (the ground rail is an ideal sink too).
+  std::vector<std::vector<std::size_t>> adj(topo.vertex_count());
+  for (const auto& e : topo.dc_edges()) {
+    if (is_voltage_constraint(*e.element)) continue;
+    adj[e.a].push_back(e.b);
+    adj[e.b].push_back(e.a);
+  }
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    if (v == topo.ground()) continue;
+    for (std::size_t w : adj[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  for (std::size_t v = 0; v < topo.ground(); ++v) {
+    if (topo.degree(v) == 0 || seen[v]) continue;
+    out.add({Severity::kWarning, name(),
+             "unobservable by the BIST macros: no DC conduction path carries "
+             "this node's state to any declared tap — the ramp-gain-masking "
+             "blind spot of the paper, generalized",
+             topo.vertex_name(v), "",
+             "route the node to a DcLevelSensor / TestAccessPort tap or "
+             "accept that faults here escape the BIST tiers"});
+  }
+}
+
+}  // namespace msbist::analysis

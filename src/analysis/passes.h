@@ -1,0 +1,103 @@
+// Concrete ERC passes.
+//
+// Each pass encodes one class of structural netlist defect that would
+// otherwise surface deep inside the Newton-Raphson solver as a cryptic
+// non-convergence (or worse, converge to garbage through the gmin leak):
+//
+//   floating-node      node with no (or a single dangling) connection
+//   dc-path            node with no DC conduction path to ground — the
+//                      MNA matrix is singular without the gmin crutch
+//   source-loop        shorted / conflicting / looped voltage sources —
+//                      singular or inconsistent constraint rows
+//   connectivity       subgraphs with no coupling to ground at all
+//   duplicate-name     ambiguous element names (Netlist::find picks one)
+//   mos-geometry       degenerate MOS devices (W/L, kp, vt, shorted pins;
+//                      bulk is implicitly tied to source in this model)
+//   bist-observability nodes no bist:: macro can observe through any DC
+//                      conduction path — the paper's ramp-gain-masking
+//                      blind spot, generalized
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/pass.h"
+
+namespace msbist::analysis {
+
+/// Nodes declared but never connected (Error) or hanging off a single
+/// element terminal (Warning).
+class FloatingNodePass final : public Pass {
+ public:
+  std::string name() const override { return "floating-node"; }
+  void run(const Topology& topo, Report& out) const override;
+};
+
+/// Nodes with no DC conduction path to ground: capacitor-only islands,
+/// current-source-driven nodes, floating MOS gates. Guaranteed-singular
+/// MNA without the solver's gmin leak, so severity is Error.
+class DcPathPass final : public Pass {
+ public:
+  std::string name() const override { return "dc-path"; }
+  void run(const Topology& topo, Report& out) const override;
+};
+
+/// Voltage-source constraint defects: a source shorting its own
+/// terminals, and loops of voltage-source-like branches (two sources in
+/// parallel are the 2-cycle case) — the constraint rows are linearly
+/// dependent or contradictory.
+class SourceLoopPass final : public Pass {
+ public:
+  std::string name() const override { return "source-loop"; }
+  void run(const Topology& topo, Report& out) const override;
+};
+
+/// Connected components (over every coupling, capacitors included) that
+/// do not contain ground. dc-path already errors each member node; this
+/// pass adds the structural summary at Warning severity.
+class ConnectivityPass final : public Pass {
+ public:
+  std::string name() const override { return "connectivity"; }
+  void run(const Topology& topo, Report& out) const override;
+};
+
+/// Duplicate element names make Netlist::find and branch-current probes
+/// ambiguous.
+class DuplicateNamePass final : public Pass {
+ public:
+  std::string name() const override { return "duplicate-name"; }
+  void run(const Topology& topo, Report& out) const override;
+};
+
+/// Degenerate MOS devices: non-positive W/L or kp (Error — the stamp is
+/// meaningless), non-positive vt / negative lambda and shorted or
+/// fully-tied terminals (Warning).
+class MosGeometryPass final : public Pass {
+ public:
+  std::string name() const override { return "mos-geometry"; }
+  void run(const Topology& topo, Report& out) const override;
+};
+
+/// BIST testability: every node should reach at least one declared
+/// observation tap (a node wired to a bist:: macro — DcLevelSensor input,
+/// TestAccessPort mux, ramp comparator) through DC conduction, without
+/// passing through ground or through an ideal voltage source (both sink
+/// the signal). Unobservable nodes are the generalization of the paper's
+/// ramp-test blind spot, where a gain error is masked because only the
+/// ramp endpoint is observed. Severity Warning: the circuit simulates
+/// fine, but a fault campaign cannot see faults there.
+class TestabilityPass final : public Pass {
+ public:
+  explicit TestabilityPass(std::vector<std::string> observed_nodes)
+      : observed_(std::move(observed_nodes)) {}
+
+  std::string name() const override { return "bist-observability"; }
+  void run(const Topology& topo, Report& out) const override;
+
+  const std::vector<std::string>& observed_nodes() const { return observed_; }
+
+ private:
+  std::vector<std::string> observed_;
+};
+
+}  // namespace msbist::analysis

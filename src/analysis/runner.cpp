@@ -1,0 +1,51 @@
+#include "analysis/runner.h"
+
+#include "analysis/passes.h"
+
+namespace msbist::analysis {
+
+Runner Runner::standard() {
+  Runner r;
+  r.add(std::make_unique<FloatingNodePass>());
+  r.add(std::make_unique<DcPathPass>());
+  r.add(std::make_unique<SourceLoopPass>());
+  r.add(std::make_unique<ConnectivityPass>());
+  r.add(std::make_unique<DuplicateNamePass>());
+  r.add(std::make_unique<MosGeometryPass>());
+  return r;
+}
+
+Runner Runner::with_testability(std::vector<std::string> observed_nodes) {
+  Runner r = standard();
+  r.add(std::make_unique<TestabilityPass>(std::move(observed_nodes)));
+  return r;
+}
+
+Runner& Runner::add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+Report Runner::run(const circuit::Netlist& netlist) const {
+  const Topology topo(netlist);
+  Report report;
+  for (const auto& pass : passes_) pass->run(topo, report);
+  return report;
+}
+
+Report Runner::enforce(const circuit::Netlist& netlist,
+                       const std::string& context) const {
+  Report report = run(netlist);
+  if (report.has_errors()) throw ErcError(context, std::move(report));
+  return report;
+}
+
+Report check(const circuit::Netlist& netlist) {
+  return Runner::standard().run(netlist);
+}
+
+Report enforce(const circuit::Netlist& netlist, const std::string& context) {
+  return Runner::standard().enforce(netlist, context);
+}
+
+}  // namespace msbist::analysis

@@ -1,0 +1,47 @@
+// ERC pass-pipeline runner and the library's enforcement entry points.
+//
+// Runner owns an ordered list of passes and executes them over a shared
+// Topology. The standard pipeline contains every structural pass;
+// with_testability() appends the BIST observability pass, which needs a
+// declared tap list. circuit::dc / circuit::transient call enforce()
+// before solving, so a malformed netlist is rejected with named
+// diagnostics instead of failing inside Newton-Raphson.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/pass.h"
+
+namespace msbist::analysis {
+
+class Runner {
+ public:
+  /// All structural ERC passes: floating-node, dc-path, source-loop,
+  /// connectivity, duplicate-name, mos-geometry.
+  static Runner standard();
+
+  /// standard() plus bist-observability over the given tap nodes.
+  static Runner with_testability(std::vector<std::string> observed_nodes);
+
+  Runner& add(std::unique_ptr<Pass> pass);
+
+  /// Run every pass over one shared Topology of the netlist.
+  Report run(const circuit::Netlist& netlist) const;
+
+  /// Run, then throw ErcError when any Error-severity diagnostic exists.
+  /// Returns the report otherwise so callers can still surface warnings.
+  Report enforce(const circuit::Netlist& netlist, const std::string& context) const;
+
+  const std::vector<std::unique_ptr<Pass>>& passes() const { return passes_; }
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/// Standard-pipeline one-shots.
+Report check(const circuit::Netlist& netlist);
+Report enforce(const circuit::Netlist& netlist, const std::string& context);
+
+}  // namespace msbist::analysis

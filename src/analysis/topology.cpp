@@ -1,0 +1,125 @@
+#include "analysis/topology.h"
+
+#include <stdexcept>
+#include <typeinfo>
+
+namespace msbist::analysis {
+
+namespace {
+
+// "N7MosfetE" -> "Mosfet": strip the Itanium-mangled length prefix that
+// typeid().name() yields with GCC/Clang. Good enough for labels; falls
+// back to the raw string on other ABIs.
+std::string type_label(const circuit::Element& e) {
+  const std::string raw = typeid(e).name();
+  // The class name is the last length-prefixed component.
+  std::size_t last_digit = std::string::npos;
+  for (std::size_t k = 0; k < raw.size(); ++k) {
+    if (raw[k] >= '0' && raw[k] <= '9' &&
+        (k == 0 || raw[k - 1] < '0' || raw[k - 1] > '9')) {
+      last_digit = k;
+    }
+  }
+  if (last_digit == std::string::npos) return raw;
+  std::size_t len = 0, pos = last_digit;
+  while (pos < raw.size() && raw[pos] >= '0' && raw[pos] <= '9') {
+    len = len * 10 + static_cast<std::size_t>(raw[pos] - '0');
+    ++pos;
+  }
+  if (pos + len > raw.size() || len == 0) return raw;
+  return raw.substr(pos, len);
+}
+
+}  // namespace
+
+Topology::Topology(const circuit::Netlist& netlist) : netlist_(&netlist) {
+  const std::size_t vertices = netlist.node_count() + 1;  // + ground
+  degree_.assign(vertices, 0);
+  at_.assign(vertices, {});
+  dc_adj_.assign(vertices, {});
+
+  for (const auto& el : netlist.elements()) {
+    const std::vector<circuit::NodeId> terms = el->terminals();
+    // Degree and per-vertex element lists (each element counted once per
+    // vertex even when two terminals share the node).
+    std::vector<std::size_t> verts;
+    verts.reserve(terms.size());
+    for (circuit::NodeId n : terms) verts.push_back(vertex(n));
+    for (std::size_t k = 0; k < verts.size(); ++k) {
+      degree_[verts[k]] += 1;
+      bool seen = false;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (verts[j] == verts[k]) seen = true;
+      }
+      if (!seen) at_[verts[k]].push_back(el.get());
+    }
+    // Coupling edges: every distinct terminal pair.
+    for (std::size_t a = 0; a < verts.size(); ++a) {
+      for (std::size_t b = a + 1; b < verts.size(); ++b) {
+        if (verts[a] != verts[b]) {
+          coupling_.push_back({verts[a], verts[b], el.get()});
+        }
+      }
+    }
+    // DC conduction edges from the element's self-description.
+    for (const auto& [ta, tb] : el->dc_paths()) {
+      if (ta < 0 || tb < 0 || static_cast<std::size_t>(ta) >= verts.size() ||
+          static_cast<std::size_t>(tb) >= verts.size()) {
+        throw std::logic_error("Topology: element dc_paths() index out of range");
+      }
+      const std::size_t va = verts[static_cast<std::size_t>(ta)];
+      const std::size_t vb = verts[static_cast<std::size_t>(tb)];
+      if (va == vb) continue;
+      dc_.push_back({va, vb, el.get()});
+      dc_adj_[va].push_back(vb);
+      dc_adj_[vb].push_back(va);
+    }
+  }
+}
+
+std::size_t Topology::vertex(circuit::NodeId n) const {
+  if (n == circuit::kGround) return ground();
+  if (n < 0 || static_cast<std::size_t>(n) >= netlist_->node_count()) {
+    throw std::out_of_range("Topology: node id out of range");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::string Topology::vertex_name(std::size_t v) const {
+  if (v == ground()) return "gnd";
+  return netlist_->node_names().at(v);
+}
+
+std::vector<bool> Topology::dc_reachable(const std::vector<std::size_t>& seeds) const {
+  std::vector<bool> seen(vertex_count(), false);
+  std::vector<std::size_t> stack;
+  for (std::size_t s : seeds) {
+    if (!seen.at(s)) {
+      seen[s] = true;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    for (std::size_t w : dc_adj_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+std::string Topology::element_label(const circuit::Element& e) const {
+  if (!e.name().empty()) return e.name();
+  std::size_t index = 0;
+  for (const auto& el : netlist_->elements()) {
+    if (el.get() == &e) break;
+    ++index;
+  }
+  return type_label(e) + "#" + std::to_string(index);
+}
+
+}  // namespace msbist::analysis

@@ -1,0 +1,68 @@
+// Connectivity view of a Netlist for the ERC passes.
+//
+// Built once per Runner::run from the elements' terminals()/dc_paths()
+// self-descriptions, then shared by every pass. Vertices are the
+// netlist's nodes 0..N-1 plus one extra vertex for the ground reference
+// at index N, so graph algorithms need no kGround special case.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace msbist::analysis {
+
+class Topology {
+ public:
+  explicit Topology(const circuit::Netlist& netlist);
+
+  const circuit::Netlist& netlist() const { return *netlist_; }
+
+  /// Nodes plus the ground vertex.
+  std::size_t vertex_count() const { return degree_.size(); }
+  std::size_t ground() const { return vertex_count() - 1; }
+
+  /// Vertex index for a node id (kGround maps to ground()).
+  std::size_t vertex(circuit::NodeId n) const;
+
+  /// Display name for a vertex ("gnd" for the ground vertex).
+  std::string vertex_name(std::size_t v) const;
+
+  /// Number of element terminals attached to a vertex.
+  int degree(std::size_t v) const { return degree_[v]; }
+
+  struct Edge {
+    std::size_t a = 0, b = 0;
+    const circuit::Element* element = nullptr;
+  };
+
+  /// Any electrical coupling: every terminal pair of every element
+  /// (capacitors and controlled-source sense pins included).
+  const std::vector<Edge>& coupling_edges() const { return coupling_; }
+
+  /// DC conduction only, from the elements' dc_paths().
+  const std::vector<Edge>& dc_edges() const { return dc_; }
+
+  /// Elements with at least one terminal on a vertex.
+  const std::vector<const circuit::Element*>& elements_at(std::size_t v) const {
+    return at_[v];
+  }
+
+  /// Vertices reachable from the seeds over DC conduction edges.
+  std::vector<bool> dc_reachable(const std::vector<std::size_t>& seeds) const;
+
+  /// Stable display label for an element: its name, or "<Type>#<index>"
+  /// (index in netlist element order) when unnamed.
+  std::string element_label(const circuit::Element& e) const;
+
+ private:
+  const circuit::Netlist* netlist_;
+  std::vector<int> degree_;
+  std::vector<Edge> coupling_, dc_;
+  std::vector<std::vector<const circuit::Element*>> at_;
+  std::vector<std::vector<std::size_t>> dc_adj_;
+};
+
+}  // namespace msbist::analysis

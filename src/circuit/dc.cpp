@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "analysis/runner.h"
+
 namespace msbist::circuit {
 
 DcResult::DcResult(std::vector<double> solution, const Netlist& netlist)
@@ -17,6 +19,7 @@ double DcResult::voltage(NodeId node) const {
 }
 
 DcResult dc_operating_point(const Netlist& netlist, const DcOptions& opts) {
+  if (opts.erc) analysis::enforce(netlist, "dc_operating_point");
   // assign_unknowns is idempotent but non-const; the cast confines the
   // bookkeeping mutation (branch row indices) to this one spot.
   const std::size_t unknowns = const_cast<Netlist&>(netlist).assign_unknowns();

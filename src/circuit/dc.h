@@ -31,10 +31,15 @@ struct DcOptions {
   /// Homotopy steps tried when plain Newton fails: sources are ramped
   /// from 0 to full scale in this many increments.
   int source_steps = 20;
+  /// Run the ERC (analysis::enforce) before solving; Error-severity
+  /// netlists are rejected with analysis::ErcError instead of reaching
+  /// Newton-Raphson. Disable only when the caller already checked.
+  bool erc = true;
 };
 
 /// Operating point at t = 0 (waveform sources evaluate at their t=0 value;
-/// capacitors are open). Throws std::runtime_error when no operating point
+/// capacitors are open). Throws analysis::ErcError when the netlist fails
+/// the electrical rule check, std::runtime_error when no operating point
 /// is found even with source stepping.
 DcResult dc_operating_point(const Netlist& netlist, const DcOptions& opts = {});
 

@@ -15,8 +15,12 @@ class Resistor final : public Element {
  public:
   Resistor(NodeId a, NodeId b, double ohms);
   void stamp(Stamper& s, const StampContext& ctx) const override;
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
+  std::vector<std::pair<int, int>> dc_paths() const override { return {{0, 1}}; }
   double resistance() const { return ohms_; }
   void set_resistance(double ohms);
+  NodeId node_a() const { return a_; }
+  NodeId node_b() const { return b_; }
 
  private:
   NodeId a_, b_;
@@ -31,6 +35,7 @@ class Capacitor final : public Element {
   Capacitor(NodeId a, NodeId b, double farads);
   void set_initial_voltage(double v);
   void stamp(Stamper& s, const StampContext& ctx) const override;
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
   void transient_begin(const std::vector<double>& solution, bool use_ic) override;
   void transient_accept(const std::vector<double>& solution,
                         const StampContext& ctx) override;
@@ -55,7 +60,11 @@ class VoltageSource final : public Element {
   VoltageSource(NodeId pos, NodeId neg, WaveformPtr wave);
   VoltageSource(NodeId pos, NodeId neg, double dc);
   void stamp(Stamper& s, const StampContext& ctx) const override;
+  std::vector<NodeId> terminals() const override { return {pos_, neg_}; }
+  std::vector<std::pair<int, int>> dc_paths() const override { return {{0, 1}}; }
   int branch_count() const override { return 1; }
+  NodeId pos() const { return pos_; }
+  NodeId neg() const { return neg_; }
   /// Branch current (positive flowing pos -> through source -> neg) in a
   /// given MNA solution vector.
   double current_in(const std::vector<double>& solution) const;
@@ -75,6 +84,7 @@ class CurrentSource final : public Element {
   CurrentSource(NodeId pos, NodeId neg, WaveformPtr wave);
   CurrentSource(NodeId pos, NodeId neg, double dc);
   void stamp(Stamper& s, const StampContext& ctx) const override;
+  std::vector<NodeId> terminals() const override { return {pos_, neg_}; }
   /// Replace the drive with a constant level (used by DC sweeps).
   void set_dc(double v) { wave_ = std::make_shared<DcWave>(v); }
 
@@ -89,6 +99,10 @@ class Vcvs final : public Element {
  public:
   Vcvs(NodeId out_pos, NodeId out_neg, NodeId in_pos, NodeId in_neg, double gain);
   void stamp(Stamper& s, const StampContext& ctx) const override;
+  /// Terminal order: out+, out-, in+, in-. Only the driven output pair
+  /// conducts; the input pair only senses.
+  std::vector<NodeId> terminals() const override { return {op_, on_, ip_, in_}; }
+  std::vector<std::pair<int, int>> dc_paths() const override { return {{0, 1}}; }
   int branch_count() const override { return 1; }
 
  private:
@@ -101,6 +115,9 @@ class Vccs final : public Element {
  public:
   Vccs(NodeId out_pos, NodeId out_neg, NodeId in_pos, NodeId in_neg, double gm);
   void stamp(Stamper& s, const StampContext& ctx) const override;
+  /// Terminal order: out+, out-, in+, in-. A current output is not a DC
+  /// path, so a Vccs provides none at all.
+  std::vector<NodeId> terminals() const override { return {op_, on_, ip_, in_}; }
 
  private:
   NodeId op_, on_, ip_, in_;
@@ -115,6 +132,9 @@ class TimedSwitch final : public Element {
   TimedSwitch(NodeId a, NodeId b, ClockWave clock, double r_on = 1e3,
               double r_off = 1e9);
   void stamp(Stamper& s, const StampContext& ctx) const override;
+  // Off-resistance is finite, so the switch conducts (weakly) in any state.
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
+  std::vector<std::pair<int, int>> dc_paths() const override { return {{0, 1}}; }
   bool is_on(double t) const { return clock_.is_high(t); }
 
  private:
@@ -131,6 +151,9 @@ class VoltageSwitch final : public Element {
   VoltageSwitch(NodeId a, NodeId b, NodeId ctrl_pos, NodeId ctrl_neg,
                 double threshold, double r_on = 1e3, double r_off = 1e9);
   void stamp(Stamper& s, const StampContext& ctx) const override;
+  /// Terminal order: a, b, ctrl+, ctrl-. The control pair only senses.
+  std::vector<NodeId> terminals() const override { return {a_, b_, cp_, cn_}; }
+  std::vector<std::pair<int, int>> dc_paths() const override { return {{0, 1}}; }
   bool nonlinear() const override { return true; }
 
  private:

@@ -43,6 +43,10 @@ class Mosfet final : public Element {
   Mosfet(MosType type, NodeId drain, NodeId gate, NodeId source, MosParams params);
 
   void stamp(Stamper& s, const StampContext& ctx) const override;
+  /// Terminal order: drain, gate, source. The channel conducts; the gate
+  /// is insulated (no DC path), so a gate node needs its own bias path.
+  std::vector<NodeId> terminals() const override { return {d_, g_, s_}; }
+  std::vector<std::pair<int, int>> dc_paths() const override { return {{0, 2}}; }
   bool nonlinear() const override { return true; }
 
   const MosParams& params() const { return params_; }

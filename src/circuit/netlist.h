@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dsp/matrix.h"
@@ -70,6 +71,16 @@ class Element {
 
   /// Stamp the element's (linearized) companion model.
   virtual void stamp(Stamper& s, const StampContext& ctx) const = 0;
+
+  /// Nodes this element touches, in a fixed per-element order (terminal 0
+  /// first). Ground appears as kGround. Drives the static-analysis (ERC)
+  /// connectivity model in analysis/; every element must describe itself.
+  virtual std::vector<NodeId> terminals() const = 0;
+
+  /// Pairs of indices into terminals() between which the element conducts
+  /// at DC (finite resistance or a voltage-source constraint). Capacitors,
+  /// current sources and sense-only control pins provide none.
+  virtual std::vector<std::pair<int, int>> dc_paths() const { return {}; }
 
   /// True when the stamp depends on the Newton iterate.
   virtual bool nonlinear() const { return false; }

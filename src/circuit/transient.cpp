@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "analysis/runner.h"
 #include "circuit/dc.h"
 
 namespace msbist::circuit {
@@ -35,6 +36,7 @@ TransientResult transient(Netlist& netlist, const TransientOptions& opts) {
   if (opts.t_stop <= opts.t_start) {
     throw std::invalid_argument("transient: t_stop must exceed t_start");
   }
+  if (opts.erc) analysis::enforce(netlist, "transient");
   const std::size_t unknowns = netlist.assign_unknowns();
   const std::size_t nodes = netlist.node_count();
 
@@ -43,6 +45,7 @@ TransientResult transient(Netlist& netlist, const TransientOptions& opts) {
   if (!opts.use_initial_conditions) {
     DcOptions dc_opts;
     dc_opts.newton = opts.newton;
+    dc_opts.erc = false;  // already enforced above
     state = dc_operating_point(netlist, dc_opts).raw();
   }
   for (auto& el : netlist.elements()) {

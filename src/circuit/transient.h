@@ -22,6 +22,10 @@ struct TransientOptions {
   Integration method = Integration::kTrapezoidal;
   bool use_initial_conditions = false;  ///< skip the DC point; honor cap ICs
   NewtonOptions newton;
+  /// Run the ERC (analysis::enforce) before simulating; Error-severity
+  /// netlists are rejected with analysis::ErcError instead of diverging
+  /// inside Newton-Raphson.
+  bool erc = true;
 };
 
 /// Uniformly sampled simulation output. Sample k is at

@@ -8,6 +8,7 @@
 //   dsp      — signal processing: FFT, convolution/correlation, PRBS,
 //              state-space and z-domain models, matrices
 //   circuit  — SPICE-like MNA simulator: MOS level-1, DC + transient
+//   analysis — netlist ERC: static pass pipeline run before any solve
 //   analog   — behavioural macro library + transistor-level OP1 / SC cells
 //   digital  — counter, latch, control FSM, scan, LFSR/MISR
 //   faults   — stuck-at / bridging fault models, universes, campaigns
@@ -21,6 +22,11 @@
 #pragma once
 
 #include "adc/dac.h"
+#include "analysis/diagnostic.h"
+#include "analysis/pass.h"
+#include "analysis/passes.h"
+#include "analysis/runner.h"
+#include "analysis/topology.h"
 #include "adc/dual_slope.h"
 #include "adc/metrics.h"
 #include "adc/sigma_delta.h"

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "analysis/runner.h"
 #include "circuit/elements.h"
 
 namespace msbist::faults {
@@ -52,8 +53,8 @@ void clamp_node(circuit::Netlist& n, const std::string& node_name, bool high,
 
 }  // namespace
 
-void inject(circuit::Netlist& netlist, const FaultSpec& fault, const NodeMap& map,
-            const InjectionOptions& opts) {
+analysis::Report inject(circuit::Netlist& netlist, const FaultSpec& fault,
+                        const NodeMap& map, const InjectionOptions& opts) {
   if (!map) throw std::invalid_argument("inject: node map is required");
   switch (fault.kind) {
     case FaultKind::kStuckAt0:
@@ -74,6 +75,9 @@ void inject(circuit::Netlist& netlist, const FaultSpec& fault, const NodeMap& ma
       netlist.name_last("fault_" + fault.label);
       break;
   }
+  // Re-check the mutated netlist: a fault that leaves Error diagnostics is
+  // structurally unsolvable, which is itself a campaign-worthy verdict.
+  return analysis::check(netlist);
 }
 
 }  // namespace msbist::faults

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.h"
 #include "circuit/netlist.h"
 
 namespace msbist::faults {
@@ -49,8 +50,11 @@ struct InjectionOptions {
 };
 
 /// Inject a fault into a built netlist. The injected elements are named
-/// "fault_*" so reports can identify them.
-void inject(circuit::Netlist& netlist, const FaultSpec& fault, const NodeMap& map,
-            const InjectionOptions& opts = {});
+/// "fault_*" so reports can identify them. Returns the ERC report of the
+/// mutated netlist: an Error-severity report means the *fault itself*
+/// makes the circuit structurally unsolvable, letting campaigns separate
+/// "fault breaks the topology" from "solver failed to converge".
+analysis::Report inject(circuit::Netlist& netlist, const FaultSpec& fault,
+                        const NodeMap& map, const InjectionOptions& opts = {});
 
 }  // namespace msbist::faults

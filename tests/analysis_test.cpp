@@ -1,0 +1,261 @@
+// Netlist ERC static-analysis tests: one crafted bad netlist per rule, a
+// clean-netlist no-diagnostic case, enforcement at the dc/transient entry
+// points, and the post-fault-injection re-check.
+#include <gtest/gtest.h>
+
+#include "analysis/passes.h"
+#include "analysis/runner.h"
+#include "circuit/dc.h"
+#include "circuit/elements.h"
+#include "circuit/mos.h"
+#include "circuit/transient.h"
+#include "faults/fault.h"
+
+namespace {
+
+using namespace msbist;
+using analysis::Severity;
+using circuit::kGround;
+
+bool has_rule(const analysis::Report& r, const std::string& rule, Severity sev) {
+  for (const auto& d : r.for_rule(rule)) {
+    if (d.severity == sev) return true;
+  }
+  return false;
+}
+
+/// Healthy resistive divider driven by a source, with a decoupling cap.
+circuit::Netlist clean_divider() {
+  circuit::Netlist n;
+  const auto in = n.node("in");
+  const auto mid = n.node("mid");
+  n.add<circuit::VoltageSource>(in, kGround, 5.0);
+  n.name_last("Vin");
+  n.add<circuit::Resistor>(in, mid, 1e3);
+  n.name_last("R1");
+  n.add<circuit::Resistor>(mid, kGround, 1e3);
+  n.name_last("R2");
+  n.add<circuit::Capacitor>(mid, kGround, 1e-9);
+  n.name_last("C1");
+  return n;
+}
+
+TEST(AnalysisErc, CleanNetlistProducesNoDiagnostics) {
+  const circuit::Netlist n = clean_divider();
+  const analysis::Report r = analysis::check(n);
+  EXPECT_TRUE(r.empty()) << r.format();
+  // And the full standard pipeline ran (six passes).
+  EXPECT_EQ(analysis::Runner::standard().passes().size(), 6u);
+}
+
+TEST(AnalysisErc, OrphanNodeIsAnError) {
+  circuit::Netlist n = clean_divider();
+  n.node("orphan");
+  const analysis::Report r = analysis::check(n);
+  EXPECT_TRUE(has_rule(r, "floating-node", Severity::kError)) << r.format();
+  EXPECT_EQ(r.for_rule("floating-node").front().node, "orphan");
+}
+
+TEST(AnalysisErc, DanglingNodeIsAWarning) {
+  circuit::Netlist n = clean_divider();
+  // One resistor end in the air: solvable, but no current can flow.
+  n.add<circuit::Resistor>(n.find_node("mid"), n.node("stub"), 10e3);
+  const analysis::Report r = analysis::check(n);
+  EXPECT_TRUE(has_rule(r, "floating-node", Severity::kWarning)) << r.format();
+  EXPECT_FALSE(r.has_errors());
+}
+
+TEST(AnalysisErc, CapacitorOnlyIslandHasNoDcPath) {
+  circuit::Netlist n = clean_divider();
+  const auto island = n.node("island");
+  n.add<circuit::Capacitor>(n.find_node("mid"), island, 1e-12);
+  n.add<circuit::Capacitor>(island, kGround, 1e-12);
+  const analysis::Report r = analysis::check(n);
+  EXPECT_TRUE(has_rule(r, "dc-path", Severity::kError)) << r.format();
+  EXPECT_EQ(r.for_rule("dc-path").front().node, "island");
+}
+
+TEST(AnalysisErc, CurrentSourceOnlyNodeHasNoDcPath) {
+  circuit::Netlist n;
+  const auto a = n.node("a");
+  n.add<circuit::CurrentSource>(kGround, a, 1e-3);
+  n.add<circuit::Capacitor>(a, kGround, 1e-9);
+  const analysis::Report r = analysis::check(n);
+  EXPECT_TRUE(has_rule(r, "dc-path", Severity::kError)) << r.format();
+}
+
+TEST(AnalysisErc, ParallelVoltageSourcesConflict) {
+  circuit::Netlist n = clean_divider();
+  n.add<circuit::VoltageSource>(n.find_node("in"), kGround, 3.3);
+  n.name_last("Vdup");
+  const analysis::Report r = analysis::check(n);
+  EXPECT_TRUE(has_rule(r, "source-loop", Severity::kError)) << r.format();
+}
+
+TEST(AnalysisErc, SelfShortedSourceIsAnError) {
+  circuit::Netlist n = clean_divider();
+  const auto in = n.find_node("in");
+  n.add<circuit::VoltageSource>(in, in, 1.0);
+  n.name_last("Vshort");
+  const analysis::Report r = analysis::check(n);
+  EXPECT_TRUE(has_rule(r, "source-loop", Severity::kError)) << r.format();
+  bool found = false;
+  for (const auto& d : r.for_rule("source-loop")) {
+    if (d.element == "Vshort") found = true;
+  }
+  EXPECT_TRUE(found) << r.format();
+}
+
+TEST(AnalysisErc, VcvsLoopWithSourceConflicts) {
+  // V1 pins (a - gnd); the VCVS output also pins (a - gnd): a 2-cycle of
+  // ideal voltage constraints through different element types.
+  circuit::Netlist n;
+  const auto a = n.node("a");
+  const auto s = n.node("s");
+  n.add<circuit::VoltageSource>(s, kGround, 1.0);
+  n.add<circuit::Resistor>(s, kGround, 1e3);
+  n.add<circuit::VoltageSource>(a, kGround, 2.0);
+  n.add<circuit::Vcvs>(a, kGround, s, kGround, 10.0);
+  const analysis::Report r = analysis::check(n);
+  EXPECT_TRUE(has_rule(r, "source-loop", Severity::kError)) << r.format();
+}
+
+TEST(AnalysisErc, DisconnectedSubgraphIsFlagged) {
+  circuit::Netlist n = clean_divider();
+  const auto x = n.node("x");
+  const auto y = n.node("y");
+  n.add<circuit::Resistor>(x, y, 1e3);  // island never referencing ground
+  const analysis::Report r = analysis::check(n);
+  EXPECT_TRUE(has_rule(r, "connectivity", Severity::kWarning)) << r.format();
+  // Each island node also fails the dc-path check.
+  EXPECT_EQ(r.for_rule("dc-path").size(), 2u) << r.format();
+}
+
+TEST(AnalysisErc, DuplicateElementNamesAreAnError) {
+  circuit::Netlist n = clean_divider();
+  n.add<circuit::Resistor>(n.find_node("in"), kGround, 2e3);
+  n.name_last("R1");  // collides with the divider's R1
+  const analysis::Report r = analysis::check(n);
+  EXPECT_TRUE(has_rule(r, "duplicate-name", Severity::kError)) << r.format();
+  EXPECT_EQ(r.for_rule("duplicate-name").front().element, "R1");
+}
+
+TEST(AnalysisErc, DegenerateMosGeometry) {
+  circuit::Netlist n;
+  const auto vdd = n.node("vdd");
+  const auto out = n.node("out");
+  n.add<circuit::VoltageSource>(vdd, kGround, 5.0);
+  n.add<circuit::Resistor>(vdd, out, 10e3);
+  // The constructor validates kp/W-L, but params() is mutable and the
+  // parametric-fault injector degrades devices in place — the ERC is the
+  // backstop for a degradation that goes all the way to zero.
+  auto* m = n.add<circuit::Mosfet>(circuit::MosType::kNmos, out, vdd, kGround,
+                                   circuit::MosParams::nmos_5um(10.0));
+  m->params().w_over_l = 0.0;
+  const analysis::Report r = analysis::check(n);
+  EXPECT_TRUE(has_rule(r, "mos-geometry", Severity::kError)) << r.format();
+}
+
+TEST(AnalysisErc, ShortedMosChannelIsAWarning) {
+  circuit::Netlist n;
+  const auto vdd = n.node("vdd");
+  n.add<circuit::VoltageSource>(vdd, kGround, 5.0);
+  n.add<circuit::Mosfet>(circuit::MosType::kNmos, vdd, vdd, vdd,
+                         circuit::MosParams::nmos_5um(10.0));
+  const analysis::Report r = analysis::check(n);
+  EXPECT_TRUE(has_rule(r, "mos-geometry", Severity::kWarning)) << r.format();
+}
+
+TEST(AnalysisErc, TestabilityFlagsNodesBehindCurrentOutputs) {
+  // A Vccs-driven stage is electrically fine but invisible from the tap:
+  // signal cannot conduct back through a current output, and the ground
+  // rail sinks it. This is the generalized ramp-gain-masking blind spot.
+  circuit::Netlist n;
+  const auto in = n.node("in");
+  const auto mid = n.node("mid");
+  const auto out = n.node("out");
+  n.add<circuit::VoltageSource>(in, kGround, 1.0);
+  n.add<circuit::Resistor>(in, mid, 1e3);
+  n.add<circuit::Resistor>(mid, kGround, 1e3);
+  n.add<circuit::Vccs>(out, kGround, mid, kGround, 1e-3);
+  n.add<circuit::Resistor>(out, kGround, 10e3);
+  const analysis::Report r = analysis::Runner::with_testability({"mid"}).run(n);
+  const auto blind = r.for_rule("bist-observability");
+  ASSERT_EQ(blind.size(), 1u) << r.format();
+  EXPECT_EQ(blind.front().node, "out");
+  EXPECT_EQ(blind.front().severity, Severity::kWarning);
+
+  // Observing the output directly clears the blind spot ("in" stays
+  // reachable through R1-R2).
+  const analysis::Report r2 = analysis::Runner::with_testability({"out", "mid"}).run(n);
+  EXPECT_TRUE(r2.for_rule("bist-observability").empty()) << r2.format();
+}
+
+TEST(AnalysisErc, TestabilityHandlesBadTapLists) {
+  const circuit::Netlist n = clean_divider();
+  const analysis::Report none = analysis::Runner::with_testability({}).run(n);
+  EXPECT_TRUE(has_rule(none, "bist-observability", Severity::kInfo));
+  const analysis::Report typo = analysis::Runner::with_testability({"nope"}).run(n);
+  EXPECT_TRUE(has_rule(typo, "bist-observability", Severity::kWarning));
+}
+
+TEST(AnalysisErc, DcEntryPointRejectsBadNetlist) {
+  circuit::Netlist n = clean_divider();
+  const auto island = n.node("island");
+  n.add<circuit::Capacitor>(island, kGround, 1e-12);
+  try {
+    circuit::dc_operating_point(n);
+    FAIL() << "expected ErcError";
+  } catch (const analysis::ErcError& e) {
+    EXPECT_TRUE(has_rule(e.report(), "dc-path", Severity::kError));
+    EXPECT_NE(std::string(e.what()).find("dc-path"), std::string::npos);
+  }
+}
+
+TEST(AnalysisErc, TransientEntryPointRejectsBadNetlist) {
+  circuit::Netlist n = clean_divider();
+  n.node("orphan");
+  circuit::TransientOptions topts;
+  topts.dt = 1e-6;
+  topts.t_stop = 1e-5;
+  EXPECT_THROW(circuit::transient(n, topts), analysis::ErcError);
+}
+
+TEST(AnalysisErc, ErcOptOutStillSolvesViaGmin) {
+  // The gmin leak makes a capacitor-only island numerically solvable, so
+  // opting out of the ERC must reproduce the old (pre-ERC) behaviour.
+  circuit::Netlist n = clean_divider();
+  const auto island = n.node("island");
+  n.add<circuit::Capacitor>(island, kGround, 1e-12);
+  circuit::DcOptions opts;
+  opts.erc = false;
+  const circuit::DcResult op = circuit::dc_operating_point(n, opts);
+  EXPECT_NEAR(op.voltage("mid"), 2.5, 1e-6);
+  EXPECT_THROW(circuit::dc_operating_point(n), analysis::ErcError);
+}
+
+TEST(AnalysisErc, FaultInjectionRecheckStaysCleanOnHealthyCircuit) {
+  circuit::Netlist n = clean_divider();
+  const auto map = [](int) { return std::string("mid"); };
+  const analysis::Report r = faults::inject(n, faults::FaultSpec::stuck_at(1, false), map);
+  EXPECT_FALSE(r.has_errors()) << r.format();
+  // The clamped circuit still simulates: mid is pulled near 0 V.
+  const circuit::DcResult op = circuit::dc_operating_point(n);
+  EXPECT_LT(op.voltage("mid"), 0.1);
+}
+
+TEST(AnalysisErc, DoubleInjectionIsCaughtByRecheck) {
+  // Injecting the same fault twice duplicates the clamp element names —
+  // the re-check report distinguishes this campaign bug from a solver
+  // failure before any simulation runs.
+  circuit::Netlist n = clean_divider();
+  const auto map = [](int) { return std::string("mid"); };
+  const faults::FaultSpec f = faults::FaultSpec::stuck_at(1, true);
+  EXPECT_FALSE(faults::inject(n, f, map).has_errors());
+  const analysis::Report again = faults::inject(n, f, map);
+  EXPECT_TRUE(has_rule(again, "duplicate-name", Severity::kError)) << again.format();
+  EXPECT_TRUE(has_rule(again, "source-loop", Severity::kError)) << again.format();
+  EXPECT_THROW(circuit::dc_operating_point(n), analysis::ErcError);
+}
+
+}  // namespace

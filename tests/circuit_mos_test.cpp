@@ -97,11 +97,6 @@ TEST(MosDc, CommonSourceOperatingPoint) {
 TEST(MosDc, DiodeConnectedNmos) {
   // Diode-connected NMOS fed by a current source: vgs solves
   // I = 0.5 beta (vgs - vt)^2.
-  Netlist n;
-  const NodeId d = n.node("d");
-  MosParams p = MosParams::nmos_5um(10.0);
-  p.lambda = 0.0;
-  n.add<CurrentSource>(n.node("vdd"), d, 0.0);  // placeholder to create vdd
   Netlist m;
   const NodeId vd = m.node("d");
   MosParams q = MosParams::nmos_5um(10.0);

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Verify every first-party source file matches .clang-format.
+#
+#   tools/check-format.sh          # check, list offending files
+#   tools/check-format.sh --fix    # rewrite files in place
+#
+# Exits 0 with a notice when clang-format is not installed, so the plain
+# build/test flow never depends on the clang toolchain being present.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FMT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$FMT" >/dev/null 2>&1; then
+  echo "check-format: '$FMT' not found; skipping (install clang-format or set CLANG_FORMAT)"
+  exit 0
+fi
+
+mapfile -t sources < <(git ls-files '*.cpp' '*.h')
+
+if [ "${1:-}" = "--fix" ]; then
+  "$FMT" -i "${sources[@]}"
+  echo "check-format: formatted ${#sources[@]} files"
+  exit 0
+fi
+
+bad=()
+for f in "${sources[@]}"; do
+  if ! "$FMT" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    bad+=("$f")
+  fi
+done
+
+if [ "${#bad[@]}" -ne 0 ]; then
+  echo "check-format: ${#bad[@]} file(s) need formatting:"
+  printf '  %s\n' "${bad[@]}"
+  echo "run: tools/check-format.sh --fix"
+  exit 1
+fi
+echo "check-format: all ${#sources[@]} files clean"

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Plain warning-clean build + full test suite. Mirrors the "build" CI job:
+#
+#   tools/ci-build.sh [build-dir]
+#
+# Builds with -Werror (the tree is warning-free and must stay that way)
+# and runs ctest.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ci}"
+
+cmake -B "$BUILD_DIR" -S . -DMSBIST_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Sanitizer build + full test suite. Mirrors the "sanitize" CI job:
+#
+#   tools/ci-sanitize.sh [sanitizers] [build-dir]
+#
+# Default sanitizers: address,undefined (one instrumented build; the two
+# compose). Any report fails the run: halt_on_error for UBSan, ASan's
+# default abort, and LSan leak detection are all fatal.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+SAN="${1:-address,undefined}"
+BUILD_DIR="${2:-build-san}"
+
+cmake -B "$BUILD_DIR" -S . -DMSBIST_SANITIZE="$SAN" -DMSBIST_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

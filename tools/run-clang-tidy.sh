@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over every first-party source file
+# using the compile database of a build directory.
+#
+#   tools/run-clang-tidy.sh [build-dir]
+#
+# The build directory defaults to ./build and is configured on the fly
+# (with CMAKE_EXPORT_COMPILE_COMMANDS=ON) when it does not exist yet.
+# Exits 0 when clang-tidy reports nothing, non-zero otherwise; exits 0
+# with a notice when clang-tidy is not installed, so the plain build/test
+# flow never depends on the clang toolchain being present.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run-clang-tidy: '$TIDY' not found; skipping (install clang-tidy or set CLANG_TIDY)"
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t sources < <(git ls-files 'src/*.cpp' 'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp')
+echo "run-clang-tidy: checking ${#sources[@]} files against $BUILD_DIR/compile_commands.json"
+
+status=0
+"$TIDY" -p "$BUILD_DIR" --quiet "${sources[@]}" || status=$?
+if [ "$status" -ne 0 ]; then
+  echo "run-clang-tidy: FAILED (see diagnostics above)"
+else
+  echo "run-clang-tidy: clean"
+fi
+exit "$status"
