@@ -10,7 +10,10 @@
 #include <cstdio>
 
 #include "core/report.h"
+#include "core/thread_pool.h"
+#include "faults/campaign.h"
 #include "faults/parametric.h"
+#include "faults/universe.h"
 #include "tsrt/transient_test.h"
 
 namespace {
@@ -46,6 +49,38 @@ void print_reproduction() {
       table.to_string().c_str());
 }
 
+void print_campaign_throughput() {
+  // Campaign observability: the paper's 16-fault catastrophic universe run
+  // through the real TSRT engine, serial vs parallel, with the
+  // CampaignReport throughput summary the engines now collect.
+  const CircuitKind kind = CircuitKind::kOp1Follower;
+  const TsrtOptions opts = paper_options(kind);
+  const TsrtRun golden = run_transient_test(kind, std::nullopt, opts);
+  const faults::FaultTestFn test = [&](const faults::FaultSpec& f) {
+    faults::FaultResult r;
+    r.fault = f;
+    const TsrtRun faulty = run_transient_test(kind, f, opts);
+    r.score = combined_detection_percent(golden, faulty);
+    r.detected = is_detected(r.score);
+    return r;
+  };
+  const auto universe = faults::op1_fault_universe();
+  const faults::CampaignReport serial = faults::run_campaign(universe, test);
+  faults::CampaignOptions copts;
+  copts.threads = core::ThreadPool::default_thread_count();
+  const faults::CampaignReport parallel =
+      faults::run_campaign_parallel(universe, test, copts);
+  std::printf(
+      "A5b: OP1 catastrophic campaign throughput (TSRT engine)\n"
+      "  serial   : %s\n"
+      "  parallel : %s\n"
+      "  reports identical: %s\n\n",
+      serial.throughput_summary().c_str(),
+      parallel.throughput_summary().c_str(),
+      parallel.canonical_outcomes() == serial.canonical_outcomes() ? "yes"
+                                                                   : "NO");
+}
+
 void BM_ParametricRun(benchmark::State& state) {
   const TsrtOptions opts = paper_options(CircuitKind::kOp1Follower);
   const auto fault = faults::ParametricFault::degrade_kp(0.5);
@@ -60,6 +95,7 @@ BENCHMARK(BM_ParametricRun);
 
 int main(int argc, char** argv) {
   print_reproduction();
+  print_campaign_throughput();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

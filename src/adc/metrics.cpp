@@ -20,29 +20,50 @@ TransitionLevels measure_transitions_ramp(const AdcTransferFn& adc, double v_lo,
   };
 
   TransitionLevels out;
-  double v = v_lo;
-  double prev_mean = mean_code(v);
+  double prev_v = v_lo;
+  double prev_mean = mean_code(v_lo);
   out.base_code = static_cast<std::uint32_t>(std::llround(prev_mean));
   // The next half-level the mean code must cross upward.
   double next_level = std::floor(prev_mean) + 0.5;
   if (prev_mean >= next_level) next_level += 1.0;
 
-  v += step_v;
-  while (v <= v_hi) {
+  // Index-based stepping (v = v_lo + i * step_v): accumulating `v += step_v`
+  // compounds rounding error, and with a `v <= v_hi` guard an exactly
+  // divisible span like 2.5 V / 0.1 V lands just past v_hi and silently
+  // drops the final sweep point. The relative epsilon keeps an
+  // exactly-divisible endpoint inside the sweep.
+  const auto steps = static_cast<std::size_t>(
+      std::floor((v_hi - v_lo) / step_v * (1.0 + 1e-12) + 1e-12));
+  for (std::size_t i = 1; i <= steps; ++i) {
+    double v = v_lo + static_cast<double>(i) * step_v;
+    if (v > v_hi) v = v_hi;  // final point may overshoot by one rounding ulp
     const double mean = mean_code(v);
-    // Record one transition per half-level crossed this step; a multi-code
-    // jump (missing code) deposits several transitions at the same voltage,
-    // which shows up as DNL = -1 at the skipped step.
+    // Record one transition per half-level crossed upward this step; a
+    // multi-code jump (missing code) deposits several transitions at the
+    // same voltage, which shows up as DNL = -1 at the skipped step.
     while (mean >= next_level) {
       // Linear interpolation between the two ramp points for sub-step
       // transition placement.
       const double frac =
           mean > prev_mean ? (next_level - prev_mean) / (mean - prev_mean) : 0.5;
-      out.transitions.push_back(v - step_v + frac * step_v);
+      out.transitions.push_back(prev_v + frac * (v - prev_v));
       next_level += 1.0;
     }
+    // Downward crossings: the mean fell back through a half-level — a
+    // non-monotonic transfer (missing decision level / rebound). These are
+    // recorded separately; `transitions` keeps one entry per half-level
+    // (the first upward crossing), so monotonic metrics are unaffected.
+    double level = std::floor(prev_mean + 0.5) - 0.5;  // highest half-level <= prev_mean
+    if (level > next_level - 1.0) level = next_level - 1.0;
+    while (level > mean) {
+      const double frac =
+          prev_mean > mean ? (prev_mean - level) / (prev_mean - mean) : 0.5;
+      out.reverse_transitions.push_back(prev_v + frac * (v - prev_v));
+      out.monotonic = false;
+      level -= 1.0;
+    }
     prev_mean = mean;
-    v += step_v;
+    prev_v = v;
   }
   return out;
 }

@@ -24,10 +24,22 @@ namespace msbist::adc {
 using AdcTransferFn = std::function<std::uint32_t(double)>;
 
 /// Measured code-transition levels: transition[k] is the input voltage at
-/// which the output changes from base_code + k to base_code + k + 1.
+/// which the mean output code crosses the k-th half-level above base_code
+/// going *upward*. For a monotonic transfer that is exactly "code
+/// base_code + k -> base_code + k + 1".
+///
+/// A non-monotonic transfer (the DNL < -1 / missing-decision-level case)
+/// also crosses half-levels *downward*; those crossings are recorded in
+/// `reverse_transitions` and clear the `monotonic` flag. `transitions`
+/// itself keeps exactly one entry per half-level (its first upward
+/// crossing), so metrics on it are unaffected — but a cleared `monotonic`
+/// flag tells the caller the transfer rebounded and the voltages near the
+/// reverse crossings deserve scrutiny.
 struct TransitionLevels {
   std::uint32_t base_code = 0;
   std::vector<double> transitions;
+  bool monotonic = true;  ///< false if any downward half-level crossing seen
+  std::vector<double> reverse_transitions;  ///< downward-crossing voltages
 };
 
 /// Locate transition levels with a fine voltage ramp over [v_lo, v_hi].

@@ -1,21 +1,218 @@
 #include "faults/campaign.h"
 
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/thread_pool.h"
+
 namespace msbist::faults {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Run the test with exception isolation: a throw becomes a per-fault
+/// failure result instead of unwinding through the campaign.
+FaultResult guarded_call(const FaultTestFn& test, const FaultSpec& fault) {
+  try {
+    return test(fault);
+  } catch (const std::exception& e) {
+    FaultResult r;
+    r.fault = fault;
+    r.detected = false;
+    r.errored = true;
+    r.detail = e.what();
+    return r;
+  } catch (...) {
+    FaultResult r;
+    r.fault = fault;
+    r.detected = false;
+    r.errored = true;
+    r.detail = "non-standard exception";
+    return r;
+  }
+}
+
+/// Run one fault under the options' timeout policy. Without a timeout the
+/// test runs inline on the calling thread. With one, it runs on a
+/// dedicated thread holding its own copies of the functor and spec; on
+/// overrun that thread is detached and the fault reported timed_out — the
+/// abandoned thread can only touch its private copies, never the report.
+FaultResult run_one(const FaultTestFn& test, const FaultSpec& fault,
+                    const CampaignOptions& options) {
+  const auto t0 = Clock::now();
+  FaultResult r;
+  if (!options.per_fault_timeout) {
+    r = guarded_call(test, fault);
+  } else {
+    std::packaged_task<FaultResult()> task(
+        [test, fault] { return guarded_call(test, fault); });
+    std::future<FaultResult> done = task.get_future();
+    std::thread runner(std::move(task));
+    if (done.wait_for(*options.per_fault_timeout) ==
+        std::future_status::ready) {
+      runner.join();
+      r = done.get();
+    } else {
+      runner.detach();
+      r.fault = fault;
+      r.detected = false;
+      r.timed_out = true;
+      std::ostringstream os;
+      os << "timed out after " << options.per_fault_timeout->count() << " s";
+      r.detail = os.str();
+    }
+  }
+  r.elapsed_seconds = seconds_since(t0);
+  return r;
+}
+
+void tally(CampaignReport& report, const FaultResult& r) {
+  if (r.detected) ++report.detected_count;
+  if (r.errored) ++report.errored_count;
+  if (r.timed_out) ++report.timed_out_count;
+  report.cpu_seconds += r.elapsed_seconds;
+}
+
+}  // namespace
 
 double CampaignReport::coverage() const {
   if (results.empty()) return 0.0;
   return static_cast<double>(detected_count) / static_cast<double>(results.size());
 }
 
+double CampaignReport::faults_per_second() const {
+  if (wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(results.size()) / wall_seconds;
+}
+
+std::string CampaignReport::throughput_summary() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << results.size() << " faults, " << detected_count << " detected ("
+     << coverage() * 100.0 << " %), " << errored_count << " errors, "
+     << timed_out_count << " timeouts; " << threads_used << " thread(s), "
+     << wall_seconds << " s wall, " << cpu_seconds << " s cpu, "
+     << faults_per_second() << " faults/s";
+  return os.str();
+}
+
+std::string CampaignReport::canonical_outcomes() const {
+  std::ostringstream os;
+  os.precision(17);
+  for (const FaultResult& r : results) {
+    os << r.fault.label << '|' << r.detected << '|' << r.score << '|'
+       << r.errored << '|' << r.timed_out << '|' << r.detail << '\n';
+  }
+  os << "detected=" << detected_count << " errors=" << errored_count
+     << " timeouts=" << timed_out_count << '\n';
+  return os.str();
+}
+
 CampaignReport run_campaign(const std::vector<FaultSpec>& universe,
                             const FaultTestFn& test) {
+  return run_campaign(universe, test, CampaignOptions{});
+}
+
+CampaignReport run_campaign(const std::vector<FaultSpec>& universe,
+                            const FaultTestFn& test,
+                            const CampaignOptions& options) {
+  const auto t0 = Clock::now();
   CampaignReport report;
+  report.threads_used = 1;
   report.results.reserve(universe.size());
   for (const FaultSpec& f : universe) {
-    FaultResult r = test(f);
-    if (r.detected) ++report.detected_count;
+    FaultResult r = run_one(test, f, options);
+    tally(report, r);
     report.results.push_back(std::move(r));
+    if (options.progress) {
+      options.progress(report.results.size(), universe.size(),
+                       report.results.back());
+    }
+    if (options.stop_on_first_undetected && !report.results.back().detected) {
+      break;
+    }
   }
+  report.wall_seconds = seconds_since(t0);
+  return report;
+}
+
+CampaignReport run_campaign_parallel(const std::vector<FaultSpec>& universe,
+                                     const FaultTestFn& test,
+                                     const CampaignOptions& options) {
+  const auto t0 = Clock::now();
+  const std::size_t n = universe.size();
+  std::size_t threads = options.threads != 0
+                            ? options.threads
+                            : core::ThreadPool::default_thread_count();
+  if (n > 0 && threads > n) threads = n;
+
+  CampaignReport report;
+  report.threads_used = threads;
+  if (n == 0) {
+    report.wall_seconds = seconds_since(t0);
+    return report;
+  }
+
+  // Determinism: every fault owns slot [i]; workers claim indices from an
+  // atomic counter and only ever write their own slot. wait_idle() orders
+  // all slot writes before the assembly loop below.
+  std::vector<FaultResult> slots(n);
+  std::atomic<std::size_t> next{0};
+  // Earliest undetected index seen so far (n = none). Claims are monotone,
+  // so every index <= the final minimum is guaranteed to have run.
+  std::atomic<std::size_t> first_undetected{n};
+  std::mutex progress_mu;
+  std::size_t completed = 0;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      if (options.stop_on_first_undetected &&
+          i > first_undetected.load(std::memory_order_acquire)) {
+        return;  // later claims only grow past the cut — nothing left to do
+      }
+      FaultResult r = run_one(test, universe[i], options);
+      if (options.stop_on_first_undetected && !r.detected) {
+        std::size_t seen = first_undetected.load(std::memory_order_acquire);
+        while (i < seen && !first_undetected.compare_exchange_weak(
+                               seen, i, std::memory_order_acq_rel)) {
+        }
+      }
+      slots[i] = std::move(r);
+      if (options.progress) {
+        std::lock_guard<std::mutex> lock(progress_mu);
+        options.progress(++completed, n, slots[i]);
+      }
+    }
+  };
+
+  core::ThreadPool pool(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.submit(worker);
+  pool.wait_idle();
+
+  // Assemble in universe order; under stop_on_first_undetected, truncate
+  // to the prefix the serial engine would have produced (results computed
+  // past the cut are discarded).
+  std::size_t limit = n;
+  if (options.stop_on_first_undetected) {
+    const std::size_t cut = first_undetected.load(std::memory_order_acquire);
+    limit = cut < n ? cut + 1 : n;
+  }
+  report.results.reserve(limit);
+  for (std::size_t i = 0; i < limit; ++i) {
+    tally(report, slots[i]);
+    report.results.push_back(std::move(slots[i]));
+  }
+  report.wall_seconds = seconds_since(t0);
   return report;
 }
 

@@ -1,8 +1,23 @@
 // Fault-simulation campaigns: run a test procedure against every fault in
 // a universe and report coverage.
+//
+// Two execution engines share one result model:
+//   * run_campaign           — serial, in submission order.
+//   * run_campaign_parallel  — shards the universe across a thread pool
+//     while keeping the report deterministic and universe-ordered: each
+//     fault's result is written to its own pre-assigned slot, so the
+//     outcome fields are identical to the serial path regardless of
+//     thread count (see CampaignReport::canonical_outcomes).
+// Both engines isolate per-fault failures: a FaultTestFn that throws is
+// captured as {detected=false, errored=true, detail=what()} instead of
+// aborting the campaign, and an optional per-fault wall-clock budget marks
+// overrunning faults timed_out.
 #pragma once
 
+#include <chrono>
+#include <cstddef>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,15 +29,34 @@ namespace msbist::faults {
 struct FaultResult {
   FaultSpec fault;
   bool detected = false;
-  double score = 0.0;     ///< technique-specific detection metric
-  std::string detail;     ///< free-form diagnostics
+  double score = 0.0;       ///< technique-specific detection metric
+  std::string detail;       ///< free-form diagnostics
+  bool errored = false;     ///< the test threw; detail holds what()
+  bool timed_out = false;   ///< per-fault wall-clock budget exceeded
+  double elapsed_seconds = 0.0;  ///< wall time spent testing this fault
 };
 
 struct CampaignReport {
-  std::vector<FaultResult> results;
+  std::vector<FaultResult> results;  ///< universe order, always
   std::size_t detected_count = 0;
+  std::size_t errored_count = 0;
+  std::size_t timed_out_count = 0;
+  std::size_t threads_used = 1;
+  double wall_seconds = 0.0;  ///< end-to-end campaign wall-clock time
+  double cpu_seconds = 0.0;   ///< sum of per-fault elapsed times
+
   /// Fault coverage = detected / total.
   double coverage() const;
+  /// Campaign throughput (faults per wall-clock second).
+  double faults_per_second() const;
+  /// One-line human summary: counts, coverage, wall time, throughput.
+  std::string throughput_summary() const;
+  /// Canonical text of the deterministic outcome fields (label, detected,
+  /// score, errored, timed_out, detail) plus the aggregate counts. Timing
+  /// fields are excluded: for a deterministic FaultTestFn this string is
+  /// byte-identical between the serial and parallel engines at any thread
+  /// count.
+  std::string canonical_outcomes() const;
 };
 
 /// The test procedure: given a fault (already chosen), build the faulty
@@ -31,8 +65,44 @@ struct CampaignReport {
 /// capture it in the closure).
 using FaultTestFn = std::function<FaultResult(const FaultSpec&)>;
 
-/// Run the test against every fault in the universe.
+/// Invoked after each fault finishes: (faults completed so far, universe
+/// size, that fault's result). The parallel engine serialises invocations
+/// (never concurrent), but completion *order* across faults is
+/// scheduling-dependent; `completed` is always the running count.
+using ProgressCallback = std::function<void(
+    std::size_t completed, std::size_t total, const FaultResult& result)>;
+
+struct CampaignOptions {
+  /// Worker threads for run_campaign_parallel; 0 = hardware concurrency.
+  /// Ignored by the serial engine.
+  std::size_t threads = 0;
+  /// Per-fault wall-clock budget. When set, each test runs on its own
+  /// thread; on overrun the fault is reported {detected=false,
+  /// timed_out=true} and the runaway thread is abandoned (it holds its own
+  /// copies of the test functor and FaultSpec, so it must only touch state
+  /// owned by the closure — which must outlive it).
+  std::optional<std::chrono::duration<double>> per_fault_timeout;
+  ProgressCallback progress;
+  /// Stop scheduling new faults once the earliest (universe-ordered)
+  /// undetected fault is known. The report then covers exactly the
+  /// universe prefix ending at that fault — identical for the serial and
+  /// parallel engines, though the parallel engine may *execute* (and
+  /// discard) a few faults past the cut.
+  bool stop_on_first_undetected = false;
+};
+
+/// Run the test against every fault in the universe, serially.
 CampaignReport run_campaign(const std::vector<FaultSpec>& universe,
                             const FaultTestFn& test);
+CampaignReport run_campaign(const std::vector<FaultSpec>& universe,
+                            const FaultTestFn& test,
+                            const CampaignOptions& options);
+
+/// Run the test against every fault in the universe on options.threads
+/// workers. Outcome fields of the report are bit-identical to the serial
+/// engine for a deterministic test function.
+CampaignReport run_campaign_parallel(const std::vector<FaultSpec>& universe,
+                                     const FaultTestFn& test,
+                                     const CampaignOptions& options = {});
 
 }  // namespace msbist::faults

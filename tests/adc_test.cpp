@@ -228,6 +228,59 @@ TEST(Metrics, MissingCodeShowsMinusOneDnl) {
   EXPECT_NEAR(min_dnl, -1.0, 0.05);
 }
 
+TEST(Metrics, RampIncludesInexactEndpoint) {
+  // 0 -> 2.5 V in 0.1 V steps: 25 steps exactly, but 0.1 is inexact in
+  // binary, so a naive `v += step_v; while (v <= v_hi)` sweep accumulates
+  // past 2.5 and silently drops the final point — losing the transition
+  // at 2.5 V. Index-based stepping must keep it.
+  const double lsb = 0.5;
+  const auto tl = measure_transitions_ramp(ideal_quantizer(lsb), 0.0, 2.5, 0.1);
+  // Transitions at 0.5, 1.0, 1.5, 2.0 and 2.5 — the last one exists only
+  // if the sweep actually samples v = 2.5.
+  ASSERT_EQ(tl.transitions.size(), 5u);
+  EXPECT_NEAR(tl.transitions.back(), 2.5, 0.1 + 1e-9);
+  EXPECT_TRUE(tl.monotonic);
+  EXPECT_TRUE(tl.reverse_transitions.empty());
+}
+
+TEST(Metrics, RampEndpointNotOvershot) {
+  // A span that is *not* an exact multiple of the step must not be
+  // extended past v_hi: floor(0.25 / 0.1) = 2 interior steps only.
+  const auto tl = measure_transitions_ramp(ideal_quantizer(0.1), 0.001, 0.251,
+                                           0.1);
+  // Sweep points 0.001, 0.101, 0.201 — transitions at ~0.1 and ~0.2.
+  EXPECT_EQ(tl.transitions.size(), 2u);
+}
+
+TEST(Metrics, NonMonotonicTransferIsFlaggedWithReverseTransitions) {
+  // Code climbs 0,1,2,3 then rebounds to 2 over [0.32, 0.38) before
+  // resuming — the missing-decision-level shape the paper's Figure 2
+  // discussion cares about. The upward-only tracker used to deposit the
+  // rebound's transitions at wrong voltages; now the downward crossing is
+  // recorded explicitly and the sweep is flagged non-monotonic.
+  AdcTransferFn adc = [](double v) -> std::uint32_t {
+    auto c = static_cast<std::uint32_t>(std::max(0.0, std::floor(v / 0.1)));
+    if (v >= 0.32 && v < 0.38) c = 2;
+    return c;
+  };
+  const auto tl = measure_transitions_ramp(adc, 0.001, 0.6, 0.002);
+  EXPECT_FALSE(tl.monotonic);
+  ASSERT_EQ(tl.reverse_transitions.size(), 1u);
+  EXPECT_NEAR(tl.reverse_transitions[0], 0.32, 0.005);
+  // `transitions` keeps one entry per half-level (first upward crossing):
+  // 0.1, 0.2, 0.3, 0.4, 0.5 — the rebound adds no duplicates.
+  ASSERT_EQ(tl.transitions.size(), 5u);
+  EXPECT_NEAR(tl.transitions[2], 0.3, 0.005);
+  EXPECT_NEAR(tl.transitions[3], 0.4, 0.005);
+}
+
+TEST(Metrics, MonotonicSweepKeepsFlagTrue) {
+  const auto tl =
+      measure_transitions_ramp(ideal_quantizer(0.01), 0.001, 0.301, 0.0002);
+  EXPECT_TRUE(tl.monotonic);
+  EXPECT_TRUE(tl.reverse_transitions.empty());
+}
+
 TEST(Metrics, HistogramDnlFlatForIdeal) {
   std::vector<std::uint32_t> codes;
   for (int i = 0; i < 5000; ++i) {

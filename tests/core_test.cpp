@@ -1,8 +1,13 @@
-// Unit tests for the Device/Batch fabrication model and report tables.
+// Unit tests for the Device/Batch fabrication model, report tables and
+// the thread pool behind the parallel campaign engine.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
 
 #include "core/device.h"
 #include "core/report.h"
+#include "core/thread_pool.h"
 
 namespace msbist::core {
 namespace {
@@ -73,6 +78,48 @@ TEST(ReportTable, Validation) {
 TEST(ReportTable, NumPrecision) {
   EXPECT_EQ(Table::num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAfterWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, ZeroThreadsThrows) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, DefaultThreadCountAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingJobs) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor joins after draining the queue
+  EXPECT_EQ(count.load(), 20);
 }
 
 }  // namespace

@@ -1,6 +1,11 @@
 // Unit tests for fault models, universes, injection and campaigns.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
 #include "analog/opamp.h"
 #include "circuit/dc.h"
 #include "circuit/elements.h"
@@ -150,6 +155,193 @@ TEST(Campaign, EmptyUniverse) {
     return r;
   });
   EXPECT_DOUBLE_EQ(rep.coverage(), 0.0);
+}
+
+// --- Parallel engine ---
+
+// Deterministic probe: every outcome field derives from the spec alone, so
+// serial and parallel campaigns must agree bit for bit.
+FaultResult deterministic_probe(const FaultSpec& f) {
+  FaultResult r;
+  r.fault = f;
+  r.score = 10.0 * f.node_a + f.node_b + (f.stuck_high ? 0.5 : 0.0);
+  r.detected = f.kind != FaultKind::kBridge;
+  r.detail = "probe:" + f.label;
+  return r;
+}
+
+std::vector<FaultSpec> combined_universe() {
+  std::vector<FaultSpec> u = op1_fault_universe();
+  const auto sc = sc_fault_universe();
+  u.insert(u.end(), sc.begin(), sc.end());
+  return u;
+}
+
+TEST(CampaignParallel, MatchesSerialAtAnyThreadCount) {
+  const auto universe = combined_universe();
+  const CampaignReport serial = run_campaign(universe, deterministic_probe);
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    CampaignOptions opts;
+    opts.threads = threads;
+    const CampaignReport par =
+        run_campaign_parallel(universe, deterministic_probe, opts);
+    EXPECT_EQ(par.canonical_outcomes(), serial.canonical_outcomes())
+        << "threads=" << threads;
+    EXPECT_EQ(par.results.size(), serial.results.size());
+    EXPECT_EQ(par.detected_count, serial.detected_count);
+    ASSERT_EQ(par.results.size(), universe.size());
+    for (std::size_t i = 0; i < universe.size(); ++i) {
+      EXPECT_EQ(par.results[i].fault.label, universe[i].label);  // order
+      EXPECT_DOUBLE_EQ(par.results[i].score, serial.results[i].score);
+    }
+  }
+}
+
+TEST(CampaignParallel, EmptyUniverse) {
+  const CampaignReport rep = run_campaign_parallel({}, deterministic_probe);
+  EXPECT_TRUE(rep.results.empty());
+  EXPECT_DOUBLE_EQ(rep.coverage(), 0.0);
+}
+
+TEST(CampaignParallel, ZeroThreadsUsesHardwareConcurrency) {
+  CampaignOptions opts;
+  opts.threads = 0;
+  const CampaignReport rep =
+      run_campaign_parallel(sc_fault_universe(), deterministic_probe, opts);
+  EXPECT_GE(rep.threads_used, 1u);
+  EXPECT_EQ(rep.results.size(), 12u);
+}
+
+// A throwing test is a per-fault failure, not a campaign abort — and the
+// serial and parallel engines capture it identically.
+FaultResult throwing_probe(const FaultSpec& f) {
+  if (f.kind == FaultKind::kBridge) {
+    throw std::runtime_error("solver exploded on " + f.label);
+  }
+  return deterministic_probe(f);
+}
+
+TEST(Campaign, SerialIsolatesThrowingTest) {
+  const auto universe = sc_fault_universe();
+  const CampaignReport rep = run_campaign(universe, throwing_probe);
+  ASSERT_EQ(rep.results.size(), 12u);
+  EXPECT_EQ(rep.detected_count, 10u);
+  EXPECT_EQ(rep.errored_count, 2u);
+  for (const auto& r : rep.results) {
+    if (r.fault.kind == FaultKind::kBridge) {
+      EXPECT_FALSE(r.detected);
+      EXPECT_TRUE(r.errored);
+      EXPECT_EQ(r.detail, "solver exploded on " + r.fault.label);
+    } else {
+      EXPECT_FALSE(r.errored);
+    }
+  }
+}
+
+TEST(CampaignParallel, IsolatesThrowingTestIdenticallyToSerial) {
+  const auto universe = sc_fault_universe();
+  const CampaignReport serial = run_campaign(universe, throwing_probe);
+  CampaignOptions opts;
+  opts.threads = 4;
+  const CampaignReport par =
+      run_campaign_parallel(universe, throwing_probe, opts);
+  EXPECT_EQ(par.canonical_outcomes(), serial.canonical_outcomes());
+  EXPECT_EQ(par.errored_count, 2u);
+}
+
+TEST(CampaignParallel, TimeoutMarksFaultAndCampaignSurvives) {
+  using namespace std::chrono_literals;
+  const auto universe = op1_fault_universe();
+  const std::string hung_label = universe[3].label;
+  // Capture by value: a timed-out test's thread is abandoned and may still
+  // be running when this scope would otherwise unwind.
+  const FaultTestFn probe = [hung_label](const FaultSpec& f) {
+    if (f.label == hung_label) std::this_thread::sleep_for(300ms);
+    return deterministic_probe(f);
+  };
+  CampaignOptions opts;
+  opts.threads = 2;
+  opts.per_fault_timeout = 20ms;
+  const CampaignReport rep = run_campaign_parallel(universe, probe, opts);
+  ASSERT_EQ(rep.results.size(), universe.size());
+  EXPECT_EQ(rep.timed_out_count, 1u);
+  for (const auto& r : rep.results) {
+    if (r.fault.label == hung_label) {
+      EXPECT_TRUE(r.timed_out);
+      EXPECT_FALSE(r.detected);
+      EXPECT_NE(r.detail.find("timed out"), std::string::npos);
+    } else {
+      EXPECT_FALSE(r.timed_out);
+      EXPECT_EQ(r.detected, deterministic_probe(r.fault).detected);
+    }
+  }
+  // Let the abandoned runner drain before the process can exit (it only
+  // touches its own copies, but leaving it running past main is untidy).
+  std::this_thread::sleep_for(350ms);
+}
+
+TEST(Campaign, ProgressCallbackFiresOncePerFault) {
+  const auto universe = combined_universe();
+  for (const bool parallel : {false, true}) {
+    std::vector<std::size_t> completed_values;
+    std::size_t total_seen = 0;
+    CampaignOptions opts;
+    opts.threads = 4;
+    // The engine serialises progress invocations, so no locking needed.
+    opts.progress = [&](std::size_t completed, std::size_t total,
+                        const FaultResult& r) {
+      completed_values.push_back(completed);
+      total_seen = total;
+      EXPECT_FALSE(r.fault.label.empty());
+    };
+    const CampaignReport rep =
+        parallel ? run_campaign_parallel(universe, deterministic_probe, opts)
+                 : run_campaign(universe, deterministic_probe, opts);
+    EXPECT_EQ(rep.results.size(), universe.size());
+    ASSERT_EQ(completed_values.size(), universe.size()) << "parallel=" << parallel;
+    EXPECT_EQ(total_seen, universe.size());
+    // `completed` is the running count 1..n in invocation order.
+    for (std::size_t i = 0; i < completed_values.size(); ++i) {
+      EXPECT_EQ(completed_values[i], i + 1);
+    }
+  }
+}
+
+TEST(Campaign, StopOnFirstUndetectedMatchesBetweenEngines) {
+  const auto universe = all_single_stuck(1, 30);  // 60 faults
+  // First undetected fault is at universe index 17 (node 9, stuck-at-1).
+  const FaultTestFn probe = [](const FaultSpec& f) {
+    FaultResult r = deterministic_probe(f);
+    r.detected = !(f.node_a == 9 && f.stuck_high) && f.node_a != 20;
+    return r;
+  };
+  const CampaignReport serial = [&] {
+    CampaignOptions opts;
+    opts.stop_on_first_undetected = true;
+    return run_campaign(universe, probe, opts);
+  }();
+  ASSERT_EQ(serial.results.size(), 18u);
+  EXPECT_FALSE(serial.results.back().detected);
+  for (std::size_t threads : {2u, 8u}) {
+    CampaignOptions opts;
+    opts.threads = threads;
+    opts.stop_on_first_undetected = true;
+    const CampaignReport par = run_campaign_parallel(universe, probe, opts);
+    EXPECT_EQ(par.canonical_outcomes(), serial.canonical_outcomes())
+        << "threads=" << threads;
+  }
+}
+
+TEST(Campaign, ReportsElapsedAndThroughput) {
+  const auto universe = sc_fault_universe();
+  const CampaignReport rep = run_campaign(universe, deterministic_probe);
+  EXPECT_GT(rep.wall_seconds, 0.0);
+  EXPECT_GE(rep.cpu_seconds, 0.0);
+  EXPECT_GT(rep.faults_per_second(), 0.0);
+  for (const auto& r : rep.results) EXPECT_GE(r.elapsed_seconds, 0.0);
+  const std::string summary = rep.throughput_summary();
+  EXPECT_NE(summary.find("12 faults"), std::string::npos);
+  EXPECT_NE(summary.find("faults/s"), std::string::npos);
 }
 
 }  // namespace
