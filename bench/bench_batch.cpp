@@ -1,0 +1,117 @@
+// P3 — production batch-test engine: wall-clock scaling vs the serial
+// path over a 1000-device Monte-Carlo lot, with a determinism cross-check.
+//
+// The per-device procedure models a production test floor per the
+// test-scheduling literature (Sehgal et al.): the virtual die's BIST
+// tiers (CPU) plus a fixed tester overhead — handler index, socket
+// settling, instrument autorange — which is latency, not CPU. The
+// parallel engine overlaps that latency across workers (many sockets,
+// one scheduler), so the speedup shows even on modest core counts,
+// exactly as in bench_campaign_parallel.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "core/report.h"
+#include "production/batch.h"
+
+namespace {
+
+using namespace msbist;
+using namespace std::chrono_literals;
+
+constexpr auto kTesterOverhead = 4ms;  ///< handler index + settling
+
+production::DeviceOutcome socketed_test(const production::DieSpec& spec,
+                                        const production::TestPlan& plan) {
+  std::this_thread::sleep_for(kTesterOverhead);
+  return production::test_device(spec, plan);
+}
+
+void print_reproduction() {
+  production::BatchConfig cfg;
+  cfg.device_count = 1000;
+  cfg.batch_seed = 1995;
+  cfg.plan = production::TestPlan::bist_only();
+  const auto population = production::make_population(cfg);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const production::BatchReport serial =
+      production::run_batch(population, cfg.plan, 1, socketed_test);
+  const double serial_wall = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+
+  core::Table table({"engine", "wall [s]", "speedup", "devices/s", "identical"});
+  table.add_row({"serial", core::Table::num(serial_wall, 3),
+                 core::Table::num(1.0, 2),
+                 core::Table::num(
+                     static_cast<double>(population.size()) / serial_wall, 1),
+                 "ref"});
+
+  double speedup_at_4 = 0.0;
+  bool identical_at_4 = false;
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    const production::BatchReport par =
+        production::run_batch(population, cfg.plan, threads, socketed_test);
+    const bool identical =
+        par.canonical_outcomes() == serial.canonical_outcomes();
+    const double speedup = serial_wall / par.wall_seconds;
+    if (threads == 4) {
+      speedup_at_4 = speedup;
+      identical_at_4 = identical;
+    }
+    table.add_row({std::to_string(threads) + " threads",
+                   core::Table::num(par.wall_seconds, 3),
+                   core::Table::num(speedup, 2),
+                   core::Table::num(par.devices_per_second(), 1),
+                   identical ? "yes" : "NO"});
+  }
+
+  std::printf(
+      "P3: batch test of a %zu-device Monte-Carlo lot (BIST plan, %.0f ms "
+      "tester overhead/device)\n%s"
+      "4-thread speedup %.2fx (target >= 2x), report identical to serial: "
+      "%s\n%s\n\n",
+      population.size(),
+      std::chrono::duration<double, std::milli>(kTesterOverhead).count(),
+      table.to_string().c_str(), speedup_at_4,
+      identical_at_4 ? "yes" : "NO", serial.summary().c_str());
+}
+
+void BM_BatchSerial(benchmark::State& state) {
+  production::BatchConfig cfg;
+  cfg.device_count = 20;
+  cfg.plan = production::TestPlan::bist_only();
+  const auto population = production::make_population(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        production::run_batch(population, cfg.plan, 1, socketed_test));
+  }
+}
+BENCHMARK(BM_BatchSerial)->Unit(benchmark::kMillisecond);
+
+void BM_BatchParallel(benchmark::State& state) {
+  production::BatchConfig cfg;
+  cfg.device_count = 20;
+  cfg.plan = production::TestPlan::bist_only();
+  const auto population = production::make_population(cfg);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        production::run_batch(population, cfg.plan, threads, socketed_test));
+  }
+}
+BENCHMARK(BM_BatchParallel)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

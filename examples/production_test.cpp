@@ -1,7 +1,7 @@
 // Production-test scenario: screen a mixed lot of dies with the on-chip
 // BIST flow and bin them, diagnosing failing dies to a sub-macro.
 //
-//   $ ./example_production_test
+//   $ ./example_production_test [--json]
 //
 // The lot contains healthy dies plus dies with deliberately injected
 // macro-level faults (stuck counter bit, stuck latch bits, frozen control
@@ -10,7 +10,11 @@
 // ("counter submacro faults will show in the INL or DNL error or as
 // regular missed codes; faults in the output latch ... multiple incorrect
 // output codes; control circuit faults will stop the conversion").
+//
+// --json emits the screening run through the unified report API
+// (core::JsonWriter / BistReport::to_json) instead of the text table.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -72,10 +76,14 @@ std::string diagnose(const bist::BistReport& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
   const auto lot = build_lot();
   core::Table table({"die", "injected condition", "a", "r", "d", "c", "verdict",
                      "diagnosis"});
+  core::JsonWriter w;
+  w.begin_object().member("schema", "msbist.screening.v1");
+  w.key("dies").begin_array();
   std::size_t passed = 0;
   std::uint64_t seed = 100;
   for (std::size_t i = 0; i < lot.size(); ++i) {
@@ -87,10 +95,25 @@ int main() {
                    mark(r.ramp.pass), mark(r.digital.pass),
                    mark(r.compressed.pass), r.pass ? "PASS" : "FAIL",
                    diagnose(r)});
+    w.begin_object()
+        .member("die", static_cast<std::uint64_t>(i + 1))
+        .member("injected_condition", lot[i].description)
+        .member("diagnosis", diagnose(r));
+    w.key("bist");
+    r.to_json(w);
+    w.end_object();
   }
-  std::printf("== production screening of a %zu-die lot ==\n\n%s\n",
-              lot.size(), table.to_string().c_str());
-  std::printf("yield: %zu/%zu\n", passed, lot.size());
+  w.end_array();
+  w.member("passed", static_cast<std::uint64_t>(passed))
+      .member("lot_size", static_cast<std::uint64_t>(lot.size()))
+      .end_object();
+  if (json) {
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("== production screening of a %zu-die lot ==\n\n%s\n",
+                lot.size(), table.to_string().c_str());
+    std::printf("yield: %zu/%zu\n", passed, lot.size());
+  }
   // The 4 healthy dies must pass and the 6 faulty ones must fail.
   return passed == 4 ? 0 : 1;
 }

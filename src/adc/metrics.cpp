@@ -93,6 +93,42 @@ double measure_transition_servo(const AdcTransferFn& adc, std::uint32_t target_c
   return 0.5 * (lo + hi);
 }
 
+core::Outcome AdcMetrics::outcome(const MetricsLimits& limits) const {
+  std::string fails;
+  const auto check = [&](const char* name, double v, double limit) {
+    if (std::abs(v) > limit) {
+      if (!fails.empty()) fails += ", ";
+      fails += name;
+      fails += "=" + std::to_string(v) + " (limit " + std::to_string(limit) + ")";
+    }
+  };
+  check("offset_lsb", offset_lsb, limits.max_abs_offset_lsb);
+  check("gain_error_lsb", gain_error_lsb, limits.max_abs_gain_error_lsb);
+  check("max_abs_dnl", max_abs_dnl, limits.max_abs_dnl_lsb);
+  check("max_abs_inl", max_abs_inl, limits.max_abs_inl_lsb);
+  if (fails.empty()) return core::Outcome::ok("all spec metrics within limits");
+  return core::Outcome::fail("out of spec: " + fails);
+}
+
+void AdcMetrics::to_json(core::JsonWriter& w, bool include_curves) const {
+  w.begin_object()
+      .member("lsb_ideal", lsb_ideal)
+      .member("lsb_measured", lsb_measured)
+      .member("offset_lsb", offset_lsb)
+      .member("gain_error_lsb", gain_error_lsb)
+      .member("max_abs_dnl", max_abs_dnl)
+      .member("max_abs_inl", max_abs_inl);
+  if (include_curves) {
+    w.key("dnl_lsb").begin_array();
+    for (double v : dnl_lsb) w.value(v);
+    w.end_array();
+    w.key("inl_lsb").begin_array();
+    for (double v : inl_lsb) w.value(v);
+    w.end_array();
+  }
+  w.end_object();
+}
+
 AdcMetrics compute_metrics(const TransitionLevels& t, double lsb_ideal,
                            double ideal_first_transition_v) {
   if (lsb_ideal <= 0) throw std::invalid_argument("compute_metrics: lsb_ideal must be > 0");

@@ -17,6 +17,8 @@
 #include <functional>
 #include <vector>
 
+#include "core/outcome.h"
+
 namespace msbist::adc {
 
 /// The quantity a converter test measures: input voltage -> output code,
@@ -61,6 +63,19 @@ double measure_transition_servo(const AdcTransferFn& adc, std::uint32_t target_c
                                 double v_lo, double v_hi, int votes = 15,
                                 int iterations = 24);
 
+/// Pass/fail limits for the specification metrics. The paper's one
+/// characterized device measured offset < 0.2 LSB, gain +/-0.5 LSB, INL
+/// max ~1.3 LSB, DNL max ~1.2 LSB; across a fabricated lot the process
+/// spreads these much wider (offset is the loosest parameter of the
+/// macro library's spec sheet). Defaults are production screen limits
+/// that the paper's 10-device lot passes with guard-band.
+struct MetricsLimits {
+  double max_abs_offset_lsb = 4.5;
+  double max_abs_gain_error_lsb = 2.5;
+  double max_abs_dnl_lsb = 2.0;
+  double max_abs_inl_lsb = 2.0;
+};
+
 /// Full specification metrics.
 struct AdcMetrics {
   double lsb_ideal = 0.0;
@@ -71,6 +86,12 @@ struct AdcMetrics {
   std::vector<double> inl_lsb;   ///< one entry per transition
   double max_abs_dnl = 0.0;
   double max_abs_inl = 0.0;
+
+  /// Unified report API: check the summary numbers against limits.
+  core::Outcome outcome(const MetricsLimits& limits = {}) const;
+  /// Serialize; include_curves controls the per-code DNL/INL arrays
+  /// (batch reports drop them to keep thousand-device documents small).
+  void to_json(core::JsonWriter& w, bool include_curves = true) const;
 };
 
 /// Compute metrics from measured transitions. lsb_ideal and the ideal

@@ -20,6 +20,35 @@ std::string Diagnostic::format() const {
   return out;
 }
 
+void Diagnostic::to_json(core::JsonWriter& w) const {
+  w.begin_object()
+      .member("severity", to_string(severity))
+      .member("rule", rule)
+      .member("message", message)
+      .member("node", node)
+      .member("element", element)
+      .member("hint", hint)
+      .end_object();
+}
+
+core::Outcome Report::outcome() const {
+  std::string detail = std::to_string(count(Severity::kError)) + " error(s), " +
+                       std::to_string(count(Severity::kWarning)) +
+                       " warning(s), " + std::to_string(count(Severity::kInfo)) +
+                       " info";
+  return {!has_errors(), std::move(detail)};
+}
+
+void Report::to_json(core::JsonWriter& w) const {
+  w.begin_object()
+      .member("errors", static_cast<std::uint64_t>(count(Severity::kError)))
+      .member("warnings", static_cast<std::uint64_t>(count(Severity::kWarning)));
+  w.key("diagnostics").begin_array();
+  for (const auto& d : diagnostics_) d.to_json(w);
+  w.end_array();
+  w.end_object();
+}
+
 std::size_t Report::count(Severity s) const {
   std::size_t n = 0;
   for (const auto& d : diagnostics_) {

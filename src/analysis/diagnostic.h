@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "core/outcome.h"
+
 namespace msbist::analysis {
 
 /// Diagnostic severity. Error means the MNA system is (or is very likely
@@ -31,6 +33,8 @@ struct Diagnostic {
 
   /// One-line rendering: "error[dc-path] node 'x': ... (fix: ...)".
   std::string format() const;
+
+  void to_json(core::JsonWriter& w) const;
 };
 
 /// Ordered collection of diagnostics from one Runner::run.
@@ -50,6 +54,10 @@ class Report {
 
   /// Multi-line rendering of every diagnostic.
   std::string format() const;
+
+  /// Unified report API: pass means no Error-severity diagnostics.
+  core::Outcome outcome() const;
+  void to_json(core::JsonWriter& w) const;
 
  private:
   std::vector<Diagnostic> diagnostics_;

@@ -2,8 +2,158 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 namespace msbist::bist {
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+const char* to_string(Tier t) {
+  switch (t) {
+    case Tier::kAnalog: return "analog";
+    case Tier::kRamp: return "ramp";
+    case Tier::kDigital: return "digital";
+    case Tier::kCompressed: return "compressed";
+  }
+  return "?";
+}
+
+core::Outcome AnalogTestResult::outcome() const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < fall_times_s.size(); ++i) {
+    worst = std::max(worst,
+                     std::abs(fall_times_s[i] - expected_fall_times_s[i]));
+  }
+  std::string detail = std::to_string(fall_times_s.size()) +
+                       " steps, worst fall-time error " + fmt(worst * 1e6) +
+                       " us";
+  return {pass, std::move(detail)};
+}
+
+void AnalogTestResult::to_json(core::JsonWriter& w) const {
+  w.begin_object().member("tier", "analog").member("pass", pass);
+  w.key("step_levels_v").begin_array();
+  for (double v : step_levels) w.value(v);
+  w.end_array();
+  w.key("fall_times_s").begin_array();
+  for (double v : fall_times_s) w.value(v);
+  w.end_array();
+  w.key("expected_fall_times_s").begin_array();
+  for (double v : expected_fall_times_s) w.value(v);
+  w.end_array();
+  w.end_object();
+}
+
+core::Outcome RampTestResult::outcome() const {
+  std::string detail = std::to_string(codes.size()) + " ramp samples, codes " +
+                       (codes_monotonic ? "monotonic" : "NON-monotonic");
+  return {pass, std::move(detail)};
+}
+
+void RampTestResult::to_json(core::JsonWriter& w) const {
+  w.begin_object().member("tier", "ramp").member("pass", pass).member(
+      "codes_monotonic", codes_monotonic);
+  w.key("sample_times_s").begin_array();
+  for (double v : sample_times_s) w.value(v);
+  w.end_array();
+  w.key("sample_voltages").begin_array();
+  for (double v : sample_voltages) w.value(v);
+  w.end_array();
+  w.key("codes").begin_array();
+  for (std::uint32_t c : codes) w.value(c);
+  w.end_array();
+  w.end_object();
+}
+
+core::Outcome DigitalTestResult::outcome() const {
+  std::string detail = "worst conversion " + fmt(max_conversion_time_s * 1e3) +
+                       " ms (spec " + fmt(conversion_time_spec_s * 1e3) +
+                       " ms), " + fmt(fall_time_per_code_s * 1e6) +
+                       " us/code";
+  return {pass, std::move(detail)};
+}
+
+void DigitalTestResult::to_json(core::JsonWriter& w) const {
+  w.begin_object()
+      .member("tier", "digital")
+      .member("pass", pass)
+      .member("max_conversion_time_s", max_conversion_time_s)
+      .member("conversion_time_spec_s", conversion_time_spec_s)
+      .member("fall_time_per_code_s", fall_time_per_code_s)
+      .member("volts_per_code", volts_per_code)
+      .end_object();
+}
+
+core::Outcome CompressedTestResult::outcome() const {
+  std::string detail = "digital signature " + std::to_string(digital_signature) +
+                       (digital_signature == expected_signature ? " == " : " != ") +
+                       std::to_string(expected_signature) + ", analog " +
+                       std::to_string(analog_signature) +
+                       (analog_signature == expected_analog ? " == " : " != ") +
+                       std::to_string(expected_analog);
+  return {pass, std::move(detail)};
+}
+
+void CompressedTestResult::to_json(core::JsonWriter& w) const {
+  w.begin_object()
+      .member("tier", "compressed")
+      .member("pass", pass)
+      .member("digital_signature", digital_signature)
+      .member("expected_signature", expected_signature)
+      .member("analog_signature", analog_signature)
+      .member("expected_analog", expected_analog)
+      .end_object();
+}
+
+bool BistReport::tier_pass(Tier t) const {
+  switch (t) {
+    case Tier::kAnalog: return analog.pass;
+    case Tier::kRamp: return ramp.pass;
+    case Tier::kDigital: return digital.pass;
+    case Tier::kCompressed: return compressed.pass;
+  }
+  return false;
+}
+
+std::vector<Tier> BistReport::failed_tiers() const {
+  std::vector<Tier> out;
+  for (Tier t : kAllTiers) {
+    if (!tier_pass(t)) out.push_back(t);
+  }
+  return out;
+}
+
+core::Outcome BistReport::outcome() const {
+  if (pass) return core::Outcome::ok("all tiers pass");
+  std::string detail = "failing tiers:";
+  for (Tier t : failed_tiers()) {
+    detail += ' ';
+    detail += to_string(t);
+  }
+  return core::Outcome::fail(std::move(detail));
+}
+
+void BistReport::to_json(core::JsonWriter& w) const {
+  w.begin_object().member("pass", pass);
+  w.key("analog");
+  analog.to_json(w);
+  w.key("ramp");
+  ramp.to_json(w);
+  w.key("digital");
+  digital.to_json(w);
+  w.key("compressed");
+  compressed.to_json(w);
+  w.end_object();
+}
 
 BistController::BistController(StepGenerator steps, RampGenerator ramp,
                                DcLevelSensor sensor, BistTolerances tol)
@@ -25,7 +175,7 @@ ToleranceCompressor BistController::make_compressor(
   return ToleranceCompressor(std::move(nominal), tol_.code_tolerance);
 }
 
-AnalogTestResult BistController::run_analog_test(adc::DualSlopeAdc& adc) const {
+AnalogTestResult BistController::analog_test(adc::DualSlopeAdc& adc) const {
   AnalogTestResult res;
   res.step_levels = steps_.levels();
   const double vref = adc.config().vref;
@@ -50,7 +200,7 @@ AnalogTestResult BistController::run_analog_test(adc::DualSlopeAdc& adc) const {
   return res;
 }
 
-RampTestResult BistController::run_ramp_test(adc::DualSlopeAdc& adc) const {
+RampTestResult BistController::ramp_test(adc::DualSlopeAdc& adc) const {
   RampTestResult res;
   res.sample_times_s = ramp_.measurement_times();
   bool all_complete = true;
@@ -71,7 +221,7 @@ RampTestResult BistController::run_ramp_test(adc::DualSlopeAdc& adc) const {
   return res;
 }
 
-DigitalTestResult BistController::run_digital_test(adc::DualSlopeAdc& adc) const {
+DigitalTestResult BistController::digital_test(adc::DualSlopeAdc& adc) const {
   DigitalTestResult res;
   // Worst-case conversion time occurs at zero input (longest run-down).
   const adc::ConversionResult worst = adc.convert(0.0);
@@ -98,7 +248,7 @@ DigitalTestResult BistController::run_digital_test(adc::DualSlopeAdc& adc) const
   return res;
 }
 
-CompressedTestResult BistController::run_compressed_test(
+CompressedTestResult BistController::compressed_test(
     adc::DualSlopeAdc& adc) const {
   CompressedTestResult res;
   const ToleranceCompressor comp = make_compressor(adc);
@@ -128,15 +278,62 @@ CompressedTestResult BistController::run_compressed_test(
   return res;
 }
 
+core::Outcome BistController::run_tier(Tier t, adc::DualSlopeAdc& adc,
+                                       BistReport& report) const {
+  switch (t) {
+    case Tier::kAnalog:
+      report.analog = analog_test(adc);
+      return report.analog.outcome();
+    case Tier::kRamp:
+      report.ramp = ramp_test(adc);
+      return report.ramp.outcome();
+    case Tier::kDigital:
+      report.digital = digital_test(adc);
+      return report.digital.outcome();
+    case Tier::kCompressed:
+      report.compressed = compressed_test(adc);
+      return report.compressed.outcome();
+  }
+  return core::Outcome::fail("unknown tier");
+}
+
+core::Outcome BistController::run_tier(Tier t, adc::DualSlopeAdc& adc) const {
+  BistReport scratch;
+  return run_tier(t, adc, scratch);
+}
+
 BistReport BistController::run_all(adc::DualSlopeAdc& adc) const {
   BistReport rep;
-  rep.analog = run_analog_test(adc);
-  rep.ramp = run_ramp_test(adc);
-  rep.digital = run_digital_test(adc);
-  rep.compressed = run_compressed_test(adc);
-  rep.pass = rep.analog.pass && rep.ramp.pass && rep.digital.pass &&
-             rep.compressed.pass;
+  rep.pass = true;
+  for (Tier t : kAllTiers) {
+    rep.pass = run_tier(t, adc, rep).pass && rep.pass;
+  }
   return rep;
+}
+
+AnalogTestResult BistController::run_analog_test(adc::DualSlopeAdc& adc) const {
+  BistReport scratch;
+  run_tier(Tier::kAnalog, adc, scratch);
+  return std::move(scratch.analog);
+}
+
+RampTestResult BistController::run_ramp_test(adc::DualSlopeAdc& adc) const {
+  BistReport scratch;
+  run_tier(Tier::kRamp, adc, scratch);
+  return std::move(scratch.ramp);
+}
+
+DigitalTestResult BistController::run_digital_test(adc::DualSlopeAdc& adc) const {
+  BistReport scratch;
+  run_tier(Tier::kDigital, adc, scratch);
+  return std::move(scratch.digital);
+}
+
+CompressedTestResult BistController::run_compressed_test(
+    adc::DualSlopeAdc& adc) const {
+  BistReport scratch;
+  run_tier(Tier::kCompressed, adc, scratch);
+  return std::move(scratch.compressed);
 }
 
 }  // namespace msbist::bist

@@ -11,8 +11,14 @@
 //
 // "These tests provide a quick check of the ADC operation ... confirmed
 // the basic operation of the ADC circuit without a catastrophic failure."
+//
+// Tiers are first-class: run_tier(Tier, adc) executes any tier through
+// one generic signature, so batch-level tooling (src/production) can
+// iterate a test plan without naming each tier. The legacy per-tier
+// methods (run_analog_test & co.) survive as thin forwarding wrappers.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -21,14 +27,33 @@
 #include "bist/ramp_generator.h"
 #include "bist/signature_compressor.h"
 #include "bist/step_generator.h"
+#include "core/outcome.h"
 
 namespace msbist::bist {
+
+/// The on-chip test tiers, in the order run_all executes them. The ramp
+/// tier is the paper's second analogue test (ramp input, level-sensor
+/// signature); it is enumerated separately so a test plan can skip it.
+enum class Tier : std::uint8_t {
+  kAnalog = 0,
+  kRamp = 1,
+  kDigital = 2,
+  kCompressed = 3,
+};
+
+inline constexpr std::array<Tier, 4> kAllTiers = {
+    Tier::kAnalog, Tier::kRamp, Tier::kDigital, Tier::kCompressed};
+
+const char* to_string(Tier t);
 
 struct AnalogTestResult {
   std::vector<double> step_levels;
   std::vector<double> fall_times_s;
   std::vector<double> expected_fall_times_s;
   bool pass = false;
+
+  core::Outcome outcome() const;
+  void to_json(core::JsonWriter& w) const;
 };
 
 struct RampTestResult {
@@ -37,6 +62,9 @@ struct RampTestResult {
   std::vector<std::uint32_t> codes;
   bool codes_monotonic = false;  ///< raw codes decrease as the ramp rises
   bool pass = false;
+
+  core::Outcome outcome() const;
+  void to_json(core::JsonWriter& w) const;
 };
 
 struct DigitalTestResult {
@@ -45,6 +73,9 @@ struct DigitalTestResult {
   double fall_time_per_code_s = 0.0;   ///< expect 10 us
   double volts_per_code = 0.0;         ///< expect 10 mV
   bool pass = false;
+
+  core::Outcome outcome() const;
+  void to_json(core::JsonWriter& w) const;
 };
 
 struct CompressedTestResult {
@@ -53,6 +84,9 @@ struct CompressedTestResult {
   std::uint8_t analog_signature = 0;   ///< 2-bit level-sensor code of peak
   std::uint8_t expected_analog = 0b01; ///< peak between 1.9 V and 3.6 V
   bool pass = false;
+
+  core::Outcome outcome() const;
+  void to_json(core::JsonWriter& w) const;
 };
 
 struct BistReport {
@@ -61,6 +95,15 @@ struct BistReport {
   DigitalTestResult digital;
   CompressedTestResult compressed;
   bool pass = false;
+
+  /// Pass flag of one tier's slot.
+  bool tier_pass(Tier t) const;
+  /// Tiers whose slot is failing (includes never-run tiers of a partial
+  /// plan only if the caller left them defaulted to fail).
+  std::vector<Tier> failed_tiers() const;
+
+  core::Outcome outcome() const;
+  void to_json(core::JsonWriter& w) const;
 };
 
 struct BistTolerances {
@@ -76,19 +119,35 @@ class BistController {
   /// A controller with the paper's typical macros.
   static BistController typical();
 
+  /// Run one tier, store its detailed result into the matching slot of
+  /// `report`, and return its outcome. This is the canonical entry point;
+  /// run_all and the legacy per-tier methods forward here.
+  core::Outcome run_tier(Tier t, adc::DualSlopeAdc& adc,
+                         BistReport& report) const;
+
+  /// Run one tier, discarding the detailed result.
+  core::Outcome run_tier(Tier t, adc::DualSlopeAdc& adc) const;
+
+  /// Every tier in kAllTiers order; overall pass requires all to pass.
+  BistReport run_all(adc::DualSlopeAdc& adc) const;
+
+  // Legacy per-tier API, kept as forwarding wrappers over run_tier so
+  // seed-era callers and tests compile unchanged. Prefer run_tier.
   AnalogTestResult run_analog_test(adc::DualSlopeAdc& adc) const;
   RampTestResult run_ramp_test(adc::DualSlopeAdc& adc) const;
   DigitalTestResult run_digital_test(adc::DualSlopeAdc& adc) const;
   CompressedTestResult run_compressed_test(adc::DualSlopeAdc& adc) const;
-
-  /// All three tiers; overall pass requires every tier to pass.
-  BistReport run_all(adc::DualSlopeAdc& adc) const;
 
   const StepGenerator& steps() const { return steps_; }
   const RampGenerator& ramp() const { return ramp_; }
   const DcLevelSensor& sensor() const { return sensor_; }
 
  private:
+  AnalogTestResult analog_test(adc::DualSlopeAdc& adc) const;
+  RampTestResult ramp_test(adc::DualSlopeAdc& adc) const;
+  DigitalTestResult digital_test(adc::DualSlopeAdc& adc) const;
+  CompressedTestResult compressed_test(adc::DualSlopeAdc& adc) const;
+
   StepGenerator steps_;
   RampGenerator ramp_;
   DcLevelSensor sensor_;

@@ -18,7 +18,10 @@
 //              signature compression, BIST controller, overhead model
 //   tsrt     — transient-response testing: example circuits 1-3,
 //              correlation and impulse-response detection
-//   core     — Device/Batch fabrication model, report tables
+//   core     — Device/Batch fabrication model, report tables, thread
+//              pool, unified Outcome/to_json report contract
+//   production — Monte-Carlo batch-test engine: populations, test
+//              plans, yield and parametric-distribution reports
 #pragma once
 
 #include "adc/dac.h"
@@ -52,7 +55,10 @@
 #include "circuit/transient.h"
 #include "circuit/waveform.h"
 #include "core/device.h"
+#include "core/json.h"
+#include "core/outcome.h"
 #include "core/report.h"
+#include "core/thread_pool.h"
 #include "digital/counter.h"
 #include "digital/fsm.h"
 #include "digital/latch.h"
@@ -74,6 +80,9 @@
 #include "faults/parametric.h"
 #include "faults/fault.h"
 #include "faults/universe.h"
+#include "production/batch.h"
+#include "production/plan.h"
+#include "production/stats.h"
 #include "tsrt/detector.h"
 #include "tsrt/example_circuits.h"
 #include "tsrt/impulse_compare.h"

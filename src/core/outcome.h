@@ -1,0 +1,65 @@
+// The unified report API: every test/analysis subsystem reduces its
+// result to a core::Outcome and serializes itself through the
+// core::Serializable contract.
+//
+// Before this existed each tier spoke its own dialect (BistReport,
+// CampaignReport, AdcMetrics, ERC Report) and batch-level tooling had to
+// know all of them. Now a report type implements
+//
+//   core::Outcome outcome() const;            // pass/fail + detail line
+//   void to_json(core::JsonWriter&) const;    // structured serialization
+//
+// and anything — the production batch engine, a --json flag, CI — can
+// consume it generically. core::to_json(obj) renders any Serializable to
+// a string.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "core/json.h"
+
+namespace msbist::core {
+
+/// The outcome every test reduces to: did it pass, and a one-line
+/// human-readable reason. detail is deterministic (no timing, no
+/// pointers) so outcomes can be compared across runs and thread counts.
+struct Outcome {
+  bool pass = false;
+  std::string detail;
+
+  explicit operator bool() const { return pass; }
+
+  static Outcome ok(std::string detail = "") { return {true, std::move(detail)}; }
+  static Outcome fail(std::string detail) { return {false, std::move(detail)}; }
+
+  /// Combine with another outcome: pass requires both; details join with
+  /// "; " (empty sides dropped).
+  Outcome& operator&=(const Outcome& other) {
+    pass = pass && other.pass;
+    if (!other.detail.empty()) {
+      if (!detail.empty()) detail += "; ";
+      detail += other.detail;
+    }
+    return *this;
+  }
+
+  void to_json(JsonWriter& w) const {
+    w.begin_object().member("pass", pass).member("detail", detail).end_object();
+  }
+};
+
+/// The serialization half of the contract: the type can stream itself
+/// into a JsonWriter.
+template <class T>
+concept Serializable = requires(const T& t, JsonWriter& w) { t.to_json(w); };
+
+/// Render any Serializable report as a standalone JSON document.
+template <Serializable T>
+std::string to_json(const T& report) {
+  JsonWriter w;
+  report.to_json(w);
+  return w.str();
+}
+
+}  // namespace msbist::core

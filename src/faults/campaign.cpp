@@ -83,6 +83,54 @@ void tally(CampaignReport& report, const FaultResult& r) {
 
 }  // namespace
 
+core::Outcome FaultResult::outcome() const {
+  if (detected && !errored && !timed_out) {
+    return core::Outcome::ok("detected " + fault.label);
+  }
+  std::string why = errored ? "errored" : timed_out ? "timed out" : "undetected";
+  return core::Outcome::fail(why + ": " + fault.label +
+                             (detail.empty() ? "" : " (" + detail + ")"));
+}
+
+void FaultResult::to_json(core::JsonWriter& w) const {
+  w.begin_object()
+      .member("label", fault.label)
+      .member("detected", detected)
+      .member("score", score)
+      .member("errored", errored)
+      .member("timed_out", timed_out)
+      .member("elapsed_seconds", elapsed_seconds)
+      .member("detail", detail)
+      .end_object();
+}
+
+core::Outcome CampaignReport::outcome() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << detected_count << "/" << results.size() << " detected ("
+     << coverage() * 100.0 << " %), " << errored_count << " errors, "
+     << timed_out_count << " timeouts";
+  const bool pass = detected_count == results.size() && errored_count == 0 &&
+                    timed_out_count == 0;
+  return {pass, os.str()};
+}
+
+void CampaignReport::to_json(core::JsonWriter& w) const {
+  w.begin_object()
+      .member("faults", static_cast<std::uint64_t>(results.size()))
+      .member("detected_count", static_cast<std::uint64_t>(detected_count))
+      .member("errored_count", static_cast<std::uint64_t>(errored_count))
+      .member("timed_out_count", static_cast<std::uint64_t>(timed_out_count))
+      .member("coverage", coverage())
+      .member("threads_used", static_cast<std::uint64_t>(threads_used))
+      .member("wall_seconds", wall_seconds)
+      .member("cpu_seconds", cpu_seconds);
+  w.key("results").begin_array();
+  for (const FaultResult& r : results) r.to_json(w);
+  w.end_array();
+  w.end_object();
+}
+
 double CampaignReport::coverage() const {
   if (results.empty()) return 0.0;
   return static_cast<double>(detected_count) / static_cast<double>(results.size());

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/outcome.h"
 #include "faults/fault.h"
 
 namespace msbist::faults {
@@ -34,6 +35,10 @@ struct FaultResult {
   bool errored = false;     ///< the test threw; detail holds what()
   bool timed_out = false;   ///< per-fault wall-clock budget exceeded
   double elapsed_seconds = 0.0;  ///< wall time spent testing this fault
+
+  /// Unified report API: pass means the fault was detected cleanly.
+  core::Outcome outcome() const;
+  void to_json(core::JsonWriter& w) const;
 };
 
 struct CampaignReport {
@@ -57,6 +62,11 @@ struct CampaignReport {
   /// byte-identical between the serial and parallel engines at any thread
   /// count.
   std::string canonical_outcomes() const;
+
+  /// Unified report API: pass means full coverage with no errors or
+  /// timeouts; detail carries the deterministic counts.
+  core::Outcome outcome() const;
+  void to_json(core::JsonWriter& w) const;
 };
 
 /// The test procedure: given a fault (already chosen), build the faulty

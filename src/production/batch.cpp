@@ -1,0 +1,375 @@
+#include "production/batch.h"
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "core/device.h"
+#include "core/thread_pool.h"
+
+namespace msbist::production {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The canned macro-level injections of the spot check: the
+/// production_test example's fault menagerie, one per digital sub-macro.
+struct SpotFault {
+  const char* label;
+  void (*apply)(adc::DualSlopeAdcConfig&);
+};
+
+constexpr SpotFault kSpotFaults[] = {
+    {"counter-stuck-bit4",
+     [](adc::DualSlopeAdcConfig& c) { c.counter_faults.stuck_bit = 4; }},
+    {"latch-stuck-high-0x44",
+     [](adc::DualSlopeAdcConfig& c) { c.latch_faults.stuck_high_mask = 0x44; }},
+    {"control-frozen-integrate",
+     [](adc::DualSlopeAdcConfig& c) {
+       c.control_faults.stuck_phase = digital::ConvPhase::kIntegrate;
+     }},
+};
+
+SpotCheckResult run_spot_check(const DieSpec& spec) {
+  SpotCheckResult res;
+  for (const SpotFault& f : kSpotFaults) {
+    adc::DualSlopeAdcConfig faulted = spec.config;
+    f.apply(faulted);
+    // Same seed -> same die (identical variation draws), plus the fault.
+    core::Device clone(spec.seed, faulted);
+    const core::Outcome quick =
+        clone.bist().run_tier(bist::Tier::kCompressed, clone.adc());
+    ++res.injected;
+    if (!quick.pass) {
+      ++res.detected;  // the BIST flagged the injected fault — good
+    } else {
+      res.missed.emplace_back(f.label);
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+void SpotCheckResult::to_json(core::JsonWriter& w) const {
+  w.begin_object()
+      .member("injected", static_cast<std::uint64_t>(injected))
+      .member("detected", static_cast<std::uint64_t>(detected))
+      .member("pass", pass());
+  w.key("missed").begin_array();
+  for (const std::string& m : missed) w.value(m);
+  w.end_array();
+  w.end_object();
+}
+
+void DeviceOutcome::to_json(core::JsonWriter& w) const {
+  w.begin_object()
+      .member("index", static_cast<std::uint64_t>(index))
+      .member("seed", seed)
+      .member("label", label)
+      .member("pass", outcome.pass)
+      .member("detail", outcome.detail);
+  w.key("tiers_run").begin_array();
+  for (bist::Tier t : tiers_run) w.value(bist::to_string(t));
+  w.end_array();
+  w.key("failed_tiers").begin_array();
+  for (bist::Tier t : failed_tiers) w.value(bist::to_string(t));
+  w.end_array();
+  if (!tiers_run.empty()) {
+    w.key("bist");
+    bist.to_json(w);
+  }
+  if (has_metrics) {
+    w.key("metrics");
+    metrics.to_json(w, /*include_curves=*/false);
+    w.key("spec");
+    spec.to_json(w);
+  }
+  if (spot_check_run) {
+    w.key("spot_check");
+    spot_check.to_json(w);
+  }
+  w.member("elapsed_seconds", elapsed_seconds);
+  w.end_object();
+}
+
+std::uint64_t device_seed(std::uint64_t batch_seed, std::size_t index) {
+  // splitmix64: the standard seed-sequence mixer; decorrelates adjacent
+  // (batch_seed, index) pairs completely.
+  std::uint64_t z = batch_seed + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;  // 0 is the reserved no-variation die
+}
+
+std::vector<DieSpec> make_population(const BatchConfig& cfg) {
+  std::vector<DieSpec> pop;
+  pop.reserve(cfg.device_count);
+  for (std::size_t i = 0; i < cfg.device_count; ++i) {
+    DieSpec d;
+    d.seed = device_seed(cfg.batch_seed, i);
+    d.config = cfg.base;
+    d.label = "die " + std::to_string(i + 1);
+    pop.push_back(std::move(d));
+  }
+  return pop;
+}
+
+std::vector<DieSpec> paper_population() {
+  std::vector<DieSpec> pop;
+  pop.reserve(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    DieSpec d;
+    d.seed = 1995 + i + 1;  // core::Batch::paper_batch's die seeds
+    d.config = adc::DualSlopeAdcConfig::characterized();
+    d.label = "die " + std::to_string(i + 1);
+    pop.push_back(std::move(d));
+  }
+  return pop;
+}
+
+DeviceOutcome test_device(const DieSpec& spec, const TestPlan& plan) {
+  const auto t0 = Clock::now();
+  DeviceOutcome out;
+  out.seed = spec.seed;
+  out.label = spec.label;
+  out.outcome = core::Outcome::ok();
+
+  core::Device die(spec.seed, spec.config);
+
+  out.tiers_run = plan.tiers;
+  bool tiers_pass = true;
+  for (bist::Tier t : plan.tiers) {
+    const core::Outcome tier = die.bist().run_tier(t, die.adc(), out.bist);
+    if (!tier.pass) {
+      tiers_pass = false;
+      out.failed_tiers.push_back(t);
+    }
+  }
+  out.bist.pass = tiers_pass;
+  if (!tiers_pass) {
+    std::string detail = "BIST fail:";
+    for (bist::Tier t : out.failed_tiers) {
+      detail += ' ';
+      detail += bist::to_string(t);
+    }
+    out.outcome &= core::Outcome::fail(std::move(detail));
+  }
+
+  if (plan.full_spec) {
+    out.has_metrics = true;
+    out.metrics = die.characterize();
+    out.spec = out.metrics.outcome(plan.limits);
+    if (!out.spec.pass) out.outcome &= core::Outcome::fail(out.spec.detail);
+  }
+
+  if (plan.fault_spot_check) {
+    out.spot_check_run = true;
+    out.spot_check = run_spot_check(spec);
+    if (!out.spot_check.pass()) {
+      std::string detail = "spot check missed:";
+      for (const std::string& m : out.spot_check.missed) detail += " " + m;
+      out.outcome &= core::Outcome::fail(std::move(detail));
+    }
+  }
+
+  if (out.outcome.pass && out.outcome.detail.empty()) {
+    out.outcome.detail = "pass";
+  }
+  out.elapsed_seconds = seconds_since(t0);
+  return out;
+}
+
+double BatchReport::yield() const {
+  if (devices.empty()) return 0.0;
+  return static_cast<double>(passed) / static_cast<double>(devices.size());
+}
+
+double BatchReport::devices_per_second() const {
+  if (wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(devices.size()) / wall_seconds;
+}
+
+std::string BatchReport::summary() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << passed << "/" << devices.size() << " devices pass (yield "
+     << yield() * 100.0 << " %); " << threads_used << " thread(s), "
+     << wall_seconds << " s wall, " << cpu_seconds << " s cpu, "
+     << devices_per_second() << " devices/s";
+  return os.str();
+}
+
+std::string BatchReport::canonical_outcomes() const {
+  std::ostringstream os;
+  os.precision(17);
+  for (const DeviceOutcome& d : devices) {
+    os << d.index << '|' << d.seed << '|' << d.label << '|' << d.outcome.pass
+       << '|' << d.outcome.detail;
+    for (bist::Tier t : d.tiers_run) {
+      os << '|' << bist::to_string(t) << '=' << d.bist.tier_pass(t);
+    }
+    if (d.has_metrics) {
+      os << "|offset=" << d.metrics.offset_lsb
+         << "|gain=" << d.metrics.gain_error_lsb
+         << "|inl=" << d.metrics.max_abs_inl
+         << "|dnl=" << d.metrics.max_abs_dnl;
+    }
+    if (d.spot_check_run) {
+      os << "|spot=" << d.spot_check.detected << '/' << d.spot_check.injected;
+    }
+    os << '\n';
+  }
+  os << "passed=" << passed << " of=" << devices.size();
+  const ParamStats* all[] = {&offset_lsb, &gain_error_lsb, &max_abs_inl,
+                             &max_abs_dnl, &conversion_time_s,
+                             &first_step_fall_time_s};
+  for (const ParamStats* s : all) {
+    os << ' ' << s->count << ':' << s->mean << ':' << s->sigma << ':' << s->min
+       << ':' << s->max << ':' << s->p05 << ':' << s->p50 << ':' << s->p95;
+  }
+  os << '\n';
+  return os.str();
+}
+
+core::Outcome BatchReport::outcome() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << passed << "/" << devices.size() << " pass, yield " << yield() * 100.0
+     << " %";
+  return {passed == devices.size(), os.str()};
+}
+
+void BatchReport::to_json(core::JsonWriter& w) const {
+  w.begin_object()
+      .member("schema", "msbist.batch_report.v1")
+      .member("device_count", static_cast<std::uint64_t>(devices.size()))
+      .member("passed", static_cast<std::uint64_t>(passed))
+      .member("yield", yield())
+      .member("threads_used", static_cast<std::uint64_t>(threads_used))
+      .member("wall_seconds", wall_seconds)
+      .member("cpu_seconds", cpu_seconds)
+      .member("devices_per_second", devices_per_second());
+  w.key("tier_failures").begin_object();
+  for (bist::Tier t : bist::kAllTiers) {
+    w.key(bist::to_string(t)).begin_array();
+    for (std::size_t i : tier_failures[static_cast<std::size_t>(t)]) {
+      w.value(static_cast<std::uint64_t>(i));
+    }
+    w.end_array();
+  }
+  w.end_object();
+  w.key("stats").begin_object();
+  w.key("offset_lsb");
+  offset_lsb.to_json(w);
+  w.key("gain_error_lsb");
+  gain_error_lsb.to_json(w);
+  w.key("max_abs_inl");
+  max_abs_inl.to_json(w);
+  w.key("max_abs_dnl");
+  max_abs_dnl.to_json(w);
+  w.key("conversion_time_s");
+  conversion_time_s.to_json(w);
+  w.key("first_step_fall_time_s");
+  first_step_fall_time_s.to_json(w);
+  w.end_object();
+  w.key("devices").begin_array();
+  for (const DeviceOutcome& d : devices) d.to_json(w);
+  w.end_array();
+  w.end_object();
+}
+
+namespace {
+
+/// Ordered aggregation over filled slots: identical at any thread count.
+BatchReport aggregate(std::vector<DeviceOutcome> slots, std::size_t threads) {
+  BatchReport report;
+  report.threads_used = threads;
+  std::vector<double> offsets, gains, inls, dnls, conv_times, fall_times;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    DeviceOutcome& d = slots[i];
+    d.index = i;
+    if (d.outcome.pass) ++report.passed;
+    report.cpu_seconds += d.elapsed_seconds;
+    for (bist::Tier t : d.failed_tiers) {
+      report.tier_failures[static_cast<std::size_t>(t)].push_back(i);
+    }
+    if (d.has_metrics) {
+      offsets.push_back(d.metrics.offset_lsb);
+      gains.push_back(d.metrics.gain_error_lsb);
+      inls.push_back(d.metrics.max_abs_inl);
+      dnls.push_back(d.metrics.max_abs_dnl);
+    }
+    for (bist::Tier t : d.tiers_run) {
+      if (t == bist::Tier::kDigital) {
+        conv_times.push_back(d.bist.digital.max_conversion_time_s);
+      }
+      if (t == bist::Tier::kAnalog && !d.bist.analog.fall_times_s.empty()) {
+        fall_times.push_back(d.bist.analog.fall_times_s.front());
+      }
+    }
+    report.devices.push_back(std::move(d));
+  }
+  report.offset_lsb = compute_stats(std::move(offsets));
+  report.gain_error_lsb = compute_stats(std::move(gains));
+  report.max_abs_inl = compute_stats(std::move(inls));
+  report.max_abs_dnl = compute_stats(std::move(dnls));
+  report.conversion_time_s = compute_stats(std::move(conv_times));
+  report.first_step_fall_time_s = compute_stats(std::move(fall_times));
+  return report;
+}
+
+}  // namespace
+
+BatchReport run_batch(const std::vector<DieSpec>& population,
+                      const TestPlan& plan, std::size_t threads,
+                      const DeviceTestFn& test_fn) {
+  const auto t0 = Clock::now();
+  const std::size_t n = population.size();
+  if (threads == 0) threads = core::ThreadPool::default_thread_count();
+  if (n > 0 && threads > n) threads = n;
+  const auto run_one = [&](const DieSpec& spec) {
+    return test_fn ? test_fn(spec, plan) : test_device(spec, plan);
+  };
+
+  std::vector<DeviceOutcome> slots(n);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      slots[i] = run_one(population[i]);
+    }
+    threads = 1;
+  } else {
+    // Determinism: device i owns slot [i]; workers claim indices from an
+    // atomic counter and only write their own slot. wait_idle() orders
+    // every slot write before aggregation (same scheme as
+    // faults::run_campaign_parallel).
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        slots[i] = run_one(population[i]);
+      }
+    };
+    core::ThreadPool pool(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.submit(worker);
+    pool.wait_idle();
+  }
+
+  BatchReport report = aggregate(std::move(slots), threads);
+  report.wall_seconds = seconds_since(t0);
+  return report;
+}
+
+BatchReport run_batch(const BatchConfig& cfg) {
+  return run_batch(make_population(cfg), cfg.plan, cfg.threads);
+}
+
+}  // namespace msbist::production

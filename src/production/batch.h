@@ -1,0 +1,154 @@
+// Production batch-test engine: the paper's "batch of 10 devices" scaled
+// to thousands of Monte-Carlo virtual dies.
+//
+// A batch is defined by a batch seed and a device count: device i is
+// fabricated with process variation drawn from a seed derived via a
+// splitmix64 mix of (batch_seed, i), so the population is reproducible
+// and every die is statistically independent. Each die runs a TestPlan —
+// BIST tiers through the generic bist::run_tier, optionally the
+// full-spec AdcMetrics sweep and a fault-injection spot check — and the
+// engine aggregates a BatchReport: per-device outcomes, yield,
+// parametric distributions, and which devices fail which tier.
+//
+// Execution fans out over core::ThreadPool with the same determinism
+// contract as faults::run_campaign_parallel: every device owns a
+// pre-assigned result slot, aggregation walks slots in batch order, and
+// timing fields are excluded from canonical_outcomes() — so the report's
+// outcome fields are bit-identical at any thread count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "adc/dual_slope.h"
+#include "adc/metrics.h"
+#include "bist/controller.h"
+#include "core/outcome.h"
+#include "production/plan.h"
+#include "production/stats.h"
+
+namespace msbist::production {
+
+/// One die of a population: its variation seed and the base
+/// (design-intent) configuration variation is drawn against. Hand-built
+/// populations (e.g. known-bad dies for yield-math tests) set config
+/// directly; make_population derives uniform ones from a BatchConfig.
+struct DieSpec {
+  std::uint64_t seed = 1;
+  adc::DualSlopeAdcConfig config;
+  std::string label;
+};
+
+/// Result of the BIST-testability spot check on one device.
+struct SpotCheckResult {
+  std::size_t injected = 0;
+  std::size_t detected = 0;
+  std::vector<std::string> missed;  ///< labels of undetected injections
+
+  bool pass() const { return detected == injected; }
+  void to_json(core::JsonWriter& w) const;
+};
+
+/// Everything the plan measured on one device.
+struct DeviceOutcome {
+  std::size_t index = 0;      ///< position in the batch
+  std::uint64_t seed = 0;
+  std::string label;
+
+  std::vector<bist::Tier> tiers_run;
+  bist::BistReport bist;      ///< slots for tiers not in the plan stay default
+  std::vector<bist::Tier> failed_tiers;  ///< subset of tiers_run
+
+  bool has_metrics = false;
+  adc::AdcMetrics metrics;
+  core::Outcome spec{true, ""};        ///< metrics vs plan limits
+
+  bool spot_check_run = false;
+  SpotCheckResult spot_check;
+
+  core::Outcome outcome;      ///< overall verdict for this device
+  double elapsed_seconds = 0.0;  ///< timing; excluded from canonical text
+
+  void to_json(core::JsonWriter& w) const;
+};
+
+struct BatchConfig {
+  std::size_t device_count = 10;
+  std::uint64_t batch_seed = 1995;
+  /// Worker threads: 0 = hardware concurrency, 1 = serial in-thread.
+  std::size_t threads = 1;
+  adc::DualSlopeAdcConfig base = adc::DualSlopeAdcConfig::characterized();
+  TestPlan plan;
+};
+
+struct BatchReport {
+  std::vector<DeviceOutcome> devices;  ///< batch order, always
+  std::size_t passed = 0;
+  std::size_t threads_used = 1;
+  double wall_seconds = 0.0;  ///< end-to-end batch wall-clock time
+  double cpu_seconds = 0.0;   ///< sum of per-device elapsed times
+
+  /// Device indices failing each tier (indexed by Tier value); only
+  /// tiers the plan actually ran contribute.
+  std::array<std::vector<std::size_t>, bist::kAllTiers.size()> tier_failures;
+
+  // Parametric distributions over devices with full-spec metrics.
+  ParamStats offset_lsb;
+  ParamStats gain_error_lsb;
+  ParamStats max_abs_inl;
+  ParamStats max_abs_dnl;
+  // Distributions over the BIST observables (devices that ran the tier).
+  ParamStats conversion_time_s;     ///< digital tier worst conversion
+  ParamStats first_step_fall_time_s;  ///< analog tier, 0 V step (2.6 ms nom)
+
+  double yield() const;
+  /// Throughput in devices per wall-clock second.
+  double devices_per_second() const;
+  /// One-line human summary: yield, counts, wall time, throughput.
+  std::string summary() const;
+  /// Canonical text of every deterministic field (per-device outcomes,
+  /// metrics at full precision, aggregates). Timing is excluded: for a
+  /// given population and plan this string is byte-identical at any
+  /// thread count.
+  std::string canonical_outcomes() const;
+
+  /// Unified report API: pass means every device passed.
+  core::Outcome outcome() const;
+  void to_json(core::JsonWriter& w) const;
+};
+
+/// Per-device seed derivation: splitmix64 over (batch_seed, index),
+/// forced nonzero (seed 0 is the reserved no-variation die).
+std::uint64_t device_seed(std::uint64_t batch_seed, std::size_t index);
+
+/// The Monte-Carlo population a BatchConfig describes.
+std::vector<DieSpec> make_population(const BatchConfig& cfg);
+
+/// The paper's fabricated lot: the same 10 dies core::Batch::paper_batch
+/// builds (lot seed 1995, die seeds 1996..2005), as a population.
+std::vector<DieSpec> paper_population();
+
+/// Test a single die under a plan (the parallel engine's unit of work;
+/// exposed for tests and for screening one device interactively).
+DeviceOutcome test_device(const DieSpec& spec, const TestPlan& plan);
+
+/// Customization point for the per-device procedure: production-floor
+/// models wrap test_device with tester overheads (socket insertion,
+/// instrument settling); tests substitute canned outcomes. Must be
+/// thread-safe for threads > 1 and deterministic for a reproducible
+/// report.
+using DeviceTestFn = std::function<DeviceOutcome(const DieSpec&, const TestPlan&)>;
+
+/// Fabricate-and-test an explicit population. threads as in BatchConfig;
+/// test_fn defaults to test_device.
+BatchReport run_batch(const std::vector<DieSpec>& population,
+                      const TestPlan& plan, std::size_t threads = 1,
+                      const DeviceTestFn& test_fn = {});
+
+/// make_population + run_batch.
+BatchReport run_batch(const BatchConfig& cfg);
+
+}  // namespace msbist::production

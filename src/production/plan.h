@@ -1,0 +1,45 @@
+// Test plans: what the production batch engine runs on every device.
+//
+// The paper's production flow is the three on-chip BIST tiers; a full
+// characterization (the bench-instrument AdcMetrics sweep) and a BIST
+// testability spot check (inject known macro faults, require the
+// compressed tier to catch them) are optional extensions a plan can
+// switch on. Tiers are iterated generically through bist::run_tier, so
+// adding a tier to the library automatically makes it plannable.
+#pragma once
+
+#include <vector>
+
+#include "adc/metrics.h"
+#include "bist/controller.h"
+
+namespace msbist::production {
+
+struct TestPlan {
+  /// BIST tiers to run, in order. Empty = skip on-chip BIST entirely.
+  std::vector<bist::Tier> tiers{bist::kAllTiers.begin(), bist::kAllTiers.end()};
+
+  /// Run the full-spec AdcMetrics characterization (fine ramp sweep,
+  /// ~1000 conversions/device) and judge it against `limits`.
+  bool full_spec = false;
+  adc::MetricsLimits limits{};
+
+  /// BIST testability spot check: clone the die, inject canned
+  /// macro-level faults (stuck counter bit, stuck latch bits, frozen
+  /// control FSM), and require the die's own compressed test to flag
+  /// each clone. A device whose BIST misses an injected fault fails.
+  bool fault_spot_check = false;
+
+  /// The paper's production screen: the three on-chip tiers only.
+  static TestPlan bist_only() { return {}; }
+
+  /// BIST + full characterization + spot check.
+  static TestPlan full() {
+    TestPlan p;
+    p.full_spec = true;
+    p.fault_spot_check = true;
+    return p;
+  }
+};
+
+}  // namespace msbist::production

@@ -1,0 +1,256 @@
+// Production batch-test engine: determinism across thread counts, yield
+// math on hand-built populations, seeding, stats, and the tier-enum API.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/device.h"
+#include "production/batch.h"
+
+namespace {
+
+using namespace msbist;
+
+production::TestPlan quick_full_plan() {
+  production::TestPlan plan = production::TestPlan::full();
+  plan.fault_spot_check = false;  // keep the test fast; spot check has its own
+  return plan;
+}
+
+TEST(ProductionBatch, DeviceSeedsAreStableNonzeroAndDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const std::uint64_t s = production::device_seed(1995, i);
+    EXPECT_NE(s, 0u);
+    EXPECT_EQ(s, production::device_seed(1995, i));
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions across the batch
+  EXPECT_NE(production::device_seed(1995, 0), production::device_seed(1996, 0));
+}
+
+TEST(ProductionBatch, BitIdenticalReportAcrossThreadCounts) {
+  production::BatchConfig cfg;
+  cfg.device_count = 8;
+  cfg.batch_seed = 42;
+  cfg.plan = quick_full_plan();
+
+  cfg.threads = 1;
+  const production::BatchReport one = production::run_batch(cfg);
+  cfg.threads = 2;
+  const production::BatchReport two = production::run_batch(cfg);
+  cfg.threads = 8;
+  const production::BatchReport eight = production::run_batch(cfg);
+
+  EXPECT_EQ(one.canonical_outcomes(), two.canonical_outcomes());
+  EXPECT_EQ(one.canonical_outcomes(), eight.canonical_outcomes());
+  EXPECT_EQ(two.threads_used, 2u);
+  EXPECT_EQ(eight.threads_used, 8u);
+
+  // Spot-check bit-identity of the underlying doubles, not just the text.
+  ASSERT_EQ(one.devices.size(), eight.devices.size());
+  for (std::size_t i = 0; i < one.devices.size(); ++i) {
+    EXPECT_EQ(one.devices[i].metrics.offset_lsb,
+              eight.devices[i].metrics.offset_lsb);
+    EXPECT_EQ(one.devices[i].metrics.max_abs_inl,
+              eight.devices[i].metrics.max_abs_inl);
+    EXPECT_EQ(one.devices[i].outcome.pass, eight.devices[i].outcome.pass);
+  }
+  EXPECT_EQ(one.offset_lsb.mean, eight.offset_lsb.mean);
+  EXPECT_EQ(one.max_abs_dnl.p95, eight.max_abs_dnl.p95);
+}
+
+TEST(ProductionBatch, YieldMathOnHandBuiltPopulation) {
+  const adc::DualSlopeAdcConfig healthy =
+      adc::DualSlopeAdcConfig::characterized();
+
+  adc::DualSlopeAdcConfig counter_fault = healthy;
+  counter_fault.counter_faults.stuck_bit = 4;
+  adc::DualSlopeAdcConfig control_fault = healthy;
+  control_fault.control_faults.stuck_phase = digital::ConvPhase::kIntegrate;
+
+  // Seeds 1996..1998 are dies of the paper lot, known to pass BIST.
+  std::vector<production::DieSpec> pop;
+  pop.push_back({1996, healthy, "good A"});
+  pop.push_back({1997, healthy, "good B"});
+  pop.push_back({1998, healthy, "good C"});
+  pop.push_back({1996, counter_fault, "counter stuck"});
+  pop.push_back({1996, control_fault, "control frozen"});
+
+  const production::BatchReport rep =
+      production::run_batch(pop, production::TestPlan::bist_only());
+
+  EXPECT_EQ(rep.devices.size(), 5u);
+  EXPECT_EQ(rep.passed, 3u);
+  EXPECT_DOUBLE_EQ(rep.yield(), 0.6);
+  EXPECT_FALSE(rep.outcome().pass);
+
+  // The healthy dies fail no tier; each faulty die fails at least one.
+  std::set<std::size_t> failing;
+  for (const auto& per_tier : rep.tier_failures) {
+    failing.insert(per_tier.begin(), per_tier.end());
+  }
+  EXPECT_EQ(failing, (std::set<std::size_t>{3, 4}));
+  EXPECT_TRUE(rep.devices[0].failed_tiers.empty());
+  EXPECT_FALSE(rep.devices[3].failed_tiers.empty());
+  EXPECT_FALSE(rep.devices[4].failed_tiers.empty());
+  // The stuck counter bit corrupts codes -> the compressed signature
+  // catches it (the paper's fault-to-symptom map).
+  EXPECT_FALSE(rep.devices[3].bist.compressed.pass);
+  // The frozen control FSM stops conversions -> the digital tier fails.
+  EXPECT_FALSE(rep.devices[4].bist.digital.pass);
+}
+
+TEST(ProductionBatch, PaperPopulationPassesFullPlan) {
+  const production::BatchReport rep = production::run_batch(
+      production::paper_population(), production::TestPlan::full(), 2);
+  EXPECT_EQ(rep.devices.size(), 10u);
+  EXPECT_EQ(rep.passed, 10u) << rep.canonical_outcomes();
+  EXPECT_TRUE(rep.outcome().pass);
+  for (const production::DeviceOutcome& d : rep.devices) {
+    EXPECT_TRUE(d.spot_check.pass()) << d.label;
+    EXPECT_EQ(d.spot_check.injected, 3u);
+  }
+  // Distributions cover all ten dies.
+  EXPECT_EQ(rep.offset_lsb.count, 10u);
+  EXPECT_GT(rep.offset_lsb.sigma, 0.0);
+}
+
+TEST(ProductionBatch, CustomTestFnIsUsedAndThreadInvariant) {
+  production::BatchConfig cfg;
+  cfg.device_count = 17;
+  cfg.batch_seed = 7;
+  const auto pop = production::make_population(cfg);
+
+  const production::DeviceTestFn fake =
+      [](const production::DieSpec& spec,
+         const production::TestPlan&) {
+        production::DeviceOutcome out;
+        out.seed = spec.seed;
+        out.label = spec.label;
+        out.outcome = (spec.seed % 2 == 0)
+                          ? core::Outcome::ok("even seed")
+                          : core::Outcome::fail("odd seed");
+        return out;
+      };
+
+  const auto serial = production::run_batch(pop, {}, 1, fake);
+  const auto parallel = production::run_batch(pop, {}, 4, fake);
+  EXPECT_EQ(serial.canonical_outcomes(), parallel.canonical_outcomes());
+
+  std::size_t expect_pass = 0;
+  for (const auto& d : pop) {
+    if (d.seed % 2 == 0) ++expect_pass;
+  }
+  EXPECT_EQ(serial.passed, expect_pass);
+}
+
+TEST(ProductionBatch, EmptyPopulationIsWellFormed) {
+  const production::BatchReport rep =
+      production::run_batch({}, production::TestPlan::bist_only(), 4);
+  EXPECT_TRUE(rep.devices.empty());
+  EXPECT_EQ(rep.passed, 0u);
+  EXPECT_DOUBLE_EQ(rep.yield(), 0.0);
+  EXPECT_NO_THROW(core::to_json(rep));
+}
+
+TEST(ProductionStats, KnownSampleMoments) {
+  const production::ParamStats s =
+      production::compute_stats({4.0, 2.0, 1.0, 3.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.sigma, std::sqrt(2.5), 1e-12);  // sample stddev of 1..5
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_DOUBLE_EQ(s.p05, 1.2);  // linear interpolation at 0.05 * 4 = 0.2
+  EXPECT_DOUBLE_EQ(s.p95, 4.8);
+}
+
+TEST(ProductionStats, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(production::percentile_sorted({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(production::percentile_sorted({7.0}, 0.9), 7.0);
+  EXPECT_DOUBLE_EQ(production::percentile_sorted({1.0, 2.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(production::percentile_sorted({1.0, 2.0}, 1.0), 2.0);
+  const production::ParamStats empty = production::compute_stats({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.sigma, 0.0);
+}
+
+TEST(ProductionTier, RunTierMatchesLegacyWrappers) {
+  const auto cfg = adc::DualSlopeAdcConfig::characterized();
+  const bist::BistController ctrl = bist::BistController::typical();
+
+  for (bist::Tier t : bist::kAllTiers) {
+    adc::DualSlopeAdc via_enum(cfg);
+    adc::DualSlopeAdc via_legacy(cfg);
+    bist::BistReport rep;
+    const core::Outcome out = ctrl.run_tier(t, via_enum, rep);
+    bool legacy_pass = false;
+    switch (t) {
+      case bist::Tier::kAnalog:
+        legacy_pass = ctrl.run_analog_test(via_legacy).pass;
+        break;
+      case bist::Tier::kRamp:
+        legacy_pass = ctrl.run_ramp_test(via_legacy).pass;
+        break;
+      case bist::Tier::kDigital:
+        legacy_pass = ctrl.run_digital_test(via_legacy).pass;
+        break;
+      case bist::Tier::kCompressed:
+        legacy_pass = ctrl.run_compressed_test(via_legacy).pass;
+        break;
+    }
+    EXPECT_EQ(out.pass, legacy_pass) << bist::to_string(t);
+    EXPECT_EQ(rep.tier_pass(t), out.pass) << bist::to_string(t);
+  }
+}
+
+TEST(ProductionTier, RunAllAggregatesTierOutcomes) {
+  const auto cfg = adc::DualSlopeAdcConfig::characterized();
+  const bist::BistController ctrl = bist::BistController::typical();
+
+  adc::DualSlopeAdc whole(cfg);
+  const bist::BistReport all = ctrl.run_all(whole);
+
+  adc::DualSlopeAdc tiered(cfg);
+  bist::BistReport manual;
+  bool pass = true;
+  for (bist::Tier t : bist::kAllTiers) {
+    pass = ctrl.run_tier(t, tiered, manual).pass && pass;
+  }
+  manual.pass = pass;
+
+  // Same conversion stream order -> bit-identical signatures and flags.
+  EXPECT_EQ(all.pass, manual.pass);
+  EXPECT_EQ(all.compressed.digital_signature,
+            manual.compressed.digital_signature);
+  EXPECT_EQ(all.digital.max_conversion_time_s,
+            manual.digital.max_conversion_time_s);
+  EXPECT_EQ(all.failed_tiers().size(), manual.failed_tiers().size());
+  EXPECT_TRUE(all.outcome().pass);
+}
+
+TEST(ProductionTier, TierNamesAreStable) {
+  EXPECT_STREQ(bist::to_string(bist::Tier::kAnalog), "analog");
+  EXPECT_STREQ(bist::to_string(bist::Tier::kRamp), "ramp");
+  EXPECT_STREQ(bist::to_string(bist::Tier::kDigital), "digital");
+  EXPECT_STREQ(bist::to_string(bist::Tier::kCompressed), "compressed");
+}
+
+TEST(ProductionSpotCheck, CatchesInjectedMacroFaults) {
+  production::TestPlan plan = production::TestPlan::bist_only();
+  plan.fault_spot_check = true;
+  production::DieSpec die;
+  die.seed = 1996;
+  die.config = adc::DualSlopeAdcConfig::characterized();
+  die.label = "good";
+  const production::DeviceOutcome out = production::test_device(die, plan);
+  EXPECT_TRUE(out.spot_check_run);
+  EXPECT_EQ(out.spot_check.injected, 3u);
+  EXPECT_EQ(out.spot_check.detected, 3u);
+  EXPECT_TRUE(out.outcome.pass) << out.outcome.detail;
+}
+
+}  // namespace

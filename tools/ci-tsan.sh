@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# ThreadSanitizer gate for the parallel fault-campaign engine. Mirrors the
-# "tsan" CI job:
+# ThreadSanitizer gate for the parallel engines. Mirrors the "tsan" CI
+# job:
 #
 #   tools/ci-tsan.sh [build-dir]
 #
 # Builds the tree with MSBIST_SANITIZE=thread (wired in the top-level
 # CMakeLists) and runs the concurrency-relevant tests: the fault/campaign
-# suites and the core ThreadPool tests. Any race report is fatal.
+# suites, the production batch engine (including the cross-thread-count
+# determinism test), and the core ThreadPool tests. Any race report is
+# fatal.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,4 +19,4 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R '^(Campaign|CampaignParallel|Universe|Inject|ThreadPool)\.'
+  -R '^(Campaign|CampaignParallel|Universe|Inject|ThreadPool|Production)\.'
