@@ -10,9 +10,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
 
 #include "adc/dual_slope.h"
 #include "bist/controller.h"
+#include "circuit/elements.h"
+#include "circuit/transient.h"
 #include "core/report.h"
 
 namespace {
@@ -59,6 +62,54 @@ void BM_AnalogBistTier(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AnalogBistTier);
+
+// Circuit-level solver benchmark: an RC integrator chain (op-amp-free
+// linear integrator with a step drive) marched for 2000 fixed-dt steps.
+// The linear, fixed-dt case is the solver hot path the stamp cache and
+// LU reuse target: cached runs factor once and substitute per step;
+// solver_cache=false forces the from-scratch stamp + LU every step and
+// serves as the pre-cache reference. Waveforms are bit-identical.
+void build_integrator_chain(msbist::circuit::Netlist& n, int stages) {
+  using namespace msbist::circuit;
+  NodeId prev = n.node("in");
+  n.add<VoltageSource>(prev, kGround,
+                       std::make_shared<PulseWave>(0.0, 1.0, 1e-6, 1e-7, 1e-7,
+                                                   5e-4, 1e-3));
+  for (int s = 0; s < stages; ++s) {
+    const NodeId out = n.node("int" + std::to_string(s));
+    n.add<Resistor>(prev, out, 10e3);
+    n.add<Capacitor>(out, kGround, 10e-9);
+    // Bleed resistor defines the DC point like the SC integrator's RF.
+    n.add<Resistor>(out, kGround, 10e6);
+    prev = out;
+  }
+}
+
+void run_integrator_transient(benchmark::State& state, bool cache) {
+  using namespace msbist::circuit;
+  const int stages = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Netlist n;
+    build_integrator_chain(n, stages);
+    TransientOptions opts;
+    opts.dt = 1e-6;
+    opts.t_stop = 2e-3;  // 2000 steps
+    opts.solver_cache = cache;
+    benchmark::DoNotOptimize(transient(n, opts));
+  }
+  state.counters["steps"] = 2000;
+  state.counters["unknowns"] = stages + 2;
+}
+
+void BM_LinearIntegratorTransient_Cached(benchmark::State& state) {
+  run_integrator_transient(state, true);
+}
+BENCHMARK(BM_LinearIntegratorTransient_Cached)->Arg(12)->Arg(24)->Arg(48)->Arg(96);
+
+void BM_LinearIntegratorTransient_NoCache(benchmark::State& state) {
+  run_integrator_transient(state, false);
+}
+BENCHMARK(BM_LinearIntegratorTransient_NoCache)->Arg(12)->Arg(24)->Arg(48)->Arg(96);
 
 }  // namespace
 

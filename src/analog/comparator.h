@@ -7,6 +7,8 @@
 // offset error and gain error").
 #pragma once
 
+#include <stdexcept>
+
 #include "analog/macro.h"
 
 namespace msbist::analog {
@@ -30,8 +32,36 @@ class ComparatorModel {
   void reset(bool output_high = false);
 
   /// Advance by dt with the given inputs; returns the (possibly delayed)
-  /// output level.
-  double step(double v_plus, double v_minus, double dt);
+  /// output level. Inline: runs once per simulation step, millions of
+  /// times per production batch.
+  double step(double v_plus, double v_minus, double dt) {
+    if (dt <= 0) throw std::invalid_argument("ComparatorModel::step: dt must be > 0");
+    const double vid = v_plus - v_minus + params_.offset_v;
+    // Hysteresis around zero: the comparison target shifts away from the
+    // current committed state.
+    const double half_hyst = 0.5 * params_.hysteresis_v;
+    const bool raw = out_high_ ? (vid > -half_hyst) : (vid > half_hyst);
+
+    if (params_.delay_s <= 0.0) {
+      out_high_ = raw;
+    } else if (raw != out_high_) {
+      if (!pending_valid_ || pending_state_ != raw) {
+        pending_valid_ = true;
+        pending_state_ = raw;
+        pending_timer_ = params_.delay_s;
+      } else {
+        pending_timer_ -= dt;
+        if (pending_timer_ <= 0.0) {
+          out_high_ = pending_state_;
+          pending_valid_ = false;
+        }
+      }
+    } else {
+      // Input went back before the delay elapsed: cancel the edge.
+      pending_valid_ = false;
+    }
+    return out_high_ ? params_.v_high : params_.v_low;
+  }
 
   bool output_high() const { return out_high_; }
   const ComparatorParams& params() const { return params_; }

@@ -33,18 +33,6 @@ void ScIntegratorModel::reset(double vout) {
   vout_ = std::clamp(vout, params_.vout_min, params_.vout_max);
 }
 
-double ScIntegratorModel::update(double vin, bool invert) {
-  const double gain = (1.0 / params_.cap_ratio) * (1.0 + params_.ratio_error);
-  // The nonlinearity models capacitor voltage-coefficient effects: the
-  // per-cycle step depends weakly on the present output level.
-  double step = gain * vin * (1.0 + params_.nonlinearity * vout_) *
-                (1.0 + params_.input_nonlinearity * vin);
-  if (invert) step = -step * (1.0 + params_.invert_gain_mismatch);
-  double next = vout_ * (1.0 - params_.leak) + step + params_.offset_per_cycle;
-  vout_ = std::clamp(next, params_.vout_min, params_.vout_max);
-  return vout_;
-}
-
 ScIntegratorNodes build_sc_integrator(circuit::Netlist& netlist,
                                       const ScIntegratorBuildOptions& opts) {
   using circuit::ClockWave;

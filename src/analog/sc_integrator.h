@@ -15,6 +15,7 @@
 //    (the paper's circuit 3).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 
 #include "analog/macro.h"
@@ -60,8 +61,19 @@ class ScIntegratorModel {
   /// One switched-capacitor cycle with input sample vin (the sample taken
   /// in the previous phase, matching the z^-1 in the design equation).
   /// Positive direction integrates up; pass invert=true for the dual-slope
-  /// run-down phase (switch control flips the sampled polarity).
-  double update(double vin, bool invert = false);
+  /// run-down phase (switch control flips the sampled polarity). Inline:
+  /// runs once per ADC clock, millions of times per production batch.
+  double update(double vin, bool invert = false) {
+    const double gain = (1.0 / params_.cap_ratio) * (1.0 + params_.ratio_error);
+    // The nonlinearity models capacitor voltage-coefficient effects: the
+    // per-cycle step depends weakly on the present output level.
+    double step = gain * vin * (1.0 + params_.nonlinearity * vout_) *
+                  (1.0 + params_.input_nonlinearity * vin);
+    if (invert) step = -step * (1.0 + params_.invert_gain_mismatch);
+    double next = vout_ * (1.0 - params_.leak) + step + params_.offset_per_cycle;
+    vout_ = std::clamp(next, params_.vout_min, params_.vout_max);
+    return vout_;
+  }
 
   double output() const { return vout_; }
   const ScIntegratorParams& params() const { return params_; }

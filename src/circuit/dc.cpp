@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "analysis/runner.h"
+#include "circuit/workspace.h"
 
 namespace msbist::circuit {
 
@@ -27,9 +28,13 @@ DcResult dc_operating_point(const Netlist& netlist, const DcOptions& opts) {
   ctx.mode = StampContext::Mode::kDc;
   ctx.t = 0.0;
 
+  // Source scaling only touches the RHS, so one workspace serves the
+  // direct attempt and every homotopy step.
+  SolverWorkspace workspace;
   std::vector<double> guess(unknowns, 0.0);
   try {
-    return DcResult(solve_mna(netlist, ctx, unknowns, guess, opts.newton), netlist);
+    return DcResult(solve_mna(netlist, ctx, unknowns, guess, opts.newton, &workspace),
+                    netlist);
   } catch (const std::runtime_error&) {
     // Fall through to source stepping.
   }
@@ -38,7 +43,7 @@ DcResult dc_operating_point(const Netlist& netlist, const DcOptions& opts) {
   std::vector<double> seed(unknowns, 0.0);
   for (int step = 1; step <= opts.source_steps; ++step) {
     ctx.source_scale = static_cast<double>(step) / static_cast<double>(opts.source_steps);
-    seed = solve_mna(netlist, ctx, unknowns, seed, opts.newton);
+    seed = solve_mna(netlist, ctx, unknowns, seed, opts.newton, &workspace);
   }
   return DcResult(std::move(seed), netlist);
 }
@@ -55,15 +60,19 @@ std::vector<double> dc_sweep(Netlist& netlist, const std::vector<double>& values
   out.reserve(values.size());
   std::vector<double> seed(unknowns, 0.0);
   bool have_seed = false;
+  SolverWorkspace workspace;
   for (double v : values) {
     set_value(netlist, v);
+    // set_value mutates element parameters in place — invisible to the
+    // workspace fingerprint, so the cached base must be rebuilt per point.
+    workspace.invalidate();
     if (!have_seed) {
       // First point: full operating-point machinery (with homotopy).
       const DcResult op = dc_operating_point(netlist, opts);
       seed = op.raw();
       have_seed = true;
     } else {
-      seed = solve_mna(netlist, ctx, unknowns, seed, opts.newton);
+      seed = solve_mna(netlist, ctx, unknowns, seed, opts.newton, &workspace);
     }
     out.push_back(probe_node < 0 ? 0.0 : seed[static_cast<std::size_t>(probe_node)]);
   }

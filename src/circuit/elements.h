@@ -17,6 +17,7 @@ class Resistor final : public Element {
   void stamp(Stamper& s, const StampContext& ctx) const override;
   std::vector<NodeId> terminals() const override { return {a_, b_}; }
   std::vector<std::pair<int, int>> dc_paths() const override { return {{0, 1}}; }
+  bool time_invariant_stamp() const override { return true; }
   double resistance() const { return ohms_; }
   void set_resistance(double ohms);
   NodeId node_a() const { return a_; }
@@ -36,9 +37,13 @@ class Capacitor final : public Element {
   void set_initial_voltage(double v);
   void stamp(Stamper& s, const StampContext& ctx) const override;
   std::vector<NodeId> terminals() const override { return {a_, b_}; }
+  /// The companion conductance C/dt (or 2C/dt) is fixed for a fixed-dt
+  /// analysis; only the companion history current (an RHS term) varies.
+  bool time_invariant_stamp() const override { return true; }
   void transient_begin(const std::vector<double>& solution, bool use_ic) override;
   void transient_accept(const std::vector<double>& solution,
                         const StampContext& ctx) override;
+  bool has_transient_state() const override { return true; }
   double capacitance() const { return farads_; }
   NodeId node_a() const { return a_; }
   NodeId node_b() const { return b_; }
@@ -63,6 +68,8 @@ class VoltageSource final : public Element {
   std::vector<NodeId> terminals() const override { return {pos_, neg_}; }
   std::vector<std::pair<int, int>> dc_paths() const override { return {{0, 1}}; }
   int branch_count() const override { return 1; }
+  /// Branch-row stamps are the constants +/-1; the drive level is RHS-only.
+  bool time_invariant_stamp() const override { return true; }
   NodeId pos() const { return pos_; }
   NodeId neg() const { return neg_; }
   /// Branch current (positive flowing pos -> through source -> neg) in a
@@ -85,6 +92,8 @@ class CurrentSource final : public Element {
   CurrentSource(NodeId pos, NodeId neg, double dc);
   void stamp(Stamper& s, const StampContext& ctx) const override;
   std::vector<NodeId> terminals() const override { return {pos_, neg_}; }
+  /// A current source writes no matrix entries at all.
+  bool time_invariant_stamp() const override { return true; }
   /// Replace the drive with a constant level (used by DC sweeps).
   void set_dc(double v) { wave_ = std::make_shared<DcWave>(v); }
 
@@ -104,6 +113,7 @@ class Vcvs final : public Element {
   std::vector<NodeId> terminals() const override { return {op_, on_, ip_, in_}; }
   std::vector<std::pair<int, int>> dc_paths() const override { return {{0, 1}}; }
   int branch_count() const override { return 1; }
+  bool time_invariant_stamp() const override { return true; }
 
  private:
   NodeId op_, on_, ip_, in_;
@@ -118,6 +128,7 @@ class Vccs final : public Element {
   /// Terminal order: out+, out-, in+, in-. A current output is not a DC
   /// path, so a Vccs provides none at all.
   std::vector<NodeId> terminals() const override { return {op_, on_, ip_, in_}; }
+  bool time_invariant_stamp() const override { return true; }
 
  private:
   NodeId op_, on_, ip_, in_;

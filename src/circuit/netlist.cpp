@@ -1,31 +1,13 @@
 #include "circuit/netlist.h"
 
+#include <atomic>
 #include <stdexcept>
 
 namespace msbist::circuit {
 
-void Stamper::conductance(NodeId a, NodeId b, double g) {
-  if (a >= 0) add(a, a, g);
-  if (b >= 0) add(b, b, g);
-  if (a >= 0 && b >= 0) {
-    add(a, b, -g);
-    add(b, a, -g);
-  }
-}
-
-void Stamper::current(NodeId a, NodeId b, double i) {
-  if (a >= 0) add_rhs(a, -i);
-  if (b >= 0) add_rhs(b, i);
-}
-
-void Stamper::add(int row, int col, double v) { g_(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v; }
-
-void Stamper::add_rhs(int row, double v) { rhs_[static_cast<std::size_t>(row)] += v; }
-
-double Stamper::voltage(const StampContext& ctx, NodeId n) {
-  if (n < 0) return 0.0;
-  if (ctx.guess == nullptr) return 0.0;
-  return (*ctx.guess)[static_cast<std::size_t>(n)];
+Netlist::Netlist() {
+  static std::atomic<std::uint64_t> next{1};
+  uid_ = next.fetch_add(1, std::memory_order_relaxed);
 }
 
 NodeId Netlist::node(const std::string& name) {

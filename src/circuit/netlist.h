@@ -7,6 +7,7 @@
 // voltages plus one branch current per voltage-source-like element.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -39,29 +40,82 @@ struct StampContext {
 /// Write adapter over the MNA matrix and right-hand side. Node index
 /// kGround is silently dropped, which keeps element stamping code free of
 /// ground special cases.
+///
+/// Two optional hooks serve the SolverWorkspace stamp cache (workspace.h):
+///  * a keep-mask (row-major, one byte per matrix entry) drops matrix
+///    writes to entries whose byte is zero — the workspace restores those
+///    from its cached base instead of re-accumulating them;
+///  * write logs record the coordinates of every attempted matrix and RHS
+///    write, which is how the workspace discovers each element's stamp
+///    footprint. RHS writes are never masked (the RHS is rebuilt every
+///    iteration).
+/// Both hooks default to off, so plain `Stamper(g, rhs)` behaves exactly
+/// as before.
 class Stamper {
  public:
   Stamper(dsp::Matrix& g, std::vector<double>& rhs) : g_(g), rhs_(rhs) {}
+  Stamper(dsp::Matrix& g, std::vector<double>& rhs, const unsigned char* keep_mask)
+      : g_(g), rhs_(rhs), keep_(keep_mask) {}
+  /// RHS-only mode: every matrix write is dropped without consulting a
+  /// mask (the constant-matrix fast path of the solver workspace).
+  struct RhsOnly {};
+  Stamper(dsp::Matrix& g, std::vector<double>& rhs, RhsOnly)
+      : g_(g), rhs_(rhs), drop_matrix_(true) {}
+
+  /// Record every matrix / RHS write's coordinates (discovery mode).
+  void set_write_log(std::vector<std::pair<int, int>>* matrix_log,
+                     std::vector<int>* rhs_log) {
+    log_ = matrix_log;
+    rhs_log_ = rhs_log;
+  }
 
   /// Conductance g between nodes a and b (classic 4-point stamp).
-  void conductance(NodeId a, NodeId b, double g);
+  void conductance(NodeId a, NodeId b, double g) {
+    if (a >= 0) add(a, a, g);
+    if (b >= 0) add(b, b, g);
+    if (a >= 0 && b >= 0) {
+      add(a, b, -g);
+      add(b, a, -g);
+    }
+  }
 
   /// Current source driving i from node a through the element to node b
   /// (SPICE convention: positive current leaves a and enters b).
-  void current(NodeId a, NodeId b, double i);
+  void current(NodeId a, NodeId b, double i) {
+    if (a >= 0) add_rhs(a, -i);
+    if (b >= 0) add_rhs(b, i);
+  }
 
   /// Raw matrix entry (row/col may be branch rows); both must be >= 0.
-  void add(int row, int col, double v);
+  void add(int row, int col, double v) {
+    if (log_) log_->emplace_back(row, col);
+    if (drop_matrix_) return;
+    const std::size_t r = static_cast<std::size_t>(row);
+    const std::size_t c = static_cast<std::size_t>(col);
+    if (keep_ && !keep_[r * g_.cols() + c]) return;
+    g_(r, c) += v;
+  }
 
   /// Raw RHS entry.
-  void add_rhs(int row, double v);
+  void add_rhs(int row, double v) {
+    if (rhs_log_) rhs_log_->push_back(row);
+    rhs_[static_cast<std::size_t>(row)] += v;
+  }
 
   /// Value of the current Newton iterate at a node (0 for ground).
-  static double voltage(const StampContext& ctx, NodeId n);
+  static double voltage(const StampContext& ctx, NodeId n) {
+    if (n < 0) return 0.0;
+    if (ctx.guess == nullptr) return 0.0;
+    return (*ctx.guess)[static_cast<std::size_t>(n)];
+  }
 
  private:
   dsp::Matrix& g_;
   std::vector<double>& rhs_;
+  const unsigned char* keep_ = nullptr;
+  bool drop_matrix_ = false;
+  std::vector<std::pair<int, int>>* log_ = nullptr;
+  std::vector<int>* rhs_log_ = nullptr;
 };
 
 /// Base class for all circuit elements.
@@ -85,6 +139,22 @@ class Element {
   /// True when the stamp depends on the Newton iterate.
   virtual bool nonlinear() const { return false; }
 
+  /// True when the element's *matrix* stamp is invariant across every
+  /// Newton iteration and time step of a fixed-dt analysis: the G-stamps
+  /// of resistors and controlled sources, the +/-1 branch rows of voltage
+  /// sources, and the fixed-dt companion conductance of capacitors. RHS
+  /// contributions may still vary freely (source waveforms, companion
+  /// history currents). The solver workspace stamps such elements into a
+  /// cached base matrix once per analysis instead of once per iteration.
+  ///
+  /// Contract for every element, invariant or not: within one analysis
+  /// (fixed StampContext::mode, dt, and method) the *set* of matrix and
+  /// RHS entries written by stamp() must not depend on t or the Newton
+  /// iterate (values may; coordinates may not), so a one-time discovery
+  /// pass sees the full footprint. All elements in this library satisfy
+  /// this by construction (their writes are guarded only by node indices).
+  virtual bool time_invariant_stamp() const { return false; }
+
   /// Number of extra MNA branch-current rows this element needs.
   virtual int branch_count() const { return 0; }
 
@@ -99,6 +169,10 @@ class Element {
                                bool /*use_initial_conditions*/) {}
   virtual void transient_accept(const std::vector<double>& /*solution*/,
                                 const StampContext& /*ctx*/) {}
+  /// True when transient_accept is non-trivial (the element carries
+  /// history, e.g. a capacitor). Lets the transient engine skip the
+  /// per-step virtual dispatch for stateless elements.
+  virtual bool has_transient_state() const { return false; }
 
   const std::string& name() const { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
@@ -111,6 +185,13 @@ class Element {
 /// A circuit: named nodes plus owned elements.
 class Netlist {
  public:
+  Netlist();
+
+  /// Process-unique identity, assigned at construction. Distinguishes a
+  /// netlist from a different one later constructed at the same address
+  /// (solver workspaces key their caches on it).
+  std::uint64_t uid() const { return uid_; }
+
   /// Index for a node name, creating it on first use. "0", "gnd" and
   /// "GND" all map to the ground reference.
   NodeId node(const std::string& name);
@@ -143,6 +224,7 @@ class Netlist {
   std::size_t assign_unknowns();
 
  private:
+  std::uint64_t uid_;
   std::unordered_map<std::string, NodeId> index_;
   std::vector<std::string> names_;
   std::vector<std::unique_ptr<Element>> elements_;

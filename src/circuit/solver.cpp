@@ -4,44 +4,30 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "dsp/matrix.h"
+#include "circuit/workspace.h"
 
 namespace msbist::circuit {
 
 namespace {
 
-bool has_nonlinear(const Netlist& netlist) {
-  for (const auto& el : netlist.elements()) {
-    if (el->nonlinear()) return true;
-  }
-  return false;
-}
-
-}  // namespace
-
-namespace {
-
 std::vector<double> solve_mna_once(const Netlist& netlist, StampContext ctx,
                                    std::size_t unknowns, std::vector<double> guess,
-                                   const NewtonOptions& opts) {
+                                   const NewtonOptions& opts, SolverWorkspace& ws) {
   if (guess.size() != unknowns) guess.assign(unknowns, 0.0);
-  const std::size_t nodes = netlist.node_count();
-  const bool nonlinear = has_nonlinear(netlist);
+  ws.bind(netlist, ctx, unknowns, opts);
+  const bool nonlinear = ws.nonlinear();
   const int iterations = nonlinear ? opts.max_iterations : 1;
 
   for (int it = 0; it < iterations; ++it) {
-    dsp::Matrix g(unknowns, unknowns);
-    std::vector<double> rhs(unknowns, 0.0);
-    Stamper stamper(g, rhs);
     ctx.guess = &guess;
-    for (const auto& el : netlist.elements()) el->stamp(stamper, ctx);
-    // gmin from every node to ground keeps floating nodes (e.g. gates,
-    // cut-off transistor stacks) well-posed.
-    for (std::size_t n = 0; n < nodes; ++n) g(n, n) += opts.gmin;
+    const std::vector<double>& x = ws.solve_iteration(ctx);
 
-    std::vector<double> x = dsp::solve(g, rhs);
-
-    if (!nonlinear) return x;
+    if (!nonlinear) {
+      // Copy into the guess buffer (same size, no allocation) and move it
+      // out — the workspace keeps ownership of its solution scratch.
+      guess = x;
+      return guess;
+    }
 
     // Damped update; converged when every unknown moved less than
     // vtol + reltol * |value|.
@@ -64,13 +50,15 @@ std::vector<double> solve_mna_once(const Netlist& netlist, StampContext ctx,
 
 std::vector<double> solve_mna(const Netlist& netlist, StampContext ctx,
                               std::size_t unknowns, std::vector<double> guess,
-                              const NewtonOptions& opts) {
+                              const NewtonOptions& opts, SolverWorkspace* workspace) {
+  SolverWorkspace local;
+  SolverWorkspace& ws = workspace ? *workspace : local;
   // High-gain loops can make the full-step Newton iteration orbit instead
   // of converge; progressively heavier damping is the standard cure.
   NewtonOptions damped = opts;
   for (int attempt = 0;; ++attempt) {
     try {
-      return solve_mna_once(netlist, ctx, unknowns, guess, damped);
+      return solve_mna_once(netlist, ctx, unknowns, guess, damped, ws);
     } catch (const std::runtime_error&) {
       if (attempt >= opts.damping_retries) throw;
       damped.max_update /= 4.0;

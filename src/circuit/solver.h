@@ -16,11 +16,20 @@ struct NewtonOptions {
   int damping_retries = 3; ///< on failure retry with max_update / 4^k
 };
 
+class SolverWorkspace;
+
 /// Solve the (possibly nonlinear) MNA system described by the netlist for
 /// the analysis point in ctx. guess seeds the Newton iteration and must
 /// have `unknowns` entries. Throws std::runtime_error on non-convergence.
+///
+/// workspace, when provided, carries the stamp cache, LU factorization
+/// cache, and scratch buffers across calls (see workspace.h); the
+/// transient engine passes one workspace for all steps of a run. Passing
+/// nullptr builds a private workspace for this call — correct but without
+/// cross-call reuse. Results are bit-identical either way.
 std::vector<double> solve_mna(const Netlist& netlist, StampContext ctx,
                               std::size_t unknowns, std::vector<double> guess,
-                              const NewtonOptions& opts);
+                              const NewtonOptions& opts,
+                              SolverWorkspace* workspace = nullptr);
 
 }  // namespace msbist::circuit

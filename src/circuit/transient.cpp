@@ -5,6 +5,7 @@
 
 #include "analysis/runner.h"
 #include "circuit/dc.h"
+#include "circuit/workspace.h"
 
 namespace msbist::circuit {
 
@@ -14,21 +15,30 @@ TransientResult::TransientResult(std::vector<double> time, std::vector<std::stri
                                  std::vector<std::vector<double>> branch_currents)
     : time_(std::move(time)), names_(std::move(names)), voltages_(std::move(voltages)),
       branch_names_(std::move(branch_names)),
-      branch_currents_(std::move(branch_currents)), zeros_(time_.size(), 0.0) {}
+      branch_currents_(std::move(branch_currents)), zeros_(time_.size(), 0.0) {
+  node_index_.reserve(names_.size());
+  for (std::size_t i = 0; i < names_.size(); ++i) node_index_.emplace(names_[i], i);
+  branch_index_.reserve(branch_names_.size());
+  for (std::size_t i = 0; i < branch_names_.size(); ++i) {
+    branch_index_.emplace(branch_names_[i], i);
+  }
+}
 
 const std::vector<double>& TransientResult::current(const std::string& element_name) const {
-  for (std::size_t i = 0; i < branch_names_.size(); ++i) {
-    if (branch_names_[i] == element_name) return branch_currents_[i];
+  const auto it = branch_index_.find(element_name);
+  if (it == branch_index_.end()) {
+    throw std::out_of_range("TransientResult: unknown branch element " + element_name);
   }
-  throw std::out_of_range("TransientResult: unknown branch element " + element_name);
+  return branch_currents_[it->second];
 }
 
 const std::vector<double>& TransientResult::voltage(const std::string& node_name) const {
   if (node_name == "0" || node_name == "gnd" || node_name == "GND") return zeros_;
-  for (std::size_t i = 0; i < names_.size(); ++i) {
-    if (names_[i] == node_name) return voltages_[i];
+  const auto it = node_index_.find(node_name);
+  if (it == node_index_.end()) {
+    throw std::out_of_range("TransientResult: unknown node " + node_name);
   }
-  throw std::out_of_range("TransientResult: unknown node " + node_name);
+  return voltages_[it->second];
 }
 
 TransientResult transient(Netlist& netlist, const TransientOptions& opts) {
@@ -52,6 +62,12 @@ TransientResult transient(Netlist& netlist, const TransientOptions& opts) {
     el->transient_begin(state, opts.use_initial_conditions);
   }
 
+  // One workspace for every step of this run: buffers, the static-stamp
+  // base, and (for linear netlists) the LU factorization all persist
+  // across the t_start -> t_stop march.
+  SolverWorkspace workspace;
+  workspace.set_caching(opts.solver_cache);
+
   StampContext init_ctx;
   init_ctx.mode = StampContext::Mode::kTransient;
   init_ctx.dt = opts.dt;
@@ -61,7 +77,7 @@ TransientResult transient(Netlist& netlist, const TransientOptions& opts) {
     // Solve a consistent initial point so sample 0 reflects capacitor
     // initial conditions through the companion models (not accepted as a
     // step: element state stays at the declared ICs).
-    state = solve_mna(netlist, init_ctx, unknowns, state, opts.newton);
+    state = solve_mna(netlist, init_ctx, unknowns, state, opts.newton, &workspace);
   }
 
   const auto steps = static_cast<std::size_t>(
@@ -91,10 +107,17 @@ TransientResult transient(Netlist& netlist, const TransientOptions& opts) {
   ctx.dt = opts.dt;
   ctx.method = opts.method;
 
+  // Only elements with history need the per-step accept callback.
+  std::vector<Element*> stateful;
+  for (auto& el : netlist.elements()) {
+    if (el->has_transient_state()) stateful.push_back(el.get());
+  }
+
   for (std::size_t k = 1; k <= steps; ++k) {
     ctx.t = opts.t_start + static_cast<double>(k) * opts.dt;
-    state = solve_mna(netlist, ctx, unknowns, state, opts.newton);
-    for (auto& el : netlist.elements()) el->transient_accept(state, ctx);
+    state = solve_mna(netlist, ctx, unknowns, std::move(state), opts.newton,
+                      &workspace);
+    for (Element* el : stateful) el->transient_accept(state, ctx);
     time[k] = ctx.t;
     for (std::size_t n = 0; n < nodes; ++n) volts[n][k] = state[n];
     for (std::size_t b = 0; b < branch_rows.size(); ++b) {

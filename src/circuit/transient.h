@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "circuit/netlist.h"
@@ -26,6 +27,10 @@ struct TransientOptions {
   /// netlists are rejected with analysis::ErcError instead of diverging
   /// inside Newton-Raphson.
   bool erc = true;
+  /// Reuse stamps and LU factorizations across steps (see workspace.h).
+  /// Off forces the from-scratch assembly every iteration; results are
+  /// bit-identical either way, so this exists for tests and benchmarks.
+  bool solver_cache = true;
 };
 
 /// Uniformly sampled simulation output. Sample k is at
@@ -58,6 +63,10 @@ class TransientResult {
   std::vector<std::string> branch_names_;
   std::vector<std::vector<double>> branch_currents_;  // [branch][sample]
   std::vector<double> zeros_;
+  // Built once in the constructor so voltage()/current() are O(1) —
+  // metric extraction probes the same few nodes thousands of times.
+  std::unordered_map<std::string, std::size_t> node_index_;
+  std::unordered_map<std::string, std::size_t> branch_index_;
 };
 
 /// Run a transient analysis. Mutates element state (capacitor history), so

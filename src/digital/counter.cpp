@@ -19,34 +19,4 @@ void BinaryCounter::clear() {
   overflow_ = false;
 }
 
-std::uint32_t BinaryCounter::clock() {
-  if (enable_) {
-    ++pulses_seen_;
-    const bool swallowed =
-        faults_.miss_every != 0 && (pulses_seen_ % faults_.miss_every == 0);
-    if (!swallowed) {
-      if (value_ == max_count()) {
-        value_ = 0;
-        overflow_ = true;
-      } else {
-        ++value_;
-      }
-    }
-  }
-  return count();
-}
-
-std::uint32_t BinaryCounter::count() const {
-  std::uint32_t v = value_;
-  if (faults_.stuck_bit) {
-    const std::uint32_t mask = 1u << *faults_.stuck_bit;
-    if (faults_.stuck_bit_high) {
-      v |= mask;
-    } else {
-      v &= ~mask;
-    }
-  }
-  return v;
-}
-
 }  // namespace msbist::digital

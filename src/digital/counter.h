@@ -31,10 +31,37 @@ class BinaryCounter {
   bool enabled() const { return enable_; }
 
   /// One clock edge; counts when enabled. Returns the new visible count.
-  std::uint32_t clock();
+  /// Inline: runs once per ADC clock, millions of times per batch.
+  std::uint32_t clock() {
+    if (enable_) {
+      ++pulses_seen_;
+      const bool swallowed =
+          faults_.miss_every != 0 && (pulses_seen_ % faults_.miss_every == 0);
+      if (!swallowed) {
+        if (value_ == max_count()) {
+          value_ = 0;
+          overflow_ = true;
+        } else {
+          ++value_;
+        }
+      }
+    }
+    return count();
+  }
 
   /// Visible count (with stuck-bit fault applied).
-  std::uint32_t count() const;
+  std::uint32_t count() const {
+    std::uint32_t v = value_;
+    if (faults_.stuck_bit) {
+      const std::uint32_t mask = 1u << *faults_.stuck_bit;
+      if (faults_.stuck_bit_high) {
+        v |= mask;
+      } else {
+        v &= ~mask;
+      }
+    }
+    return v;
+  }
 
   /// True internal count (test-only visibility).
   std::uint32_t raw_count() const { return value_; }

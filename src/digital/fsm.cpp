@@ -13,10 +13,6 @@ DualSlopeControl::DualSlopeControl(std::uint32_t integrate_counts,
   }
 }
 
-bool DualSlopeControl::frozen() const {
-  return faults_.stuck_phase && phase_ == *faults_.stuck_phase;
-}
-
 void DualSlopeControl::start() {
   if (phase_ != ConvPhase::kIdle && phase_ != ConvPhase::kDone) return;
   if (frozen()) return;
@@ -24,52 +20,6 @@ void DualSlopeControl::start() {
   phase_clocks_ = 0;
   deint_clocks_ = 0;
   timed_out_ = false;
-}
-
-ControlOutputs DualSlopeControl::clock(bool comparator_high) {
-  ControlOutputs out;
-  out.busy = phase_ != ConvPhase::kIdle && phase_ != ConvPhase::kDone;
-  if (frozen()) {
-    // A stuck control circuit holds its current signals forever.
-    out.connect_input = phase_ == ConvPhase::kIntegrate;
-    out.connect_ref = phase_ == ConvPhase::kDeintegrate;
-    return out;
-  }
-  switch (phase_) {
-    case ConvPhase::kIdle:
-    case ConvPhase::kDone:
-      break;
-    case ConvPhase::kAutoZero:
-      // One clock of auto-zero: clear the counter, reset the integrator
-      // (the analogue reset switch is driven by counter_clear here).
-      out.counter_clear = true;
-      phase_ = ConvPhase::kIntegrate;
-      phase_clocks_ = 0;
-      break;
-    case ConvPhase::kIntegrate:
-      out.connect_input = true;
-      ++phase_clocks_;
-      if (phase_clocks_ >= integrate_counts_) {
-        phase_ = ConvPhase::kDeintegrate;
-        phase_clocks_ = 0;
-      }
-      break;
-    case ConvPhase::kDeintegrate:
-      out.connect_ref = true;
-      out.counter_enable = true;
-      ++deint_clocks_;
-      if (comparator_high) {
-        out.counter_enable = false;
-        out.latch_strobe = true;
-        phase_ = ConvPhase::kDone;
-      } else if (deint_clocks_ >= timeout_counts_) {
-        timed_out_ = true;
-        out.latch_strobe = true;
-        phase_ = ConvPhase::kDone;
-      }
-      break;
-  }
-  return out;
 }
 
 MonotonicityChecker::MonotonicityChecker(std::uint32_t allowed_dip)

@@ -53,8 +53,53 @@ class DualSlopeControl {
   void start();
 
   /// Advance one clock. comparator_high reports the zero-crossing detector.
-  /// Returns the control outputs for this clock.
-  ControlOutputs clock(bool comparator_high);
+  /// Returns the control outputs for this clock. Inline: this runs once
+  /// per ADC clock, millions of times per production batch.
+  ControlOutputs clock(bool comparator_high) {
+    ControlOutputs out;
+    out.busy = phase_ != ConvPhase::kIdle && phase_ != ConvPhase::kDone;
+    if (frozen()) {
+      // A stuck control circuit holds its current signals forever.
+      out.connect_input = phase_ == ConvPhase::kIntegrate;
+      out.connect_ref = phase_ == ConvPhase::kDeintegrate;
+      return out;
+    }
+    switch (phase_) {
+      case ConvPhase::kIdle:
+      case ConvPhase::kDone:
+        break;
+      case ConvPhase::kAutoZero:
+        // One clock of auto-zero: clear the counter, reset the integrator
+        // (the analogue reset switch is driven by counter_clear here).
+        out.counter_clear = true;
+        phase_ = ConvPhase::kIntegrate;
+        phase_clocks_ = 0;
+        break;
+      case ConvPhase::kIntegrate:
+        out.connect_input = true;
+        ++phase_clocks_;
+        if (phase_clocks_ >= integrate_counts_) {
+          phase_ = ConvPhase::kDeintegrate;
+          phase_clocks_ = 0;
+        }
+        break;
+      case ConvPhase::kDeintegrate:
+        out.connect_ref = true;
+        out.counter_enable = true;
+        ++deint_clocks_;
+        if (comparator_high) {
+          out.counter_enable = false;
+          out.latch_strobe = true;
+          phase_ = ConvPhase::kDone;
+        } else if (deint_clocks_ >= timeout_counts_) {
+          timed_out_ = true;
+          out.latch_strobe = true;
+          phase_ = ConvPhase::kDone;
+        }
+        break;
+    }
+    return out;
+  }
 
   ConvPhase phase() const { return phase_; }
   bool done() const { return phase_ == ConvPhase::kDone; }
@@ -72,7 +117,7 @@ class DualSlopeControl {
   std::uint32_t deint_clocks_ = 0;
   bool timed_out_ = false;
 
-  bool frozen() const;
+  bool frozen() const { return faults_.stuck_phase && phase_ == *faults_.stuck_phase; }
 };
 
 /// Result of a monotonicity scan over a code sequence.

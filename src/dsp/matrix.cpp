@@ -31,6 +31,8 @@ Matrix::Matrix(const std::vector<std::vector<double>>& rows) {
   }
 }
 
+void Matrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
 Matrix Matrix::identity(std::size_t n) {
   Matrix m(n, n);
   for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
@@ -119,14 +121,19 @@ double Matrix::inf_norm() const {
   return best;
 }
 
-LuDecomposition::LuDecomposition(const Matrix& a) : n_(a.rows()), lu_(a), perm_(n_) {
+void LuDecomposition::factor(const Matrix& a) {
   require(a.rows() == a.cols(), "LuDecomposition: matrix must be square");
-  for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
-  for (std::size_t col = 0; col < n_; ++col) {
+  n_ = 0;  // stays unfactored if the pivot search throws below
+  const std::size_t n = a.rows();
+  lu_ = a;
+  perm_.resize(n);
+  perm_sign_ = 1;
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+  for (std::size_t col = 0; col < n; ++col) {
     // Partial pivot: largest magnitude in this column at or below the diagonal.
     std::size_t pivot = col;
     double best = std::abs(lu_(col, col));
-    for (std::size_t r = col + 1; r < n_; ++r) {
+    for (std::size_t r = col + 1; r < n; ++r) {
       if (std::abs(lu_(r, col)) > best) {
         best = std::abs(lu_(r, col));
         pivot = r;
@@ -134,23 +141,32 @@ LuDecomposition::LuDecomposition(const Matrix& a) : n_(a.rows()), lu_(a), perm_(
     }
     if (best < 1e-300) throw std::runtime_error("LuDecomposition: singular matrix");
     if (pivot != col) {
-      for (std::size_t j = 0; j < n_; ++j) std::swap(lu_(col, j), lu_(pivot, j));
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(col, j), lu_(pivot, j));
       std::swap(perm_[col], perm_[pivot]);
       perm_sign_ = -perm_sign_;
     }
     const double inv = 1.0 / lu_(col, col);
-    for (std::size_t r = col + 1; r < n_; ++r) {
+    for (std::size_t r = col + 1; r < n; ++r) {
       const double f = lu_(r, col) * inv;
       lu_(r, col) = f;
       if (f == 0.0) continue;
-      for (std::size_t j = col + 1; j < n_; ++j) lu_(r, j) -= f * lu_(col, j);
+      for (std::size_t j = col + 1; j < n; ++j) lu_(r, j) -= f * lu_(col, j);
     }
   }
+  n_ = n;
 }
 
 std::vector<double> LuDecomposition::solve(const std::vector<double>& b) const {
+  std::vector<double> x;
+  solve_into(b, x);
+  return x;
+}
+
+void LuDecomposition::solve_into(const std::vector<double>& b,
+                                 std::vector<double>& x) const {
   require(b.size() == n_, "LuDecomposition::solve: rhs size mismatch");
-  std::vector<double> x(n_);
+  require(&b != &x, "LuDecomposition::solve_into: aliased buffers");
+  x.resize(n_);
   for (std::size_t i = 0; i < n_; ++i) x[i] = b[perm_[i]];
   // Forward substitution (L has unit diagonal).
   for (std::size_t i = 1; i < n_; ++i) {
@@ -164,7 +180,6 @@ std::vector<double> LuDecomposition::solve(const std::vector<double>& b) const {
     for (std::size_t j = ii + 1; j < n_; ++j) acc -= lu_(ii, j) * x[j];
     x[ii] = acc / lu_(ii, ii);
   }
-  return x;
 }
 
 double LuDecomposition::determinant() const {

@@ -29,6 +29,16 @@ class Matrix {
   double& operator()(std::size_t r, std::size_t c);
   double operator()(std::size_t r, std::size_t c) const;
 
+  /// Contiguous row-major storage (rows() * cols() doubles). Lets callers
+  /// that rebuild the same-shape matrix every iteration (the MNA solver
+  /// workspace) restore or zero it with one bulk copy.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::size_t element_count() const { return data_.size(); }
+
+  /// Reset every entry to zero without reallocating.
+  void set_zero();
+
   Matrix operator+(const Matrix& o) const;
   Matrix operator-(const Matrix& o) const;
   Matrix operator*(const Matrix& o) const;
@@ -47,15 +57,34 @@ class Matrix {
 };
 
 /// LU decomposition with partial pivoting, reusable across multiple
-/// right-hand sides (the transient solver refactors once per time step).
+/// right-hand sides. Factorization (O(n^3)) and substitution (O(n^2)) are
+/// separate entry points so a caller whose matrix is constant — a linear
+/// circuit marched over many fixed-dt transient steps — can factor once
+/// and only substitute per step. A default-constructed decomposition can
+/// be (re)filled with factor(), which reuses the internal storage.
 class LuDecomposition {
  public:
+  LuDecomposition() = default;
+
   /// Factorizes a (must be square). Throws std::runtime_error when the
   /// matrix is numerically singular.
-  explicit LuDecomposition(const Matrix& a);
+  explicit LuDecomposition(const Matrix& a) { factor(a); }
+
+  /// (Re)factorize a square matrix in place, reusing prior storage when
+  /// the size matches. Same pivoting as the constructor. On a singularity
+  /// throw the decomposition is left unfactored.
+  void factor(const Matrix& a);
+
+  /// True once factor() (or the factoring constructor) has succeeded.
+  bool factored() const { return n_ > 0; }
+  std::size_t size() const { return n_; }
 
   /// Solve A x = b.
   std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Solve A x = b into a caller-owned vector (resized to n). b and x must
+  /// be distinct buffers. Avoids the per-solve allocation of solve().
+  void solve_into(const std::vector<double>& b, std::vector<double>& x) const;
 
   /// Determinant of the factorized matrix.
   double determinant() const;
