@@ -1,7 +1,7 @@
 // Batch yield: the paper's fabricated batch of 10 devices, then a
 // 1000-device Monte-Carlo extrapolation of the same production flow.
 //
-//   $ ./example_batch_yield [extrapolation_count] [--json]
+//   $ ./example_batch_yield [extrapolation_count] [--json] [--chaos]
 //
 // Part 1 reproduces the paper's result ("All devices passed the
 // analogue, digital and compressed tests") on 10 process-varied dies
@@ -12,6 +12,13 @@
 // threads and prints the yield plus the parametric distributions a
 // process engineer would read off the lot (offset, gain, INL, DNL,
 // conversion time).
+//
+// --chaos seeds the extrapolation lot with dies whose test procedure
+// hits hard solver failures (every 7th die aborts with a typed
+// core::SolverError). It demonstrates graceful degradation: the batch
+// still completes with exit 0, the affected dies are reported as
+// degraded fails with structured Failure records, and the report's
+// degraded_count tallies them. CI's chaos gate asserts exactly this.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -81,9 +88,12 @@ void print_extrapolation(const production::BatchReport& rep) {
 int main(int argc, char** argv) {
   std::size_t extrapolation = 1000;
   bool json = false;
+  bool chaos = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
     } else {
       extrapolation = static_cast<std::size_t>(std::atol(argv[i]));
     }
@@ -102,7 +112,31 @@ int main(int argc, char** argv) {
   lot.threads = 0;  // hardware concurrency
   lot.plan = production::TestPlan::full();
   lot.plan.fault_spot_check = false;  // testability already proven on 10
-  const production::BatchReport lot_rep = production::run_batch(lot);
+
+  production::BatchReport lot_rep;
+  if (chaos) {
+    // Deterministic fault seeding: every 7th die's tester hits a hard
+    // solver failure mid-procedure. run_batch must isolate each one into
+    // a degraded failing outcome instead of aborting the lot.
+    const production::DeviceTestFn chaotic =
+        [](const production::DieSpec& spec, const production::TestPlan& plan) {
+          // Labels are "die 1".."die N": key off the position so the
+          // seeded set is identical for any batch seed or thread count.
+          const int position = std::atoi(spec.label.c_str() + 4);
+          if (position % 7 == 0) {
+            core::Failure f;
+            f.code = core::ErrorCode::kNonConvergent;
+            f.analysis = "transient";
+            f.detail = "chaos-injected convergence failure";
+            core::throw_failure(std::move(f));
+          }
+          return production::test_device(spec, plan);
+        };
+    lot_rep = production::run_batch(production::make_population(lot),
+                                    lot.plan, lot.threads, chaotic);
+  } else {
+    lot_rep = production::run_batch(lot);
+  }
 
   if (json) {
     core::JsonWriter w;

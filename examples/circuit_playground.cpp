@@ -37,8 +37,9 @@ void inverter_transfer() {
   std::printf("1) CMOS inverter DC transfer (5 um level-1)\n   vin:  ");
   std::vector<double> sweep;
   for (int i = 0; i <= 10; ++i) sweep.push_back(0.5 * i);
-  const auto vout = circuit::dc_sweep(
+  const auto sweep_result = circuit::dc_sweep(
       n, sweep, [&](circuit::Netlist&, double v) { vin->set_dc(v); }, "out");
+  const std::vector<double>& vout = sweep_result.values;
   for (double v : sweep) std::printf("%5.2f ", v);
   std::printf("\n   vout: ");
   for (double v : vout) std::printf("%5.2f ", v);

@@ -152,6 +152,11 @@ void BistReport::to_json(core::JsonWriter& w) const {
   digital.to_json(w);
   w.key("compressed");
   compressed.to_json(w);
+  if (!failures.empty()) {
+    w.key("failures").begin_array();
+    for (const core::Failure& f : failures) f.to_json(w);
+    w.end_array();
+  }
   w.end_object();
 }
 
@@ -280,20 +285,44 @@ CompressedTestResult BistController::compressed_test(
 
 core::Outcome BistController::run_tier(Tier t, adc::DualSlopeAdc& adc,
                                        BistReport& report) const {
-  switch (t) {
-    case Tier::kAnalog:
-      report.analog = analog_test(adc);
-      return report.analog.outcome();
-    case Tier::kRamp:
-      report.ramp = ramp_test(adc);
-      return report.ramp.outcome();
-    case Tier::kDigital:
-      report.digital = digital_test(adc);
-      return report.digital.outcome();
-    case Tier::kCompressed:
-      report.compressed = compressed_test(adc);
-      return report.compressed.outcome();
+  try {
+    switch (t) {
+      case Tier::kAnalog:
+        report.analog = analog_test(adc);
+        return report.analog.outcome();
+      case Tier::kRamp:
+        report.ramp = ramp_test(adc);
+        return report.ramp.outcome();
+      case Tier::kDigital:
+        report.digital = digital_test(adc);
+        return report.digital.outcome();
+      case Tier::kCompressed:
+        report.compressed = compressed_test(adc);
+        return report.compressed.outcome();
+    }
+  } catch (const core::SolverError& e) {
+    // The macro under test could not even be simulated: a failing verdict
+    // with diagnostics, never an escaped exception. The tier's result
+    // slot stays defaulted (pass = false), so tier_pass agrees.
+    core::Failure f = e.failure();
+    f.analysis = std::string("bist/") + to_string(t);
+    report.failures.push_back(std::move(f));
+    return core::Outcome::fail(std::string(to_string(t)) +
+                               " tier aborted by solver failure: " + e.what());
+  } catch (const std::exception& e) {
+    core::Failure f;
+    f.code = core::ErrorCode::kInternal;
+    f.analysis = std::string("bist/") + to_string(t);
+    f.detail = e.what();
+    report.failures.push_back(std::move(f));
+    return core::Outcome::fail(std::string(to_string(t)) +
+                               " tier aborted: " + std::string(e.what()));
   }
+  core::Failure f;
+  f.code = core::ErrorCode::kBadInput;
+  f.analysis = "bist";
+  f.detail = "unknown tier " + std::to_string(static_cast<int>(t));
+  report.failures.push_back(std::move(f));
   return core::Outcome::fail("unknown tier");
 }
 

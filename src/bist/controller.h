@@ -27,6 +27,7 @@
 #include "bist/ramp_generator.h"
 #include "bist/signature_compressor.h"
 #include "bist/step_generator.h"
+#include "core/error.h"
 #include "core/outcome.h"
 
 namespace msbist::bist {
@@ -95,6 +96,11 @@ struct BistReport {
   DigitalTestResult digital;
   CompressedTestResult compressed;
   bool pass = false;
+  /// Diagnostics for tiers that could not run to completion: run_tier
+  /// converts solver failures (core::SolverError) into failing tier
+  /// verdicts instead of propagating, recording the structured Failure
+  /// here (analysis = "bist/<tier>").
+  std::vector<core::Failure> failures;
 
   /// Pass flag of one tier's slot.
   bool tier_pass(Tier t) const;
@@ -122,6 +128,13 @@ class BistController {
   /// Run one tier, store its detailed result into the matching slot of
   /// `report`, and return its outcome. This is the canonical entry point;
   /// run_all and the legacy per-tier methods forward here.
+  ///
+  /// Never throws for solver-level problems: a tier whose stimulus cannot
+  /// be simulated (core::SolverError escaping the macro model) yields a
+  /// failing verdict with the Failure recorded in report.failures — a
+  /// macro the tester cannot even exercise is a failing macro, not a
+  /// crashed tester. An unknown tier value yields a failing verdict with
+  /// a kBadInput record.
   core::Outcome run_tier(Tier t, adc::DualSlopeAdc& adc,
                          BistReport& report) const;
 

@@ -1,5 +1,7 @@
 #include "circuit/dc.h"
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "analysis/runner.h"
@@ -28,55 +30,117 @@ DcResult dc_operating_point(const Netlist& netlist, const DcOptions& opts) {
   ctx.mode = StampContext::Mode::kDc;
   ctx.t = 0.0;
 
-  // Source scaling only touches the RHS, so one workspace serves the
-  // direct attempt and every homotopy step.
+  // Source scaling and gmin changes only touch the RHS / node diagonals,
+  // so one workspace serves the direct attempt and every rescue rung.
   SolverWorkspace workspace;
-  std::vector<double> guess(unknowns, 0.0);
+  RescueOptions rescue = opts.rescue;
+  rescue.max_source_steps = opts.source_steps;
+  RescueTrace trace;
   try {
-    return DcResult(solve_mna(netlist, ctx, unknowns, guess, opts.newton, &workspace),
-                    netlist);
-  } catch (const std::runtime_error&) {
-    // Fall through to source stepping.
+    DcResult result(
+        solve_dc_with_rescue(netlist, ctx, unknowns,
+                             std::vector<double>(unknowns, 0.0), opts.newton,
+                             rescue, workspace, trace),
+        netlist);
+    result.set_rescue(std::move(trace));
+    return result;
+  } catch (const core::SolverError& e) {
+    core::Failure f = e.failure();
+    f.analysis = "dc_operating_point";
+    core::throw_failure(std::move(f));
   }
-  // Homotopy: ramp every independent source from zero, reusing each
-  // converged point to seed the next.
-  std::vector<double> seed(unknowns, 0.0);
-  for (int step = 1; step <= opts.source_steps; ++step) {
-    ctx.source_scale = static_cast<double>(step) / static_cast<double>(opts.source_steps);
-    seed = solve_mna(netlist, ctx, unknowns, seed, opts.newton, &workspace);
-  }
-  return DcResult(std::move(seed), netlist);
 }
 
-std::vector<double> dc_sweep(Netlist& netlist, const std::vector<double>& values,
-                             const std::function<void(Netlist&, double)>& set_value,
-                             const std::string& probe, const DcOptions& opts) {
+void DcSweepPointFailure::to_json(core::JsonWriter& w) const {
+  w.begin_object()
+      .member("index", static_cast<std::uint64_t>(index))
+      .member("value", value);
+  w.key("failure");
+  failure.to_json(w);
+  w.end_object();
+}
+
+core::Outcome DcSweepResult::outcome() const {
+  if (complete()) {
+    return core::Outcome::ok(std::to_string(values.size()) + " points solved");
+  }
+  return core::Outcome::fail(std::to_string(failures.size()) + " of " +
+                             std::to_string(values.size()) +
+                             " sweep points failed to solve");
+}
+
+void DcSweepResult::to_json(core::JsonWriter& w) const {
+  w.begin_object();
+  w.key("outcome");
+  outcome().to_json(w);
+  w.key("sweep_values").begin_array();
+  for (double v : sweep_values) w.value(v);
+  w.end_array();
+  w.key("values").begin_array();
+  for (double v : values) w.value(v);  // NaN renders as null
+  w.end_array();
+  w.key("failures").begin_array();
+  for (const DcSweepPointFailure& f : failures) f.to_json(w);
+  w.end_array();
+  w.key("rescue");
+  rescue.to_json(w);
+  w.end_object();
+}
+
+DcSweepResult dc_sweep(Netlist& netlist, const std::vector<double>& values,
+                       const std::function<void(Netlist&, double)>& set_value,
+                       const std::string& probe, const DcOptions& opts) {
   const std::size_t unknowns = netlist.assign_unknowns();
   const NodeId probe_node = netlist.find_node(probe);
   StampContext ctx;
   ctx.mode = StampContext::Mode::kDc;
 
-  std::vector<double> out;
-  out.reserve(values.size());
+  DcSweepResult result;
+  result.sweep_values = values;
+  result.values.reserve(values.size());
   std::vector<double> seed(unknowns, 0.0);
   bool have_seed = false;
+  RescueOptions rescue = opts.rescue;
+  rescue.max_source_steps = opts.source_steps;
   SolverWorkspace workspace;
-  for (double v : values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double v = values[i];
     set_value(netlist, v);
     // set_value mutates element parameters in place — invisible to the
     // workspace fingerprint, so the cached base must be rebuilt per point.
     workspace.invalidate();
-    if (!have_seed) {
-      // First point: full operating-point machinery (with homotopy).
-      const DcResult op = dc_operating_point(netlist, opts);
-      seed = op.raw();
-      have_seed = true;
-    } else {
-      seed = solve_mna(netlist, ctx, unknowns, seed, opts.newton, &workspace);
+    try {
+      if (!have_seed) {
+        // First solvable point: full operating-point machinery.
+        const DcResult op = dc_operating_point(netlist, opts);
+        seed = op.raw();
+        result.rescue.append(op.rescue());
+        have_seed = true;
+      } else {
+        RescueTrace point_trace;
+        seed = solve_dc_with_rescue(netlist, ctx, unknowns, seed, opts.newton,
+                                    rescue, workspace, point_trace);
+        result.rescue.append(point_trace);
+      }
+    } catch (const core::SolverError& e) {
+      // Record, don't drop: NaN marks the gap in the waveform, the
+      // structured failure carries the why, and the next point re-seeds
+      // from the last good solution (or retries the operating point).
+      DcSweepPointFailure pf;
+      pf.index = i;
+      pf.value = v;
+      pf.failure = e.failure();
+      pf.failure.analysis = "dc_sweep";
+      pf.failure.sweep_value = v;
+      pf.failure.has_sweep_value = true;
+      result.failures.push_back(std::move(pf));
+      result.values.push_back(std::numeric_limits<double>::quiet_NaN());
+      continue;
     }
-    out.push_back(probe_node < 0 ? 0.0 : seed[static_cast<std::size_t>(probe_node)]);
+    result.values.push_back(
+        probe_node < 0 ? 0.0 : seed[static_cast<std::size_t>(probe_node)]);
   }
-  return out;
+  return result;
 }
 
 }  // namespace msbist::circuit

@@ -6,7 +6,10 @@
 #include <vector>
 
 #include "circuit/netlist.h"
+#include "circuit/rescue.h"
 #include "circuit/solver.h"
+#include "core/error.h"
+#include "core/outcome.h"
 
 namespace msbist::circuit {
 
@@ -21,33 +24,70 @@ class DcResult {
 
   const std::vector<double>& raw() const { return solution_; }
 
+  /// How the ladder saved this point (empty when plain Newton sufficed).
+  const RescueTrace& rescue() const { return rescue_; }
+  void set_rescue(RescueTrace trace) { rescue_ = std::move(trace); }
+
  private:
   std::vector<double> solution_;
   const Netlist* netlist_;
+  RescueTrace rescue_;
 };
 
 struct DcOptions {
   NewtonOptions newton;
   /// Homotopy steps tried when plain Newton fails: sources are ramped
-  /// from 0 to full scale in this many increments.
+  /// from 0 to full scale in this many increments. Feeds the rescue
+  /// ladder's source-stepping rung (authoritative over
+  /// rescue.max_source_steps for DC analyses).
   int source_steps = 20;
   /// Run the ERC (analysis::enforce) before solving; Error-severity
   /// netlists are rejected with analysis::ErcError instead of reaching
   /// Newton-Raphson. Disable only when the caller already checked.
   bool erc = true;
+  /// Convergence-rescue ladder bounds (circuit/rescue.h). rescue.enable =
+  /// false restores the fail-fast pre-ladder behavior.
+  RescueOptions rescue;
 };
 
 /// Operating point at t = 0 (waveform sources evaluate at their t=0 value;
 /// capacitors are open). Throws analysis::ErcError when the netlist fails
-/// the electrical rule check, std::runtime_error when no operating point
-/// is found even with source stepping.
+/// the electrical rule check, and the typed core::SolverError hierarchy
+/// (analysis = "dc_operating_point") when no operating point is found even
+/// after the full rescue ladder.
 DcResult dc_operating_point(const Netlist& netlist, const DcOptions& opts = {});
+
+/// One sweep point the solver could not rescue.
+struct DcSweepPointFailure {
+  std::size_t index = 0;     ///< position in the sweep vector
+  double value = 0.0;        ///< the sweep value that failed
+  core::Failure failure;
+
+  void to_json(core::JsonWriter& w) const;
+};
+
+/// Sweep output. A point the ladder could not save is *recorded*, never
+/// silently dropped: its probe voltage is NaN (JSON null), its sweep value
+/// and structured Failure land in `failures`, and the remaining points
+/// still solve (re-seeded from the last good solution).
+struct DcSweepResult {
+  std::vector<double> sweep_values;  ///< the requested sweep values
+  std::vector<double> values;        ///< probe voltage per point (NaN = failed)
+  std::vector<DcSweepPointFailure> failures;
+  RescueTrace rescue;
+
+  bool complete() const { return failures.empty(); }
+  core::Outcome outcome() const;
+  void to_json(core::JsonWriter& w) const;
+};
 
 /// Sweep a parameterized DC analysis: `set_value` applies each sweep value
 /// to the netlist (e.g. adjust a source), and the voltage at `probe` is
 /// recorded. Each point reuses the previous solution as the Newton seed.
-std::vector<double> dc_sweep(Netlist& netlist, const std::vector<double>& values,
-                             const std::function<void(Netlist&, double)>& set_value,
-                             const std::string& probe, const DcOptions& opts = {});
+/// Failed points are recorded in the result (see DcSweepResult); only the
+/// ERC rejection and non-solver exceptions from `set_value` propagate.
+DcSweepResult dc_sweep(Netlist& netlist, const std::vector<double>& values,
+                       const std::function<void(Netlist&, double)>& set_value,
+                       const std::string& probe, const DcOptions& opts = {});
 
 }  // namespace msbist::circuit

@@ -44,6 +44,14 @@ class Capacitor final : public Element {
   void transient_accept(const std::vector<double>& solution,
                         const StampContext& ctx) override;
   bool has_transient_state() const override { return true; }
+  void transient_checkpoint() override {
+    saved_v_prev_ = v_prev_;
+    saved_i_prev_ = i_prev_;
+  }
+  void transient_rollback() override {
+    v_prev_ = saved_v_prev_;
+    i_prev_ = saved_i_prev_;
+  }
   double capacitance() const { return farads_; }
   NodeId node_a() const { return a_; }
   NodeId node_b() const { return b_; }
@@ -57,6 +65,8 @@ class Capacitor final : public Element {
   double ic_ = 0.0;
   double v_prev_ = 0.0;
   double i_prev_ = 0.0;
+  double saved_v_prev_ = 0.0;
+  double saved_i_prev_ = 0.0;
 };
 
 /// Independent voltage source driven by a Waveform. Adds one branch row.

@@ -173,6 +173,12 @@ class Element {
   /// history, e.g. a capacitor). Lets the transient engine skip the
   /// per-step virtual dispatch for stateless elements.
   virtual bool has_transient_state() const { return false; }
+  /// Snapshot / restore the transient history, used by the rescue
+  /// ladder's timestep-halving rung: a failed substep march must leave
+  /// element state exactly as it was at the start of the full step.
+  /// Elements with has_transient_state() must implement both.
+  virtual void transient_checkpoint() {}
+  virtual void transient_rollback() {}
 
   const std::string& name() const { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }

@@ -1,6 +1,7 @@
 // Shared Newton-Raphson MNA solver used by the DC and transient engines.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "circuit/netlist.h"
@@ -18,9 +19,28 @@ struct NewtonOptions {
 
 class SolverWorkspace;
 
+/// Human-readable name of MNA unknown `index`: the node name for node
+/// rows, "I(<element>)" for branch-current rows. Used by the failure
+/// taxonomy to name the worst-converging unknown in diagnostics.
+std::string unknown_name(const Netlist& netlist, std::size_t index);
+
 /// Solve the (possibly nonlinear) MNA system described by the netlist for
 /// the analysis point in ctx. guess seeds the Newton iteration and must
-/// have `unknowns` entries. Throws std::runtime_error on non-convergence.
+/// have `unknowns` entries.
+///
+/// Hard failures throw the typed core::SolverError hierarchy
+/// (core/error.h), never a bare std::runtime_error:
+///   * core::NonConvergentError   — iteration budget exhausted
+///     (progressively damped retries per damping_retries are attempted
+///     first);
+///   * core::NumericOverflowError — an iterate went NaN/Inf; the
+///     divergence guard aborts on the first poisoned update instead of
+///     burning the remaining budget;
+///   * core::SingularMatrixError  — the assembled matrix cannot be
+///     factored.
+/// Each carries a core::Failure naming the worst-converging unknown and
+/// the iteration count. Callers wanting automatic recovery use the
+/// rescue ladder (circuit/rescue.h) layered above this function.
 ///
 /// workspace, when provided, carries the stamp cache, LU factorization
 /// cache, and scratch buffers across calls (see workspace.h); the

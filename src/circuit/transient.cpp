@@ -113,11 +113,27 @@ TransientResult transient(Netlist& netlist, const TransientOptions& opts) {
     if (el->has_transient_state()) stateful.push_back(el.get());
   }
 
+  RescueTrace trace;
   for (std::size_t k = 1; k <= steps; ++k) {
     ctx.t = opts.t_start + static_cast<double>(k) * opts.dt;
-    state = solve_mna(netlist, ctx, unknowns, std::move(state), opts.newton,
-                      &workspace);
-    for (Element* el : stateful) el->transient_accept(state, ctx);
+    TransientStepResult step_result;
+    try {
+      step_result = solve_transient_step_with_rescue(netlist, ctx, unknowns,
+                                                     state, opts.newton,
+                                                     opts.rescue, workspace,
+                                                     stateful, trace);
+    } catch (const core::SolverError& e) {
+      core::Failure f = e.failure();
+      f.analysis = "transient";
+      f.has_time = true;
+      f.time_s = ctx.t;
+      core::throw_failure(std::move(f));
+    }
+    state = std::move(step_result.state);
+    // The dt-halving rung accepts element state per substep itself.
+    if (!step_result.elements_advanced) {
+      for (Element* el : stateful) el->transient_accept(state, ctx);
+    }
     time[k] = ctx.t;
     for (std::size_t n = 0; n < nodes; ++n) volts[n][k] = state[n];
     for (std::size_t b = 0; b < branch_rows.size(); ++b) {
@@ -125,10 +141,12 @@ TransientResult transient(Netlist& netlist, const TransientOptions& opts) {
     }
   }
 
-  return TransientResult(std::move(time),
+  TransientResult result(std::move(time),
                          std::vector<std::string>(netlist.node_names()),
                          std::move(volts), std::move(branch_names),
                          std::move(currents));
+  result.set_rescue(std::move(trace));
+  return result;
 }
 
 }  // namespace msbist::circuit

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "circuit/netlist.h"
+#include "circuit/rescue.h"
 #include "circuit/solver.h"
 
 namespace msbist::circuit {
@@ -31,6 +32,11 @@ struct TransientOptions {
   /// Off forces the from-scratch assembly every iteration; results are
   /// bit-identical either way, so this exists for tests and benchmarks.
   bool solver_cache = true;
+  /// Convergence-rescue ladder bounds (circuit/rescue.h). rescue.enable =
+  /// false restores the fail-fast pre-ladder behavior. Steps that never
+  /// fail bypass the ladder entirely, so their waveforms are bit-identical
+  /// with or without it.
+  RescueOptions rescue;
 };
 
 /// Uniformly sampled simulation output. Sample k is at
@@ -56,7 +62,13 @@ class TransientResult {
   const std::vector<std::string>& node_names() const { return names_; }
   const std::vector<std::string>& branch_names() const { return branch_names_; }
 
+  /// Which steps needed the ladder and how they were saved (empty for
+  /// runs that never failed).
+  const RescueTrace& rescue() const { return rescue_; }
+  void set_rescue(RescueTrace trace) { rescue_ = std::move(trace); }
+
  private:
+  RescueTrace rescue_;
   std::vector<double> time_;
   std::vector<std::string> names_;
   std::vector<std::vector<double>> voltages_;  // [node][sample]

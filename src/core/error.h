@@ -1,0 +1,167 @@
+// Typed failure taxonomy: every hard numerical failure in the stack is
+// classified by an ErrorCode and carried by a structured Failure payload,
+// so upper layers (fault campaigns, production batches, BIST tiers) can
+// act on *what* went wrong instead of parsing exception strings.
+//
+// The paper's BIST flow only works because every tier keeps producing a
+// verdict even when the macro under test is badly faulted: a fault that
+// breaks the integrator must yield a failing signature, not a crashed
+// tester. The taxonomy is the contract that makes that possible — the
+// solver throws SolverError (never a bare std::runtime_error) for
+// numerical failures, and each consumer either rescues (circuit/rescue.h)
+// or degrades gracefully, keeping the Failure as structured data in its
+// report.
+//
+// Header-only on purpose: the circuit module sits below core in the link
+// order, so the taxonomy (like core/json.h) must not require linking
+// msbist_core.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/json.h"
+
+namespace msbist::core {
+
+/// What kind of hard failure occurred. Codes are stable identifiers:
+/// reports serialize the snake_case name, never the numeric value.
+enum class ErrorCode : std::uint8_t {
+  kNone = 0,         ///< no failure (default-constructed Failure)
+  kNonConvergent,    ///< Newton iteration exhausted without converging
+  kSingularMatrix,   ///< MNA matrix is numerically singular (LU pivot ~ 0)
+  kNumericOverflow,  ///< an iterate went NaN/Inf (runaway divergence)
+  kTimeout,          ///< wall-clock budget exceeded (campaign policy)
+  kErcViolation,     ///< netlist rejected by the static ERC before solving
+  kBadInput,         ///< malformed request (unknown tier, bad options)
+  kInternal,         ///< unexpected exception mapped into the taxonomy
+};
+
+inline const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kNonConvergent: return "non_convergent";
+    case ErrorCode::kSingularMatrix: return "singular_matrix";
+    case ErrorCode::kNumericOverflow: return "numeric_overflow";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kErcViolation: return "erc_violation";
+    case ErrorCode::kBadInput: return "bad_input";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+/// Structured failure payload: everything a scheduler, campaign report,
+/// or CI log needs to act on a failure without re-running it. All fields
+/// are deterministic (no timing, no pointers), so failures compare
+/// identically across runs and thread counts.
+struct Failure {
+  ErrorCode code = ErrorCode::kNone;
+  std::string analysis;       ///< "dc_operating_point", "transient", "bist/digital", ...
+  double time_s = 0.0;        ///< transient time of the failing step
+  bool has_time = false;
+  double sweep_value = 0.0;   ///< DC sweep point that failed
+  bool has_sweep_value = false;
+  int iterations = 0;         ///< Newton iterations spent in the failing attempt
+  std::string worst_node;     ///< unknown with the largest unconverged update
+  double worst_update = 0.0;  ///< magnitude of that update [V or A]
+  std::string detail;         ///< free-form context (rescue trail, what())
+
+  /// One-line human-readable rendering, used as the SolverError what().
+  std::string message() const {
+    std::string out = analysis.empty() ? std::string("solver") : analysis;
+    out += ": ";
+    out += to_string(code);
+    if (has_time) out += " at t=" + std::to_string(time_s) + " s";
+    if (has_sweep_value) {
+      out += " at sweep value " + std::to_string(sweep_value);
+    }
+    if (iterations > 0) {
+      out += " after " + std::to_string(iterations) + " iterations";
+    }
+    if (!worst_node.empty()) {
+      out += " (worst unknown " + worst_node + ", |update| " +
+             std::to_string(worst_update) + ")";
+    }
+    if (!detail.empty()) out += "; " + detail;
+    return out;
+  }
+
+  void to_json(JsonWriter& w) const {
+    w.begin_object()
+        .member("code", to_string(code))
+        .member("analysis", analysis);
+    if (has_time) w.member("time_s", time_s);
+    if (has_sweep_value) w.member("sweep_value", sweep_value);
+    w.member("iterations", iterations);
+    if (!worst_node.empty()) {
+      w.member("worst_node", worst_node).member("worst_update", worst_update);
+    }
+    w.member("detail", detail);
+    w.end_object();
+  }
+};
+
+/// Base of the typed solver-failure hierarchy. what() is the Failure's
+/// message(); the payload rides along for structured consumption.
+class SolverError : public std::runtime_error {
+ public:
+  explicit SolverError(Failure f)
+      : std::runtime_error(f.message()), failure_(std::move(f)) {}
+
+  const Failure& failure() const { return failure_; }
+  ErrorCode code() const { return failure_.code; }
+
+ private:
+  Failure failure_;
+};
+
+/// Newton iteration exhausted its budget without meeting tolerances.
+class NonConvergentError : public SolverError {
+ public:
+  explicit NonConvergentError(Failure f) : SolverError(std::move(f)) {}
+};
+
+/// The assembled MNA matrix could not be factored (pivot below threshold).
+class SingularMatrixError : public SolverError {
+ public:
+  explicit SingularMatrixError(Failure f) : SolverError(std::move(f)) {}
+};
+
+/// An iterate went non-finite: the divergence guard aborts immediately
+/// instead of burning the remaining iteration budget on poisoned values.
+class NumericOverflowError : public SolverError {
+ public:
+  explicit NumericOverflowError(Failure f) : SolverError(std::move(f)) {}
+};
+
+/// Throw `f` as the most specific SolverError subclass for its code, so a
+/// layer that enriches a payload (adds the analysis name, time, sweep
+/// value) can re-throw without flattening the type callers catch.
+[[noreturn]] inline void throw_failure(Failure f) {
+  switch (f.code) {
+    case ErrorCode::kSingularMatrix:
+      throw SingularMatrixError(std::move(f));
+    case ErrorCode::kNumericOverflow:
+      throw NumericOverflowError(std::move(f));
+    case ErrorCode::kNonConvergent:
+      throw NonConvergentError(std::move(f));
+    default:
+      throw SolverError(std::move(f));
+  }
+}
+
+/// True when a retry with different numerics (damping, gmin, smaller dt)
+/// could plausibly succeed — the rescue ladder only re-attempts these.
+/// Singular systems are retried too: gmin stepping regularizes node
+/// diagonals, and in nonlinear circuits the singularity can be an
+/// artifact of one bad iterate.
+inline bool retryable(ErrorCode code) {
+  return code == ErrorCode::kNonConvergent ||
+         code == ErrorCode::kNumericOverflow ||
+         code == ErrorCode::kSingularMatrix;
+}
+
+}  // namespace msbist::core

@@ -52,9 +52,12 @@
 #include "circuit/mos.h"
 #include "circuit/netlist.h"
 #include "circuit/parser.h"
+#include "circuit/rescue.h"
+#include "circuit/solver.h"
 #include "circuit/transient.h"
 #include "circuit/waveform.h"
 #include "core/device.h"
+#include "core/error.h"
 #include "core/json.h"
 #include "core/outcome.h"
 #include "core/report.h"

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/diagnostic.h"
 #include "core/thread_pool.h"
 
 namespace msbist::faults {
@@ -19,10 +20,32 @@ double seconds_since(Clock::time_point t0) {
 }
 
 /// Run the test with exception isolation: a throw becomes a per-fault
-/// failure result instead of unwinding through the campaign.
+/// result instead of unwinding through the campaign. Taxonomy errors
+/// (solver failures, ERC rejections) classify as detected_by_failure;
+/// anything else is an engine error.
 FaultResult guarded_call(const FaultTestFn& test, const FaultSpec& fault) {
   try {
     return test(fault);
+  } catch (const core::SolverError& e) {
+    FaultResult r;
+    r.fault = fault;
+    r.detected = true;
+    r.detected_by_failure = true;
+    r.has_failure = true;
+    r.failure = e.failure();
+    r.detail = e.what();
+    return r;
+  } catch (const analysis::ErcError& e) {
+    FaultResult r;
+    r.fault = fault;
+    r.detected = true;
+    r.detected_by_failure = true;
+    r.has_failure = true;
+    r.failure.code = core::ErrorCode::kErcViolation;
+    r.failure.analysis = "erc";
+    r.failure.detail = e.what();
+    r.detail = e.what();
+    return r;
   } catch (const std::exception& e) {
     FaultResult r;
     r.fault = fault;
@@ -68,6 +91,10 @@ FaultResult run_one(const FaultTestFn& test, const FaultSpec& fault,
       std::ostringstream os;
       os << "timed out after " << options.per_fault_timeout->count() << " s";
       r.detail = os.str();
+      r.has_failure = true;
+      r.failure.code = core::ErrorCode::kTimeout;
+      r.failure.analysis = "campaign";
+      r.failure.detail = r.detail;
     }
   }
   r.elapsed_seconds = seconds_since(t0);
@@ -76,6 +103,7 @@ FaultResult run_one(const FaultTestFn& test, const FaultSpec& fault,
 
 void tally(CampaignReport& report, const FaultResult& r) {
   if (r.detected) ++report.detected_count;
+  if (r.detected_by_failure) ++report.detected_by_failure_count;
   if (r.errored) ++report.errored_count;
   if (r.timed_out) ++report.timed_out_count;
   report.cpu_seconds += r.elapsed_seconds;
@@ -83,25 +111,50 @@ void tally(CampaignReport& report, const FaultResult& r) {
 
 }  // namespace
 
-core::Outcome FaultResult::outcome() const {
-  if (detected && !errored && !timed_out) {
-    return core::Outcome::ok("detected " + fault.label);
+const char* to_string(FaultOutcome outcome) {
+  switch (outcome) {
+    case FaultOutcome::kDetected: return "detected";
+    case FaultOutcome::kDetectedByFailure: return "detected_by_failure";
+    case FaultOutcome::kUndetected: return "undetected";
+    case FaultOutcome::kErrored: return "errored";
+    case FaultOutcome::kTimedOut: return "timed_out";
   }
-  std::string why = errored ? "errored" : timed_out ? "timed out" : "undetected";
-  return core::Outcome::fail(why + ": " + fault.label +
+  return "?";
+}
+
+FaultOutcome FaultResult::classify() const {
+  if (timed_out) return FaultOutcome::kTimedOut;
+  if (errored) return FaultOutcome::kErrored;
+  if (detected_by_failure) return FaultOutcome::kDetectedByFailure;
+  if (detected) return FaultOutcome::kDetected;
+  return FaultOutcome::kUndetected;
+}
+
+core::Outcome FaultResult::outcome() const {
+  const FaultOutcome kind = classify();
+  if (kind == FaultOutcome::kDetected || kind == FaultOutcome::kDetectedByFailure) {
+    return core::Outcome::ok(std::string(to_string(kind)) + " " + fault.label);
+  }
+  return core::Outcome::fail(std::string(to_string(kind)) + ": " + fault.label +
                              (detail.empty() ? "" : " (" + detail + ")"));
 }
 
 void FaultResult::to_json(core::JsonWriter& w) const {
   w.begin_object()
       .member("label", fault.label)
+      .member("outcome", to_string(classify()))
       .member("detected", detected)
+      .member("detected_by_failure", detected_by_failure)
       .member("score", score)
       .member("errored", errored)
       .member("timed_out", timed_out)
       .member("elapsed_seconds", elapsed_seconds)
-      .member("detail", detail)
-      .end_object();
+      .member("detail", detail);
+  if (has_failure) {
+    w.key("failure");
+    failure.to_json(w);
+  }
+  w.end_object();
 }
 
 core::Outcome CampaignReport::outcome() const {
@@ -119,6 +172,8 @@ void CampaignReport::to_json(core::JsonWriter& w) const {
   w.begin_object()
       .member("faults", static_cast<std::uint64_t>(results.size()))
       .member("detected_count", static_cast<std::uint64_t>(detected_count))
+      .member("detected_by_failure_count",
+              static_cast<std::uint64_t>(detected_by_failure_count))
       .member("errored_count", static_cast<std::uint64_t>(errored_count))
       .member("timed_out_count", static_cast<std::uint64_t>(timed_out_count))
       .member("coverage", coverage())
@@ -157,10 +212,14 @@ std::string CampaignReport::canonical_outcomes() const {
   os.precision(17);
   for (const FaultResult& r : results) {
     os << r.fault.label << '|' << r.detected << '|' << r.score << '|'
-       << r.errored << '|' << r.timed_out << '|' << r.detail << '\n';
+       << r.errored << '|' << r.timed_out << '|'
+       << to_string(r.classify()) << '|'
+       << (r.has_failure ? core::to_string(r.failure.code) : "-") << '|'
+       << r.detail << '\n';
   }
-  os << "detected=" << detected_count << " errors=" << errored_count
-     << " timeouts=" << timed_out_count << '\n';
+  os << "detected=" << detected_count
+     << " by_failure=" << detected_by_failure_count
+     << " errors=" << errored_count << " timeouts=" << timed_out_count << '\n';
   return os.str();
 }
 

@@ -8,10 +8,14 @@
 //     fault's result is written to its own pre-assigned slot, so the
 //     outcome fields are identical to the serial path regardless of
 //     thread count (see CampaignReport::canonical_outcomes).
-// Both engines isolate per-fault failures: a FaultTestFn that throws is
-// captured as {detected=false, errored=true, detail=what()} instead of
-// aborting the campaign, and an optional per-fault wall-clock budget marks
-// overrunning faults timed_out.
+// Both engines isolate per-fault failures. A FaultTestFn that throws the
+// typed core::SolverError hierarchy (or the ERC's analysis::ErcError) is
+// classified detected_by_failure — a fault so severe the circuit cannot
+// even be solved is a detection, not an error — with the structured
+// core::Failure preserved in the result. Any other throw is captured as
+// {detected=false, errored=true, detail=what()} instead of aborting the
+// campaign, and an optional per-fault wall-clock budget marks overrunning
+// faults timed_out (with a kTimeout Failure record).
 #pragma once
 
 #include <chrono>
@@ -21,10 +25,22 @@
 #include <string>
 #include <vector>
 
+#include "core/error.h"
 #include "core/outcome.h"
 #include "faults/fault.h"
 
 namespace msbist::faults {
+
+/// How one fault test resolved, in precedence order.
+enum class FaultOutcome : std::uint8_t {
+  kDetected = 0,           ///< the test flagged the fault from its measurements
+  kDetectedByFailure = 1,  ///< the faulty circuit failed to solve — itself a detection
+  kUndetected = 2,         ///< the test passed the faulty circuit (escape)
+  kErrored = 3,            ///< the test threw something outside the taxonomy
+  kTimedOut = 4,           ///< per-fault wall-clock budget exceeded
+};
+
+const char* to_string(FaultOutcome outcome);
 
 /// Outcome of testing one faulty circuit.
 struct FaultResult {
@@ -34,16 +50,28 @@ struct FaultResult {
   std::string detail;       ///< free-form diagnostics
   bool errored = false;     ///< the test threw; detail holds what()
   bool timed_out = false;   ///< per-fault wall-clock budget exceeded
+  /// The faulty circuit made the solver fail hard (SolverError) or
+  /// violated the ERC: counted as detected — a macro that cannot even be
+  /// simulated consistently would certainly fail on the tester — with the
+  /// structured failure preserved below.
+  bool detected_by_failure = false;
+  bool has_failure = false;      ///< `failure` carries a real payload
+  core::Failure failure;         ///< taxonomy record (solver, ERC, timeout)
   double elapsed_seconds = 0.0;  ///< wall time spent testing this fault
 
-  /// Unified report API: pass means the fault was detected cleanly.
+  /// Single-enum classification of the flags above.
+  FaultOutcome classify() const;
+
+  /// Unified report API: pass means the fault was detected (cleanly or by
+  /// solver failure).
   core::Outcome outcome() const;
   void to_json(core::JsonWriter& w) const;
 };
 
 struct CampaignReport {
   std::vector<FaultResult> results;  ///< universe order, always
-  std::size_t detected_count = 0;
+  std::size_t detected_count = 0;    ///< includes detected_by_failure
+  std::size_t detected_by_failure_count = 0;
   std::size_t errored_count = 0;
   std::size_t timed_out_count = 0;
   std::size_t threads_used = 1;

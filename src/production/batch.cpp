@@ -95,6 +95,12 @@ void DeviceOutcome::to_json(core::JsonWriter& w) const {
     w.key("spot_check");
     spot_check.to_json(w);
   }
+  w.member("degraded", degraded);
+  if (!failures.empty()) {
+    w.key("failures").begin_array();
+    for (const core::Failure& f : failures) f.to_json(w);
+    w.end_array();
+  }
   w.member("elapsed_seconds", elapsed_seconds);
   w.end_object();
 }
@@ -162,21 +168,48 @@ DeviceOutcome test_device(const DieSpec& spec, const TestPlan& plan) {
     }
     out.outcome &= core::Outcome::fail(std::move(detail));
   }
+  // Tiers the controller had to abort (solver failures inside the macro
+  // model) leave their diagnostics on the bist report; promote them to
+  // per-die failure records and mark the die degraded.
+  if (!out.bist.failures.empty()) {
+    out.degraded = true;
+    out.failures.insert(out.failures.end(), out.bist.failures.begin(),
+                        out.bist.failures.end());
+  }
 
   if (plan.full_spec) {
-    out.has_metrics = true;
-    out.metrics = die.characterize();
-    out.spec = out.metrics.outcome(plan.limits);
-    if (!out.spec.pass) out.outcome &= core::Outcome::fail(out.spec.detail);
+    try {
+      out.metrics = die.characterize();
+      out.has_metrics = true;
+      out.spec = out.metrics.outcome(plan.limits);
+      if (!out.spec.pass) out.outcome &= core::Outcome::fail(out.spec.detail);
+    } catch (const core::SolverError& e) {
+      out.degraded = true;
+      core::Failure f = e.failure();
+      f.analysis = "production/full_spec";
+      out.failures.push_back(std::move(f));
+      out.spec = core::Outcome::fail("characterization aborted: " +
+                                     std::string(e.what()));
+      out.outcome &= out.spec;
+    }
   }
 
   if (plan.fault_spot_check) {
     out.spot_check_run = true;
-    out.spot_check = run_spot_check(spec);
-    if (!out.spot_check.pass()) {
-      std::string detail = "spot check missed:";
-      for (const std::string& m : out.spot_check.missed) detail += " " + m;
-      out.outcome &= core::Outcome::fail(std::move(detail));
+    try {
+      out.spot_check = run_spot_check(spec);
+      if (!out.spot_check.pass()) {
+        std::string detail = "spot check missed:";
+        for (const std::string& m : out.spot_check.missed) detail += " " + m;
+        out.outcome &= core::Outcome::fail(std::move(detail));
+      }
+    } catch (const core::SolverError& e) {
+      out.degraded = true;
+      core::Failure f = e.failure();
+      f.analysis = "production/spot_check";
+      out.failures.push_back(std::move(f));
+      out.outcome &= core::Outcome::fail("spot check aborted: " +
+                                         std::string(e.what()));
     }
   }
 
@@ -201,7 +234,9 @@ std::string BatchReport::summary() const {
   std::ostringstream os;
   os.precision(4);
   os << passed << "/" << devices.size() << " devices pass (yield "
-     << yield() * 100.0 << " %); " << threads_used << " thread(s), "
+     << yield() * 100.0 << " %); ";
+  if (degraded_count > 0) os << degraded_count << " degraded; ";
+  os << threads_used << " thread(s), "
      << wall_seconds << " s wall, " << cpu_seconds << " s cpu, "
      << devices_per_second() << " devices/s";
   return os.str();
@@ -225,9 +260,16 @@ std::string BatchReport::canonical_outcomes() const {
     if (d.spot_check_run) {
       os << "|spot=" << d.spot_check.detected << '/' << d.spot_check.injected;
     }
+    if (d.degraded) {
+      os << "|degraded";
+      for (const core::Failure& f : d.failures) {
+        os << ':' << core::to_string(f.code) << '@' << f.analysis;
+      }
+    }
     os << '\n';
   }
-  os << "passed=" << passed << " of=" << devices.size();
+  os << "passed=" << passed << " degraded=" << degraded_count
+     << " of=" << devices.size();
   const ParamStats* all[] = {&offset_lsb, &gain_error_lsb, &max_abs_inl,
                              &max_abs_dnl, &conversion_time_s,
                              &first_step_fall_time_s};
@@ -244,6 +286,7 @@ core::Outcome BatchReport::outcome() const {
   os.precision(4);
   os << passed << "/" << devices.size() << " pass, yield " << yield() * 100.0
      << " %";
+  if (degraded_count > 0) os << ", " << degraded_count << " degraded";
   return {passed == devices.size(), os.str()};
 }
 
@@ -252,6 +295,7 @@ void BatchReport::to_json(core::JsonWriter& w) const {
       .member("schema", "msbist.batch_report.v1")
       .member("device_count", static_cast<std::uint64_t>(devices.size()))
       .member("passed", static_cast<std::uint64_t>(passed))
+      .member("degraded_count", static_cast<std::uint64_t>(degraded_count))
       .member("yield", yield())
       .member("threads_used", static_cast<std::uint64_t>(threads_used))
       .member("wall_seconds", wall_seconds)
@@ -297,6 +341,7 @@ BatchReport aggregate(std::vector<DeviceOutcome> slots, std::size_t threads) {
     DeviceOutcome& d = slots[i];
     d.index = i;
     if (d.outcome.pass) ++report.passed;
+    if (d.degraded) ++report.degraded_count;
     report.cpu_seconds += d.elapsed_seconds;
     for (bist::Tier t : d.failed_tiers) {
       report.tier_failures[static_cast<std::size_t>(t)].push_back(i);
@@ -335,8 +380,34 @@ BatchReport run_batch(const std::vector<DieSpec>& population,
   const std::size_t n = population.size();
   if (threads == 0) threads = core::ThreadPool::default_thread_count();
   if (n > 0 && threads > n) threads = n;
+  // Per-die isolation: one die whose test throws — a custom test_fn
+  // propagating a solver failure, or an unexpected bug — degrades to a
+  // structured failing outcome; the rest of the lot still gets tested.
+  const auto degraded_outcome = [](const DieSpec& spec, core::Failure f,
+                                   const char* what) {
+    DeviceOutcome out;
+    out.seed = spec.seed;
+    out.label = spec.label;
+    out.degraded = true;
+    out.failures.push_back(std::move(f));
+    out.outcome = core::Outcome::fail("device test aborted: " +
+                                      std::string(what));
+    return out;
+  };
   const auto run_one = [&](const DieSpec& spec) {
-    return test_fn ? test_fn(spec, plan) : test_device(spec, plan);
+    try {
+      return test_fn ? test_fn(spec, plan) : test_device(spec, plan);
+    } catch (const core::SolverError& e) {
+      core::Failure f = e.failure();
+      if (f.analysis.empty()) f.analysis = "production/device";
+      return degraded_outcome(spec, std::move(f), e.what());
+    } catch (const std::exception& e) {
+      core::Failure f;
+      f.code = core::ErrorCode::kInternal;
+      f.analysis = "production/device";
+      f.detail = e.what();
+      return degraded_outcome(spec, std::move(f), e.what());
+    }
   };
 
   std::vector<DeviceOutcome> slots(n);

@@ -26,6 +26,7 @@
 #include "adc/dual_slope.h"
 #include "adc/metrics.h"
 #include "bist/controller.h"
+#include "core/error.h"
 #include "core/outcome.h"
 #include "production/plan.h"
 #include "production/stats.h"
@@ -69,6 +70,14 @@ struct DeviceOutcome {
   bool spot_check_run = false;
   SpotCheckResult spot_check;
 
+  /// True when testing this die hit a hard failure (solver, ERC, or an
+  /// exception escaping a plan stage) yet still produced a verdict: the
+  /// engine degrades the die to a structured fail instead of aborting the
+  /// batch. `failures` holds the per-die taxonomy records (bist tier
+  /// diagnostics plus any stage-level captures).
+  bool degraded = false;
+  std::vector<core::Failure> failures;
+
   core::Outcome outcome;      ///< overall verdict for this device
   double elapsed_seconds = 0.0;  ///< timing; excluded from canonical text
 
@@ -87,6 +96,9 @@ struct BatchConfig {
 struct BatchReport {
   std::vector<DeviceOutcome> devices;  ///< batch order, always
   std::size_t passed = 0;
+  /// Dies whose testing degraded (DeviceOutcome::degraded): they count as
+  /// failing for yield but the batch itself completed.
+  std::size_t degraded_count = 0;
   std::size_t threads_used = 1;
   double wall_seconds = 0.0;  ///< end-to-end batch wall-clock time
   double cpu_seconds = 0.0;   ///< sum of per-device elapsed times
@@ -143,7 +155,10 @@ DeviceOutcome test_device(const DieSpec& spec, const TestPlan& plan);
 using DeviceTestFn = std::function<DeviceOutcome(const DieSpec&, const TestPlan&)>;
 
 /// Fabricate-and-test an explicit population. threads as in BatchConfig;
-/// test_fn defaults to test_device.
+/// test_fn defaults to test_device. Per-die exceptions are isolated: a
+/// test_fn that throws (typed core::SolverError or anything else) yields
+/// a degraded failing DeviceOutcome carrying the Failure record, never an
+/// aborted batch.
 BatchReport run_batch(const std::vector<DieSpec>& population,
                       const TestPlan& plan, std::size_t threads = 1,
                       const DeviceTestFn& test_fn = {});

@@ -92,8 +92,10 @@ TEST(DcLinear, SweepResistorLadder) {
   n.add<Resistor>(in, mid, 1e3);
   n.add<Resistor>(mid, kGround, 1e3);
   const std::vector<double> values{0.0, 1.0, 2.0, 5.0};
-  const auto out = dc_sweep(
+  const auto sweep_result = dc_sweep(
       n, values, [&](Netlist&, double v) { vs->set_dc(v); }, "mid");
+  ASSERT_TRUE(sweep_result.complete());
+  const std::vector<double>& out = sweep_result.values;
   ASSERT_EQ(out.size(), 4u);
   for (std::size_t i = 0; i < values.size(); ++i) {
     EXPECT_NEAR(out[i], values[i] / 2.0, 1e-6);

@@ -140,8 +140,10 @@ TEST(MosDc, InverterTransferIsMonotonicDecreasing) {
   n.add<Mosfet>(MosType::kPmos, out, in, vdd, MosParams::pmos_5um(30.0));
   std::vector<double> sweep;
   for (int i = 0; i <= 50; ++i) sweep.push_back(kVdd * i / 50.0);
-  const auto vout = dc_sweep(
+  const auto sweep_result = dc_sweep(
       n, sweep, [&](Netlist&, double v) { vin->set_dc(v); }, "out");
+  ASSERT_TRUE(sweep_result.complete());
+  const std::vector<double>& vout = sweep_result.values;
   for (std::size_t i = 1; i < vout.size(); ++i) {
     EXPECT_LE(vout[i], vout[i - 1] + 1e-6) << "i=" << i;
   }

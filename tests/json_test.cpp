@@ -134,6 +134,34 @@ TEST(UnifiedOutcome, MigratedReportsExposeOutcome) {
   EXPECT_TRUE(camp.outcome().pass);
 }
 
+TEST(FailureJson, AllFieldsSerializeWithSnakeCaseCode) {
+  core::Failure f;
+  f.code = core::ErrorCode::kNumericOverflow;
+  f.analysis = "transient";
+  f.has_time = true;
+  f.time_s = 2.5e-3;
+  f.has_sweep_value = true;
+  f.sweep_value = 1.25;
+  f.iterations = 3;
+  f.worst_node = "out";
+  f.worst_update = std::numeric_limits<double>::infinity();
+  f.detail = "poisoned update";
+
+  const std::string json = core::to_json(f);
+  EXPECT_NE(json.find("\"code\":\"numeric_overflow\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"analysis\":\"transient\""), std::string::npos);
+  EXPECT_NE(json.find("\"time_s\":0.0025"), std::string::npos);
+  EXPECT_NE(json.find("\"sweep_value\":1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"iterations\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"worst_node\":\"out\""), std::string::npos);
+  // Non-finite numerics degrade to null per the writer's contract.
+  EXPECT_NE(json.find("\"worst_update\":null"), std::string::npos);
+  // The human-readable message threads the same facts together.
+  EXPECT_NE(f.message().find("numeric_overflow"), std::string::npos);
+  EXPECT_NE(f.message().find("out"), std::string::npos);
+}
+
 // Round-trip fixture: every migrated report type rendered into one JSON
 // document and fed through `python3 -m json.tool`, the same validator
 // the CI smoke step uses.
@@ -175,6 +203,14 @@ TEST(UnifiedOutcome, JsonRoundTripThroughPython) {
   camp.to_json(w);
   w.key("batch");
   batch.to_json(w);
+  core::Failure fail_rec;
+  fail_rec.code = core::ErrorCode::kSingularMatrix;
+  fail_rec.analysis = "dc_sweep";
+  fail_rec.has_sweep_value = true;
+  fail_rec.sweep_value = 0.5;
+  fail_rec.detail = "rescue ladder exhausted";
+  w.key("failure");
+  fail_rec.to_json(w);
   w.end_object();
 
   const std::string path = testing::TempDir() + "/msbist_reports.json";

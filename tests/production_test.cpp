@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "core/device.h"
 #include "production/batch.h"
@@ -144,6 +146,61 @@ TEST(ProductionBatch, CustomTestFnIsUsedAndThreadInvariant) {
     if (d.seed % 2 == 0) ++expect_pass;
   }
   EXPECT_EQ(serial.passed, expect_pass);
+}
+
+TEST(ProductionBatch, ThrowingTestFnDegradesDieWithoutAbortingBatch) {
+  production::BatchConfig cfg;
+  cfg.device_count = 6;
+  cfg.batch_seed = 11;
+  const auto pop = production::make_population(cfg);
+
+  // Die index 2's tester hits a solver failure mid-procedure; die index
+  // 4's tester dies on an untyped exception. Both must degrade to
+  // structured failing outcomes, and the other four dies pass untouched.
+  const production::DeviceTestFn chaos =
+      [](const production::DieSpec& spec, const production::TestPlan&) {
+        if (spec.label == "die 3") {
+          core::Failure f;
+          f.code = core::ErrorCode::kNonConvergent;
+          f.analysis = "transient";
+          f.detail = "rescue ladder exhausted";
+          core::throw_failure(std::move(f));
+        }
+        if (spec.label == "die 5") throw std::runtime_error("socket jam");
+        production::DeviceOutcome out;
+        out.seed = spec.seed;
+        out.label = spec.label;
+        out.outcome = core::Outcome::ok("clean");
+        return out;
+      };
+
+  const auto serial = production::run_batch(pop, {}, 1, chaos);
+  const auto parallel = production::run_batch(pop, {}, 4, chaos);
+  EXPECT_EQ(serial.canonical_outcomes(), parallel.canonical_outcomes());
+
+  ASSERT_EQ(serial.devices.size(), 6u);
+  EXPECT_EQ(serial.passed, 4u);
+  EXPECT_EQ(serial.degraded_count, 2u);
+  EXPECT_FALSE(serial.outcome().pass);
+  EXPECT_NE(serial.summary().find("2 degraded"), std::string::npos)
+      << serial.summary();
+
+  const production::DeviceOutcome& solver_die = serial.devices[2];
+  EXPECT_TRUE(solver_die.degraded);
+  EXPECT_FALSE(solver_die.outcome.pass);
+  ASSERT_EQ(solver_die.failures.size(), 1u);
+  EXPECT_EQ(solver_die.failures[0].code, core::ErrorCode::kNonConvergent);
+
+  const production::DeviceOutcome& untyped_die = serial.devices[4];
+  EXPECT_TRUE(untyped_die.degraded);
+  ASSERT_EQ(untyped_die.failures.size(), 1u);
+  EXPECT_EQ(untyped_die.failures[0].code, core::ErrorCode::kInternal);
+  EXPECT_NE(untyped_die.failures[0].detail.find("socket jam"),
+            std::string::npos);
+
+  const std::string json = core::to_json(serial);
+  EXPECT_NE(json.find("\"degraded_count\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"non_convergent\""), std::string::npos);
 }
 
 TEST(ProductionBatch, EmptyPopulationIsWellFormed) {

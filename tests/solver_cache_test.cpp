@@ -299,9 +299,11 @@ TEST(SolverCache, DcSweepUnaffectedByCachedWorkspace) {
   auto* r_bot = n.add<Resistor>(out, kGround, 1e3);
 
   const std::vector<double> values = {1e3, 3e3, 9e3};
-  const std::vector<double> vout = dc_sweep(
+  const auto sweep_result = dc_sweep(
       n, values,
       [&](Netlist&, double r) { r_bot->set_resistance(r); }, "out");
+  ASSERT_TRUE(sweep_result.complete());
+  const std::vector<double>& vout = sweep_result.values;
   ASSERT_EQ(vout.size(), 3u);
   EXPECT_NEAR(vout[0], 5.0, 1e-6);
   EXPECT_NEAR(vout[1], 7.5, 1e-6);

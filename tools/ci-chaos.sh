@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Chaos gate: robustness of the rescue ladder and the graceful-degradation
+# contracts under sanitizer instrumentation. Mirrors the "chaos" CI job:
+#
+#   tools/ci-chaos.sh [build-dir]
+#
+# Two assertions:
+#   1. The pathological-netlist corpus (tests/rescue_test.cpp) plus the
+#      degraded-batch and failure-JSON tests run clean under ASan+UBSan —
+#      every rescue rung, typed throw, and rollback path is exercised with
+#      memory and UB checking fatal.
+#   2. `examples/batch_yield --json --chaos` on a fault-seeded lot exits 0
+#      and reports a nonzero degraded_count with structured failure
+#      records — a convergence-killing die degrades the die, never the lot.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-chaos}"
+
+cmake -B "$BUILD_DIR" -S . -DMSBIST_SANITIZE=address,undefined -DMSBIST_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+# Gate 1: the robustness corpus under sanitizers.
+"$BUILD_DIR"/tests/msbist_tests \
+  --gtest_filter='FailureTaxonomy.*:RescueLadder.*:Workspace.*:DcSweep.*:BistRobustness.*:CampaignRobustness.*:ProductionBatch.ThrowingTestFn*:FailureJson.*'
+
+# Gate 2: a fault-seeded 42-die lot (every 7th die's tester hits a hard
+# solver failure) must complete with exit 0 and report the degradation.
+out="$("$BUILD_DIR"/examples/example_batch_yield 42 --json --chaos)"
+echo "$out" | python3 -c '
+import json, sys
+report = json.load(sys.stdin)["extrapolation"]
+degraded = [d for d in report["devices"] if d["degraded"]]
+assert report["degraded_count"] == len(degraded) > 0, report["degraded_count"]
+for d in degraded:
+    assert d["failures"], d["label"]
+    assert d["failures"][0]["code"] == "non_convergent", d["failures"][0]
+    assert not d["pass"], d["label"]
+n_degraded = report["degraded_count"]
+n_total = len(report["devices"])
+print(f"chaos gate: {n_degraded}/{n_total} dies degraded gracefully, "
+      "batch completed")
+'
