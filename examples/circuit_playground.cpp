@@ -128,7 +128,7 @@ void erc_walkthrough() {
   op1.add<circuit::VoltageSource>(op1.find_node(nodes.in_minus), circuit::kGround, 2.5);
   const analysis::Report obs =
       analysis::Runner::with_testability({nodes.out}).run(op1);
-  const auto blind = obs.for_rule("bist-observability");
+  const auto blind = obs.for_rule("testability");
   std::printf("   OP1 observed at %s: %zu unobservable node(s)\n",
               nodes.out.c_str(), blind.size());
   for (const auto& d : blind) std::printf("   %s\n", d.format().c_str());

@@ -88,8 +88,8 @@ ConversionResult DualSlopeAdc::convert(double vin) {
   // auto-zeroed cycle, so no analogue state survives between conversions.
   analog::ScIntegratorModel integrator(cfg_.integrator);
   analog::ComparatorModel comparator(cfg_.comparator);
-  digital::BinaryCounter counter(10, cfg_.counter_faults);
-  digital::OutputLatch latch(10, cfg_.latch_faults);
+  digital::BinaryCounter counter(kAdcCounterBits, cfg_.counter_faults);
+  digital::OutputLatch latch(kAdcLatchBits, cfg_.latch_faults);
   digital::DualSlopeControl control(cfg_.integrate_counts, cfg_.timeout_counts,
                                     cfg_.control_faults);
 

@@ -30,6 +30,12 @@
 
 namespace msbist::adc {
 
+/// Datapath widths of the Figure-1 converter. 10 bits comfortably hold the
+/// worst-case code (timeout_counts = 400 < 1024); fault knobs referring to
+/// bits at or above these widths are no-ops (see production spot check).
+inline constexpr std::uint32_t kAdcCounterBits = 10;
+inline constexpr std::uint32_t kAdcLatchBits = 10;
+
 struct DualSlopeAdcConfig {
   double vref = 2.5;                ///< full-scale reference [V]
   double clock_hz = 100e3;          ///< conversion clock (paper max spec)

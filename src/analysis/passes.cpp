@@ -202,58 +202,4 @@ void MosGeometryPass::run(const Topology& topo, Report& out) const {
   }
 }
 
-void TestabilityPass::run(const Topology& topo, Report& out) const {
-  if (observed_.empty()) {
-    out.add({Severity::kInfo, name(),
-             "no BIST observation taps declared; observability not assessed",
-             "", "", "pass the tap nodes (level-sensor / test-access inputs)"});
-    return;
-  }
-  std::vector<bool> seen(topo.vertex_count(), false);
-  std::vector<std::size_t> stack;
-  for (const std::string& tap : observed_) {
-    try {
-      const std::size_t v = topo.vertex(topo.netlist().find_node(tap));
-      if (!seen[v]) {
-        seen[v] = true;
-        stack.push_back(v);
-      }
-    } catch (const std::out_of_range&) {
-      out.add({Severity::kWarning, name(),
-               "declared observation tap is not a node of this netlist", tap,
-               "", "fix the tap list"});
-    }
-  }
-  // Signal-propagation BFS: DC conduction edges only, minus ideal voltage
-  // constraints (a pinned voltage sinks the signal), and never expanding
-  // out of the ground vertex (the ground rail is an ideal sink too).
-  std::vector<std::vector<std::size_t>> adj(topo.vertex_count());
-  for (const auto& e : topo.dc_edges()) {
-    if (is_voltage_constraint(*e.element)) continue;
-    adj[e.a].push_back(e.b);
-    adj[e.b].push_back(e.a);
-  }
-  while (!stack.empty()) {
-    const std::size_t v = stack.back();
-    stack.pop_back();
-    if (v == topo.ground()) continue;
-    for (std::size_t w : adj[v]) {
-      if (!seen[w]) {
-        seen[w] = true;
-        stack.push_back(w);
-      }
-    }
-  }
-  for (std::size_t v = 0; v < topo.ground(); ++v) {
-    if (topo.degree(v) == 0 || seen[v]) continue;
-    out.add({Severity::kWarning, name(),
-             "unobservable by the BIST macros: no DC conduction path carries "
-             "this node's state to any declared tap — the ramp-gain-masking "
-             "blind spot of the paper, generalized",
-             topo.vertex_name(v), "",
-             "route the node to a DcLevelSensor / TestAccessPort tap or "
-             "accept that faults here escape the BIST tiers"});
-  }
-}
-
 }  // namespace msbist::analysis

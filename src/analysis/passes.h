@@ -13,9 +13,10 @@
 //   duplicate-name     ambiguous element names (Netlist::find picks one)
 //   mos-geometry       degenerate MOS devices (W/L, kp, vt, shorted pins;
 //                      bulk is implicitly tied to source in this model)
-//   bist-observability nodes no bist:: macro can observe through any DC
-//                      conduction path — the paper's ramp-gain-masking
-//                      blind spot, generalized
+//
+// BIST observability lives in analysis/testability.h: the old binary
+// bist-observability check grew into the scored `testability` pass (plus
+// the `test-point` recommendation pass) built on the SignalGraph.
 #pragma once
 
 #include <string>
@@ -76,28 +77,6 @@ class MosGeometryPass final : public Pass {
  public:
   std::string name() const override { return "mos-geometry"; }
   void run(const Topology& topo, Report& out) const override;
-};
-
-/// BIST testability: every node should reach at least one declared
-/// observation tap (a node wired to a bist:: macro — DcLevelSensor input,
-/// TestAccessPort mux, ramp comparator) through DC conduction, without
-/// passing through ground or through an ideal voltage source (both sink
-/// the signal). Unobservable nodes are the generalization of the paper's
-/// ramp-test blind spot, where a gain error is masked because only the
-/// ramp endpoint is observed. Severity Warning: the circuit simulates
-/// fine, but a fault campaign cannot see faults there.
-class TestabilityPass final : public Pass {
- public:
-  explicit TestabilityPass(std::vector<std::string> observed_nodes)
-      : observed_(std::move(observed_nodes)) {}
-
-  std::string name() const override { return "bist-observability"; }
-  void run(const Topology& topo, Report& out) const override;
-
-  const std::vector<std::string>& observed_nodes() const { return observed_; }
-
- private:
-  std::vector<std::string> observed_;
 };
 
 }  // namespace msbist::analysis

@@ -16,8 +16,15 @@ Runner Runner::standard() {
 }
 
 Runner Runner::with_testability(std::vector<std::string> observed_nodes) {
+  TestabilityOptions opts;
+  opts.taps = std::move(observed_nodes);
+  return with_testability(std::move(opts));
+}
+
+Runner Runner::with_testability(TestabilityOptions opts) {
   Runner r = standard();
-  r.add(std::make_unique<TestabilityPass>(std::move(observed_nodes)));
+  r.add(std::make_unique<ScoredTestabilityPass>(opts));
+  r.add(std::make_unique<TestPointPass>(std::move(opts)));
   return r;
 }
 

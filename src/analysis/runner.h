@@ -2,10 +2,11 @@
 //
 // Runner owns an ordered list of passes and executes them over a shared
 // Topology. The standard pipeline contains every structural pass;
-// with_testability() appends the BIST observability pass, which needs a
-// declared tap list. circuit::dc / circuit::transient call enforce()
-// before solving, so a malformed netlist is rejected with named
-// diagnostics instead of failing inside Newton-Raphson.
+// with_testability() appends the scored testability pass and the greedy
+// test-point recommender, which need a declared tap list.
+// circuit::dc / circuit::transient call enforce() before solving, so a
+// malformed netlist is rejected with named diagnostics instead of failing
+// inside Newton-Raphson.
 #pragma once
 
 #include <memory>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "analysis/pass.h"
+#include "analysis/testability.h"
 
 namespace msbist::analysis {
 
@@ -22,8 +24,10 @@ class Runner {
   /// connectivity, duplicate-name, mos-geometry.
   static Runner standard();
 
-  /// standard() plus bist-observability over the given tap nodes.
+  /// standard() plus the scored `testability` pass and the `test-point`
+  /// recommender over the given tap nodes.
   static Runner with_testability(std::vector<std::string> observed_nodes);
+  static Runner with_testability(TestabilityOptions opts);
 
   Runner& add(std::unique_ptr<Pass> pass);
 

@@ -157,6 +157,8 @@ class TimedSwitch final : public Element {
   std::vector<NodeId> terminals() const override { return {a_, b_}; }
   std::vector<std::pair<int, int>> dc_paths() const override { return {{0, 1}}; }
   bool is_on(double t) const { return clock_.is_high(t); }
+  double r_on() const { return r_on_; }
+  double r_off() const { return r_off_; }
 
  private:
   NodeId a_, b_;
@@ -176,6 +178,8 @@ class VoltageSwitch final : public Element {
   std::vector<NodeId> terminals() const override { return {a_, b_, cp_, cn_}; }
   std::vector<std::pair<int, int>> dc_paths() const override { return {{0, 1}}; }
   bool nonlinear() const override { return true; }
+  double r_on() const { return r_on_; }
+  double r_off() const { return r_off_; }
 
  private:
   NodeId a_, b_, cp_, cn_;

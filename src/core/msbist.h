@@ -29,6 +29,7 @@
 #include "analysis/pass.h"
 #include "analysis/passes.h"
 #include "analysis/runner.h"
+#include "analysis/testability.h"
 #include "analysis/topology.h"
 #include "adc/dual_slope.h"
 #include "adc/metrics.h"
@@ -80,6 +81,7 @@
 #include "dsp/window.h"
 #include "dsp/ztransfer.h"
 #include "faults/campaign.h"
+#include "faults/collapse.h"
 #include "faults/parametric.h"
 #include "faults/fault.h"
 #include "faults/universe.h"

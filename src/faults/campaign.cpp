@@ -7,8 +7,11 @@
 #include <thread>
 #include <utility>
 
+#include <stdexcept>
+
 #include "analysis/diagnostic.h"
 #include "core/thread_pool.h"
+#include "faults/collapse.h"
 
 namespace msbist::faults {
 namespace {
@@ -109,6 +112,45 @@ void tally(CampaignReport& report, const FaultResult& r) {
   report.cpu_seconds += r.elapsed_seconds;
 }
 
+/// Validate CampaignOptions::collapse against the universe actually
+/// submitted: same size, same fault labels, no stop_on_first_undetected
+/// (its prefix semantics cannot survive representative expansion).
+const CollapsedUniverse* checked_collapse(const std::vector<FaultSpec>& universe,
+                                          const CampaignOptions& options) {
+  const CollapsedUniverse* cu = options.collapse;
+  if (cu == nullptr) return nullptr;
+  if (options.stop_on_first_undetected) {
+    throw std::invalid_argument(
+        "campaign: collapse is incompatible with stop_on_first_undetected");
+  }
+  if (cu->universe.size() != universe.size()) {
+    throw std::invalid_argument(
+        "campaign: collapse describes a different universe (size mismatch)");
+  }
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    if (cu->universe[i].label != universe[i].label) {
+      throw std::invalid_argument(
+          "campaign: collapse describes a different universe (fault '" +
+          universe[i].label + "' vs '" + cu->universe[i].label + "')");
+    }
+  }
+  return cu;
+}
+
+/// Expand per-representative results into the full report.
+void finalize_collapsed(CampaignReport& report, const CollapsedUniverse& cu,
+                        const std::vector<FaultResult>& rep_results) {
+  std::vector<FaultResult> full = cu.expand(rep_results);
+  report.results.reserve(full.size());
+  for (FaultResult& r : full) {
+    tally(report, r);
+    report.results.push_back(std::move(r));
+  }
+  report.simulated_count = cu.map.simulated_count();
+  report.solves_saved = cu.map.solves_saved();
+  report.statically_undetectable_count = cu.map.undetectable_count();
+}
+
 }  // namespace
 
 const char* to_string(FaultOutcome outcome) {
@@ -178,6 +220,10 @@ void CampaignReport::to_json(core::JsonWriter& w) const {
       .member("timed_out_count", static_cast<std::uint64_t>(timed_out_count))
       .member("coverage", coverage())
       .member("threads_used", static_cast<std::uint64_t>(threads_used))
+      .member("simulated_count", static_cast<std::uint64_t>(simulated_count))
+      .member("solves_saved", static_cast<std::uint64_t>(solves_saved))
+      .member("statically_undetectable_count",
+              static_cast<std::uint64_t>(statically_undetectable_count))
       .member("wall_seconds", wall_seconds)
       .member("cpu_seconds", cpu_seconds);
   w.key("results").begin_array();
@@ -204,6 +250,11 @@ std::string CampaignReport::throughput_summary() const {
      << timed_out_count << " timeouts; " << threads_used << " thread(s), "
      << wall_seconds << " s wall, " << cpu_seconds << " s cpu, "
      << faults_per_second() << " faults/s";
+  if (solves_saved > 0) {
+    os << "; collapse: " << simulated_count << " simulated, " << solves_saved
+       << " saved (" << statically_undetectable_count
+       << " statically undetectable)";
+  }
   return os.str();
 }
 
@@ -234,6 +285,20 @@ CampaignReport run_campaign(const std::vector<FaultSpec>& universe,
   const auto t0 = Clock::now();
   CampaignReport report;
   report.threads_used = 1;
+  if (const CollapsedUniverse* cu = checked_collapse(universe, options)) {
+    const auto& reps = cu->map.representatives();
+    std::vector<FaultResult> rep_results;
+    rep_results.reserve(reps.size());
+    for (std::size_t k = 0; k < reps.size(); ++k) {
+      rep_results.push_back(run_one(test, universe[reps[k]], options));
+      if (options.progress) {
+        options.progress(k + 1, reps.size(), rep_results.back());
+      }
+    }
+    finalize_collapsed(report, *cu, rep_results);
+    report.wall_seconds = seconds_since(t0);
+    return report;
+  }
   report.results.reserve(universe.size());
   for (const FaultSpec& f : universe) {
     FaultResult r = run_one(test, f, options);
@@ -247,6 +312,7 @@ CampaignReport run_campaign(const std::vector<FaultSpec>& universe,
       break;
     }
   }
+  report.simulated_count = report.results.size();
   report.wall_seconds = seconds_since(t0);
   return report;
 }
@@ -255,7 +321,9 @@ CampaignReport run_campaign_parallel(const std::vector<FaultSpec>& universe,
                                      const FaultTestFn& test,
                                      const CampaignOptions& options) {
   const auto t0 = Clock::now();
-  const std::size_t n = universe.size();
+  const CollapsedUniverse* cu = checked_collapse(universe, options);
+  // Work items: whole universe, or only the class representatives.
+  const std::size_t n = cu != nullptr ? cu->map.simulated_count() : universe.size();
   std::size_t threads = options.threads != 0
                             ? options.threads
                             : core::ThreadPool::default_thread_count();
@@ -264,6 +332,32 @@ CampaignReport run_campaign_parallel(const std::vector<FaultSpec>& universe,
   CampaignReport report;
   report.threads_used = threads;
   if (n == 0) {
+    if (cu != nullptr) finalize_collapsed(report, *cu, {});
+    report.wall_seconds = seconds_since(t0);
+    return report;
+  }
+
+  if (cu != nullptr) {
+    const auto& reps = cu->map.representatives();
+    std::vector<FaultResult> rep_slots(n);
+    std::atomic<std::size_t> next_rep{0};
+    std::mutex rep_progress_mu;
+    std::size_t rep_completed = 0;
+    const auto rep_worker = [&] {
+      for (;;) {
+        const std::size_t k = next_rep.fetch_add(1, std::memory_order_relaxed);
+        if (k >= n) return;
+        rep_slots[k] = run_one(test, universe[reps[k]], options);
+        if (options.progress) {
+          std::lock_guard<std::mutex> lock(rep_progress_mu);
+          options.progress(++rep_completed, n, rep_slots[k]);
+        }
+      }
+    };
+    core::ThreadPool pool(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.submit(rep_worker);
+    pool.wait_idle();
+    finalize_collapsed(report, *cu, rep_slots);
     report.wall_seconds = seconds_since(t0);
     return report;
   }
@@ -319,6 +413,7 @@ CampaignReport run_campaign_parallel(const std::vector<FaultSpec>& universe,
     tally(report, slots[i]);
     report.results.push_back(std::move(slots[i]));
   }
+  report.simulated_count = report.results.size();
   report.wall_seconds = seconds_since(t0);
   return report;
 }

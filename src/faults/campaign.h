@@ -31,6 +31,8 @@
 
 namespace msbist::faults {
 
+struct CollapsedUniverse;  // faults/collapse.h
+
 /// How one fault test resolved, in precedence order.
 enum class FaultOutcome : std::uint8_t {
   kDetected = 0,           ///< the test flagged the fault from its measurements
@@ -75,6 +77,14 @@ struct CampaignReport {
   std::size_t errored_count = 0;
   std::size_t timed_out_count = 0;
   std::size_t threads_used = 1;
+  /// Circuits actually solved. Equals results.size() normally; under
+  /// CampaignOptions::collapse only class representatives run.
+  std::size_t simulated_count = 0;
+  /// Solves the static collapse avoided (0 without collapse).
+  std::size_t solves_saved = 0;
+  /// Faults the collapse proved unable to reach any tap; they never run
+  /// and always report undetected.
+  std::size_t statically_undetectable_count = 0;
   double wall_seconds = 0.0;  ///< end-to-end campaign wall-clock time
   double cpu_seconds = 0.0;   ///< sum of per-fault elapsed times
 
@@ -125,8 +135,18 @@ struct CampaignOptions {
   /// undetected fault is known. The report then covers exactly the
   /// universe prefix ending at that fault — identical for the serial and
   /// parallel engines, though the parallel engine may *execute* (and
-  /// discard) a few faults past the cut.
+  /// discard) a few faults past the cut. Incompatible with `collapse`.
   bool stop_on_first_undetected = false;
+  /// Static collapse analysis of the *same* universe passed to the engine
+  /// (see faults/collapse.h; not owned — must outlive the call). Only
+  /// class representatives are simulated; their verdicts expand to every
+  /// member, and statically undetectable faults report undetected without
+  /// touching the solver. For a class-consistent test function the
+  /// report's canonical_outcomes() is bit-identical to the uncollapsed
+  /// run. Progress fires once per representative (total = representative
+  /// count). Throws std::invalid_argument on a universe mismatch or when
+  /// combined with stop_on_first_undetected.
+  const CollapsedUniverse* collapse = nullptr;
 };
 
 /// Run the test against every fault in the universe, serially.

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "analysis/testability.h"
+#include "analysis/topology.h"
+
 namespace msbist::faults {
 
 std::vector<FaultSpec> op1_fault_universe() {
@@ -36,6 +39,36 @@ std::vector<FaultSpec> all_single_stuck(int first_node, int last_node) {
   for (int node = first_node; node <= last_node; ++node) {
     u.push_back(FaultSpec::stuck_at(node, false));
     u.push_back(FaultSpec::stuck_at(node, true));
+  }
+  return u;
+}
+
+NodeMap FaultSiteUniverse::node_map() const {
+  return [sites = sites](int site) -> std::string {
+    if (site < 1 || static_cast<std::size_t>(site) > sites.size()) {
+      throw std::out_of_range("FaultSiteUniverse: no site " +
+                              std::to_string(site));
+    }
+    return sites[static_cast<std::size_t>(site) - 1];
+  };
+}
+
+FaultSiteUniverse all_single_stuck(const circuit::Netlist& netlist,
+                                   const FaultSiteOptions& opts) {
+  const analysis::Topology topo(netlist);
+  const std::vector<bool> pinned = analysis::supply_pinned_vertices(topo);
+  FaultSiteUniverse u;
+  for (std::size_t v = 0; v < topo.ground(); ++v) {
+    if (opts.skip_dangling && topo.degree(v) < 2) continue;
+    if (opts.skip_supply_pinned && pinned[v]) continue;
+    u.sites.push_back(topo.vertex_name(v));
+  }
+  for (std::size_t k = 0; k < u.sites.size(); ++k) {
+    for (bool high : {false, true}) {
+      FaultSpec f = FaultSpec::stuck_at(static_cast<int>(k) + 1, high);
+      f.label = std::string(high ? "SA1@" : "SA0@") + u.sites[k];
+      u.faults.push_back(std::move(f));
+    }
   }
   return u;
 }

@@ -7,6 +7,7 @@
 
 #include "core/device.h"
 #include "core/thread_pool.h"
+#include "faults/collapse.h"
 
 namespace msbist::production {
 
@@ -19,7 +20,8 @@ double seconds_since(Clock::time_point t0) {
 }
 
 /// The canned macro-level injections of the spot check: the
-/// production_test example's fault menagerie, one per digital sub-macro.
+/// production_test example's fault menagerie plus deliberately redundant
+/// and statically invisible entries exercising the collapse algebra.
 struct SpotFault {
   const char* label;
   void (*apply)(adc::DualSlopeAdcConfig&);
@@ -34,22 +36,89 @@ constexpr SpotFault kSpotFaults[] = {
      [](adc::DualSlopeAdcConfig& c) {
        c.control_faults.stuck_phase = digital::ConvPhase::kIntegrate;
      }},
+    // The same physical defect written differently: bits 2 and 6 stuck
+    // high IS the 0x44 mask — collapses onto the entry above, one solve.
+    {"latch-stuck-high-bit2-bit6",
+     [](adc::DualSlopeAdcConfig& c) {
+       c.latch_faults.stuck_high_mask = (1u << 2) | (1u << 6);
+     }},
+    // Statically invisible: bit 12 of the kAdcCounterBits-wide counter
+    // masks a bit the count never sets, and the latch load strips
+    // anything above its own width anyway.
+    {"counter-stuck-bit12",
+     [](adc::DualSlopeAdcConfig& c) { c.counter_faults.stuck_bit = 12; }},
+    // Statically invisible: latch bits 10-11 stuck low sit above the
+    // kAdcLatchBits-wide output word.
+    {"latch-stuck-low-0xC00",
+     [](adc::DualSlopeAdcConfig& c) { c.latch_faults.stuck_low_mask = 0xC00; }},
 };
+
+/// Canonical signature of a config's digital-fault knobs given the ADC
+/// datapath widths. Knobs that cannot move any visible output bit
+/// canonicalize away: a counter bit at/above kAdcCounterBits is either a
+/// no-op mask (stuck low) or stripped by the latch load (stuck high), and
+/// latch mask bits resolve through q() = (value | high) & ~low with the
+/// load masking value to kAdcLatchBits. Equal signatures => identical
+/// faulted behaviour; a signature equal to the clean config's is a no-op
+/// injection (statically undetectable by any tier).
+std::string digital_fault_signature(const adc::DualSlopeAdcConfig& c) {
+  std::ostringstream os;
+  const digital::CounterFaults& ctr = c.counter_faults;
+  if (ctr.stuck_bit && *ctr.stuck_bit < adc::kAdcCounterBits) {
+    os << "ctr-stuck:" << *ctr.stuck_bit << ':' << ctr.stuck_bit_high << ';';
+  }
+  if (ctr.miss_every != 0) os << "ctr-miss:" << ctr.miss_every << ';';
+  const digital::LatchFaults& lat = c.latch_faults;
+  const std::uint32_t word_mask = (1u << adc::kAdcLatchBits) - 1u;
+  const std::uint32_t high_eff = lat.stuck_high_mask & ~lat.stuck_low_mask;
+  const std::uint32_t low_eff = lat.stuck_low_mask & word_mask;
+  if (high_eff != 0) os << "lat-high:" << high_eff << ';';
+  if (low_eff != 0) os << "lat-low:" << low_eff << ';';
+  if (lat.load_disabled) os << "lat-noload;";
+  if (c.control_faults.stuck_phase) {
+    os << "ctl-stuck:" << static_cast<int>(*c.control_faults.stuck_phase)
+       << ';';
+  }
+  return os.str();
+}
 
 SpotCheckResult run_spot_check(const DieSpec& spec) {
   SpotCheckResult res;
+  // Collapse the menu before touching the solver: group injections by
+  // canonical signature, mark no-op injections statically undetectable.
+  const std::string clean = digital_fault_signature(spec.config);
+  std::vector<adc::DualSlopeAdcConfig> faulted;
+  std::vector<std::string> sigs;
+  std::vector<bool> invisible;
   for (const SpotFault& f : kSpotFaults) {
-    adc::DualSlopeAdcConfig faulted = spec.config;
-    f.apply(faulted);
+    adc::DualSlopeAdcConfig cfg = spec.config;
+    f.apply(cfg);
+    std::string sig = digital_fault_signature(cfg);
+    invisible.push_back(sig == clean);
+    sigs.push_back(std::move(sig));
+    faulted.push_back(cfg);
+  }
+  const faults::CollapseMap map =
+      faults::CollapseMap::from_signatures(sigs, invisible);
+  res.injected = map.size();
+  res.simulated = map.simulated_count();
+  res.undetectable = map.undetectable_count();
+
+  std::vector<bool> fault_detected(map.size(), false);
+  for (std::size_t r : map.representatives()) {
     // Same seed -> same die (identical variation draws), plus the fault.
-    core::Device clone(spec.seed, faulted);
+    core::Device clone(spec.seed, faulted[r]);
     const core::Outcome quick =
         clone.bist().run_tier(bist::Tier::kCompressed, clone.adc());
-    ++res.injected;
-    if (!quick.pass) {
+    for (std::size_t m : map.members_of(r)) fault_detected[m] = !quick.pass;
+  }
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    if (map.is_undetectable(i)) {
+      res.undetectable_labels.emplace_back(kSpotFaults[i].label);
+    } else if (fault_detected[i]) {
       ++res.detected;  // the BIST flagged the injected fault — good
     } else {
-      res.missed.emplace_back(f.label);
+      res.missed.emplace_back(kSpotFaults[i].label);
     }
   }
   return res;
@@ -61,9 +130,14 @@ void SpotCheckResult::to_json(core::JsonWriter& w) const {
   w.begin_object()
       .member("injected", static_cast<std::uint64_t>(injected))
       .member("detected", static_cast<std::uint64_t>(detected))
+      .member("simulated", static_cast<std::uint64_t>(simulated))
+      .member("statically_undetectable", static_cast<std::uint64_t>(undetectable))
       .member("pass", pass());
   w.key("missed").begin_array();
   for (const std::string& m : missed) w.value(m);
+  w.end_array();
+  w.key("undetectable").begin_array();
+  for (const std::string& m : undetectable_labels) w.value(m);
   w.end_array();
   w.end_object();
 }
@@ -258,7 +332,9 @@ std::string BatchReport::canonical_outcomes() const {
          << "|dnl=" << d.metrics.max_abs_dnl;
     }
     if (d.spot_check_run) {
-      os << "|spot=" << d.spot_check.detected << '/' << d.spot_check.injected;
+      os << "|spot=" << d.spot_check.detected << '/' << d.spot_check.injected
+         << ":sim" << d.spot_check.simulated << ":static"
+         << d.spot_check.undetectable;
     }
     if (d.degraded) {
       os << "|degraded";

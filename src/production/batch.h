@@ -44,12 +44,23 @@ struct DieSpec {
 };
 
 /// Result of the BIST-testability spot check on one device.
+///
+/// The injection menu is statically collapsed before anything runs
+/// (faults::CollapseMap over canonical fault signatures): duplicate
+/// injections — the same digital mutation written two ways — share one
+/// simulated clone, and injections that cannot move any visible output
+/// bit (a stuck bit at or above the datapath width) are statically
+/// undetectable and never simulated.
 struct SpotCheckResult {
-  std::size_t injected = 0;
-  std::size_t detected = 0;
-  std::vector<std::string> missed;  ///< labels of undetected injections
+  std::size_t injected = 0;      ///< menu size (before collapsing)
+  std::size_t detected = 0;      ///< detectable injections the BIST flagged
+  std::size_t simulated = 0;     ///< clones actually run (class reps)
+  std::size_t undetectable = 0;  ///< statically invisible injections
+  std::vector<std::string> missed;  ///< undetected *detectable* injections
+  std::vector<std::string> undetectable_labels;
 
-  bool pass() const { return detected == injected; }
+  /// Pass = every statically detectable injection was detected.
+  bool pass() const { return detected == injected - undetectable; }
   void to_json(core::JsonWriter& w) const;
 };
 

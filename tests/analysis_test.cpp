@@ -180,7 +180,7 @@ TEST(AnalysisErc, TestabilityFlagsNodesBehindCurrentOutputs) {
   n.add<circuit::Vccs>(out, kGround, mid, kGround, 1e-3);
   n.add<circuit::Resistor>(out, kGround, 10e3);
   const analysis::Report r = analysis::Runner::with_testability({"mid"}).run(n);
-  const auto blind = r.for_rule("bist-observability");
+  const auto blind = r.for_rule("testability");
   ASSERT_EQ(blind.size(), 1u) << r.format();
   EXPECT_EQ(blind.front().node, "out");
   EXPECT_EQ(blind.front().severity, Severity::kWarning);
@@ -188,15 +188,16 @@ TEST(AnalysisErc, TestabilityFlagsNodesBehindCurrentOutputs) {
   // Observing the output directly clears the blind spot ("in" stays
   // reachable through R1-R2).
   const analysis::Report r2 = analysis::Runner::with_testability({"out", "mid"}).run(n);
-  EXPECT_TRUE(r2.for_rule("bist-observability").empty()) << r2.format();
+  EXPECT_TRUE(r2.for_rule("testability").empty()) << r2.format();
 }
 
 TEST(AnalysisErc, TestabilityHandlesBadTapLists) {
   const circuit::Netlist n = clean_divider();
-  const analysis::Report none = analysis::Runner::with_testability({}).run(n);
-  EXPECT_TRUE(has_rule(none, "bist-observability", Severity::kInfo));
+  const analysis::Report none =
+      analysis::Runner::with_testability(std::vector<std::string>{}).run(n);
+  EXPECT_TRUE(has_rule(none, "testability", Severity::kInfo));
   const analysis::Report typo = analysis::Runner::with_testability({"nope"}).run(n);
-  EXPECT_TRUE(has_rule(typo, "bist-observability", Severity::kWarning));
+  EXPECT_TRUE(has_rule(typo, "testability", Severity::kWarning));
 }
 
 TEST(AnalysisErc, DcEntryPointRejectsBadNetlist) {

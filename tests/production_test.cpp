@@ -112,7 +112,11 @@ TEST(ProductionBatch, PaperPopulationPassesFullPlan) {
   EXPECT_TRUE(rep.outcome().pass);
   for (const production::DeviceOutcome& d : rep.devices) {
     EXPECT_TRUE(d.spot_check.pass()) << d.label;
-    EXPECT_EQ(d.spot_check.injected, 3u);
+    EXPECT_EQ(d.spot_check.injected, 6u);
+    // The duplicate latch mask shares one clone and the two above-width
+    // stuck bits never simulate: 6 injections cost 3 solves.
+    EXPECT_EQ(d.spot_check.simulated, 3u);
+    EXPECT_EQ(d.spot_check.undetectable, 2u);
   }
   // Distributions cover all ten dies.
   EXPECT_EQ(rep.offset_lsb.count, 10u);
@@ -305,8 +309,15 @@ TEST(ProductionSpotCheck, CatchesInjectedMacroFaults) {
   die.label = "good";
   const production::DeviceOutcome out = production::test_device(die, plan);
   EXPECT_TRUE(out.spot_check_run);
-  EXPECT_EQ(out.spot_check.injected, 3u);
-  EXPECT_EQ(out.spot_check.detected, 3u);
+  EXPECT_EQ(out.spot_check.injected, 6u);
+  // 4 detectable injections (one pair is the same latch mask written two
+  // ways); the above-width stuck bits are statically undetectable.
+  EXPECT_EQ(out.spot_check.detected, 4u);
+  EXPECT_EQ(out.spot_check.simulated, 3u);
+  EXPECT_EQ(out.spot_check.undetectable, 2u);
+  ASSERT_EQ(out.spot_check.undetectable_labels.size(), 2u);
+  EXPECT_EQ(out.spot_check.undetectable_labels[0], "counter-stuck-bit12");
+  EXPECT_EQ(out.spot_check.undetectable_labels[1], "latch-stuck-low-0xC00");
   EXPECT_TRUE(out.outcome.pass) << out.outcome.detail;
 }
 
