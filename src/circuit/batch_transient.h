@@ -1,0 +1,112 @@
+// Lockstep Monte-Carlo batch transient: N device variants of ONE circuit
+// topology marched through the same fixed-dt schedule together.
+//
+// A Monte-Carlo population differs only in element *values* — every die
+// has the same nodes, the same elements, the same MNA footprint. Running
+// the dies one at a time repeats all the work that depends only on the
+// shared structure: symbolic sparse analysis, pivot-order discovery, and
+// (densely) a full O(n^3) factorization per die. The batch engine does
+// that structural work once and keeps only the per-die numerics:
+//
+//   * one stamp-discovery pass and one sparse pattern (variant 0);
+//   * one symbolic analysis + pivoting factorization (variant 0), whose
+//     column order and pivot sequence every variant then shares;
+//   * one dsp::BatchSparseLu numeric refactorization over an entry-major
+//     [entry][variant] SoA value slab — the inner loops run across
+//     variants in contiguous memory, so the compiler vectorizes them;
+//   * per step: per-variant RHS stamps transposed into the SoA slab, one
+//     vectorized solve_batch, and per-variant accept/record.
+//
+// v1 scope: every variant matrix must be *fully static* — all elements
+// time_invariant_stamp() and none nonlinear() (linear R/C/source macros
+// at fixed dt; the common Monte-Carlo workload). Variants violating that,
+// or differing in topology/footprint, are rejected with
+// std::invalid_argument before anything runs.
+//
+// Failure isolation is per lane where the failure is per-lane: a variant
+// whose DC seed solve fails, or whose waveform goes NaN/Inf mid-run, is
+// marked failed (with its typed core::Failure) while the other lanes
+// finish. A variant whose *matrix* is numerically singular is a
+// batch-level core::SingularMatrixError — the shared factorization
+// cannot proceed around it. Lanes are arithmetically independent inside
+// dsp::BatchSparseLu, so a poisoned lane can never contaminate another.
+//
+// Determinism: each lane performs the same floating-point operations in
+// the same order as a scalar sparse-backend transient of its netlist, so
+// per-variant waveforms are bit-identical to the one-die-at-a-time run
+// (locked by tests).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "circuit/solver.h"
+#include "circuit/transient.h"
+#include "core/error.h"
+
+namespace msbist::circuit {
+
+struct BatchTransientOptions {
+  double dt = 1e-6;      ///< fixed step size [s]
+  double t_stop = 1e-3;  ///< end time [s]
+  double t_start = 0.0;  ///< start time [s]
+  Integration method = Integration::kTrapezoidal;
+  bool use_initial_conditions = false;  ///< skip the DC point; honor cap ICs
+  /// Seeds the per-variant DC operating point and supplies gmin. The
+  /// backend field is ignored: the batch engine (including the scalar
+  /// seed solves) is sparse by construction, which keeps each lane
+  /// bit-identical to a scalar sparse-backend transient of its netlist.
+  NewtonOptions newton;
+  /// Run the ERC once on variant 0 (all variants share its topology).
+  bool erc = true;
+};
+
+/// One lane of the batch: either a full TransientResult or the typed
+/// failure that took the lane out (never both).
+struct BatchVariantOutcome {
+  std::optional<TransientResult> result;
+  std::optional<core::Failure> failure;
+  bool ok() const { return result.has_value(); }
+};
+
+/// Observability counters for tests and benchmarks.
+struct BatchTransientStats {
+  std::size_t variants = 0;
+  std::size_t unknowns = 0;
+  std::size_t pattern_nnz = 0;      ///< shared sparse pattern entries
+  std::size_t steps = 0;
+  std::size_t symbolic_analyses = 0;  ///< always 1: the shared analysis
+  std::size_t pivot_fallbacks = 0;  ///< lanes needing private re-pivoting
+  std::size_t failed_variants = 0;
+};
+
+struct BatchTransientReport {
+  std::vector<BatchVariantOutcome> variants;  ///< input order
+  BatchTransientStats stats;
+};
+
+/// The lockstep runner. Stateless apart from its options; run() may be
+/// called repeatedly (each call restarts every variant's transient state
+/// through the usual transient_begin path).
+class BatchTransient {
+ public:
+  explicit BatchTransient(BatchTransientOptions opts = {})
+      : opts_(opts) {}
+
+  const BatchTransientOptions& options() const { return opts_; }
+
+  /// March all variants t_start -> t_stop in lockstep. The pointers must
+  /// be non-null and outlive the call; element state (capacitor history)
+  /// is mutated exactly as by transient(). Throws std::invalid_argument
+  /// for empty/mismatched/non-static populations and
+  /// core::SingularMatrixError when any variant's matrix cannot be
+  /// factored even with private re-pivoting.
+  BatchTransientReport run(const std::vector<Netlist*>& variants) const;
+
+ private:
+  BatchTransientOptions opts_;
+};
+
+}  // namespace msbist::circuit

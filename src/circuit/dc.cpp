@@ -103,12 +103,17 @@ DcSweepResult dc_sweep(Netlist& netlist, const std::vector<double>& values,
   RescueOptions rescue = opts.rescue;
   rescue.max_source_steps = opts.source_steps;
   SolverWorkspace workspace;
+  // When the caller names the elements set_value mutates, classify their
+  // matrix entries as dynamic once: they re-stamp every iteration, so the
+  // cached base, stamp classification, and sparse symbolic analysis
+  // survive all sweep points. Otherwise the mutation is invisible to the
+  // workspace fingerprint and the caches must be rebuilt per point.
+  const bool forced_dynamic = !opts.swept_elements.empty();
+  if (forced_dynamic) workspace.set_forced_dynamic(opts.swept_elements);
   for (std::size_t i = 0; i < values.size(); ++i) {
     const double v = values[i];
     set_value(netlist, v);
-    // set_value mutates element parameters in place — invisible to the
-    // workspace fingerprint, so the cached base must be rebuilt per point.
-    workspace.invalidate();
+    if (!forced_dynamic) workspace.invalidate();
     try {
       if (!have_seed) {
         // First solvable point: full operating-point machinery.

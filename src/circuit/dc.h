@@ -48,6 +48,18 @@ struct DcOptions {
   /// Convergence-rescue ladder bounds (circuit/rescue.h). rescue.enable =
   /// false restores the fail-fast pre-ladder behavior.
   RescueOptions rescue;
+  /// dc_sweep only: names of the elements its set_value callback mutates
+  /// in place (e.g. the swept source). When non-empty, the sweep marks
+  /// those elements forced-dynamic in its solver workspace
+  /// (SolverWorkspace::set_forced_dynamic) instead of invalidating every
+  /// cache at every point: the cached base matrix, stamp classification,
+  /// and sparse symbolic analysis survive the whole sweep, and only the
+  /// swept elements re-stamp per iteration. Results are bit-identical to
+  /// the invalidate-per-point path (the keep-mask moves writes between
+  /// base and per-iteration stamping without reordering them). Every
+  /// element the callback touches MUST be listed — mutating an unlisted
+  /// element leaves its old values baked into the cached base.
+  std::vector<std::string> swept_elements;
 };
 
 /// Operating point at t = 0 (waveform sources evaluate at their t=0 value;

@@ -5,6 +5,14 @@
 
 namespace msbist::circuit {
 
+void SolverWorkspace::set_forced_dynamic(std::vector<std::string> element_names) {
+  std::sort(element_names.begin(), element_names.end());
+  element_names.erase(
+      std::unique(element_names.begin(), element_names.end()),
+      element_names.end());
+  forced_dynamic_ = std::move(element_names);
+}
+
 void SolverWorkspace::bind(const Netlist& netlist, const StampContext& ctx,
                            std::size_t unknowns, const NewtonOptions& opts) {
   Fingerprint fp;
@@ -17,8 +25,13 @@ void SolverWorkspace::bind(const Netlist& netlist, const StampContext& ctx,
   fp.method = ctx.method;
   fp.gmin = opts.gmin;
   fp.caching = caching_;
+  fp.sparse = opts.backend == SolverBackend::kSparse ||
+              (opts.backend == SolverBackend::kAuto &&
+               unknowns >= kSparseAutoThreshold);
+  fp.forced_dynamic = forced_dynamic_;
   if (bound_ && fp == fp_) return;
   fp_ = fp;
+  sparse_ = fp.sparse;
   rebuild(netlist, ctx);
   bound_ = true;
 }
@@ -37,6 +50,27 @@ void SolverWorkspace::rebuild(const Netlist& netlist, const StampContext& ctx) {
   iteration_elements_.clear();
   dynamic_diagonals_.clear();
 
+  // Sparse backend: collect every possible nonzero coordinate (all
+  // element matrix writes plus the gmin node diagonals) and hand the
+  // pattern to the sparse engine. SparseLu::refactor compares patterns
+  // itself, so an unchanged pattern across re-binds (e.g. the rescue
+  // ladder stepping gmin) keeps the symbolic analysis and pivot order.
+  auto build_sparse_pattern = [&](std::vector<std::pair<int, int>> coords) {
+    for (std::size_t node = 0; node < fp_.nodes; ++node) {
+      coords.emplace_back(static_cast<int>(node), static_cast<int>(node));
+    }
+    pattern_ = dsp::SparseMatrix::from_pattern(n, n, std::move(coords));
+    gather_src_.resize(pattern_.nnz());
+    std::size_t p = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      for (int q = pattern_.row_ptr()[r]; q < pattern_.row_ptr()[r + 1];
+           ++q, ++p) {
+        gather_src_[p] =
+            r * n + static_cast<std::size_t>(pattern_.col_idx()[q]);
+      }
+    }
+  };
+
   if (!caching_) {
     // Reference path: everything is dynamic, every element stamps every
     // iteration, the base stays zero — the from-scratch build.
@@ -50,6 +84,25 @@ void SolverWorkspace::rebuild(const Netlist& netlist, const StampContext& ctx) {
     }
     for (std::size_t node = 0; node < fp_.nodes; ++node) {
       dynamic_diagonals_.push_back(node);
+    }
+    if (sparse_) {
+      // The caching path harvests the pattern from its discovery pass;
+      // here a dedicated write-log pass collects it.
+      StampContext discovery = ctx;
+      discovery.guess = nullptr;
+      std::vector<std::pair<int, int>> coords;
+      std::vector<std::pair<int, int>> matrix_log;
+      std::vector<int> rhs_log;
+      for (const auto& el : netlist.elements()) {
+        matrix_log.clear();
+        rhs_log.clear();
+        Stamper s(g_, rhs_);
+        s.set_write_log(&matrix_log, &rhs_log);
+        el->stamp(s, discovery);
+        coords.insert(coords.end(), matrix_log.begin(), matrix_log.end());
+      }
+      std::fill(rhs_.begin(), rhs_.end(), 0.0);
+      build_sparse_pattern(std::move(coords));
     }
     return;
   }
@@ -69,6 +122,7 @@ void SolverWorkspace::rebuild(const Netlist& netlist, const StampContext& ctx) {
     bool writes_rhs = false;
   };
   std::vector<Footprint> footprints(netlist.elements().size());
+  std::vector<std::pair<int, int>> sparse_coords;
   nonlinear_ = false;
   {
     std::vector<std::pair<int, int>> matrix_log;
@@ -83,7 +137,19 @@ void SolverWorkspace::rebuild(const Netlist& netlist, const StampContext& ctx) {
       el->stamp(s, discovery);
       footprints[i].writes = matrix_log;
       footprints[i].writes_rhs = !rhs_log.empty();
-      if (!el->time_invariant_stamp()) {
+      if (sparse_) {
+        sparse_coords.insert(sparse_coords.end(), matrix_log.begin(),
+                             matrix_log.end());
+      }
+      // Forced-dynamic elements (set_forced_dynamic) are classified as if
+      // their stamp were time-varying: their entries live outside the
+      // base, so in-place parameter changes take effect on the next
+      // iteration's re-stamp.
+      const bool forced =
+          !el->name().empty() &&
+          std::binary_search(forced_dynamic_.begin(), forced_dynamic_.end(),
+                             el->name());
+      if (!el->time_invariant_stamp() || forced) {
         for (const auto& [r, c] : matrix_log) {
           dynamic_keep_[static_cast<std::size_t>(r) * n +
                         static_cast<std::size_t>(c)] = 1;
@@ -127,6 +193,14 @@ void SolverWorkspace::rebuild(const Netlist& netlist, const StampContext& ctx) {
   for (std::size_t node = 0; node < fp_.nodes; ++node) {
     if (!dynamic_keep_[node * n + node]) base_(node, node) += fp_.gmin;
   }
+
+  if (sparse_) build_sparse_pattern(std::move(sparse_coords));
+}
+
+void SolverWorkspace::gather_into_pattern(const dsp::Matrix& src) {
+  const double* d = src.data();
+  double* v = pattern_.values();
+  for (std::size_t p = 0; p < gather_src_.size(); ++p) v[p] = d[gather_src_[p]];
 }
 
 const std::vector<double>& SolverWorkspace::solve_iteration(const StampContext& ctx) {
@@ -141,13 +215,22 @@ const std::vector<double>& SolverWorkspace::solve_iteration(const StampContext& 
     Stamper s(g_, rhs_, Stamper::RhsOnly{});
     for (const Element* el : iteration_elements_) el->stamp(s, ctx);
     if (!lu_valid_) {
-      lu_.factor(base_);
+      if (sparse_) {
+        gather_into_pattern(base_);
+        sparse_lu_.factor(pattern_);
+      } else {
+        lu_.factor(base_);
+      }
       lu_valid_ = true;
       ++stats_.lu_factorizations;
     } else {
       ++stats_.lu_reuses;
     }
-    lu_.solve_into(rhs_, x_);
+    if (sparse_) {
+      sparse_lu_.solve_into(rhs_, x_);
+    } else {
+      lu_.solve_into(rhs_, x_);
+    }
     return x_;
   }
 
@@ -160,10 +243,22 @@ const std::vector<double>& SolverWorkspace::solve_iteration(const StampContext& 
   Stamper s(g_, rhs_, caching_ ? dynamic_keep_.data() : nullptr);
   for (const Element* el : iteration_elements_) el->stamp(s, ctx);
   for (std::size_t node : dynamic_diagonals_) g_(node, node) += fp_.gmin;
-  lu_.factor(g_);
   lu_valid_ = false;  // factored from a per-iteration matrix, not the base
   ++stats_.lu_factorizations;
-  lu_.solve_into(rhs_, x_);
+  if (sparse_) {
+    // Same assembled values, sparse engine: gather the nonzeros and
+    // refactor. The first iteration after a pattern change runs a full
+    // pivoting factor(); later iterations replay the stored pivot
+    // sequence and update schedule (counted in sparse_refactors).
+    gather_into_pattern(g_);
+    const std::size_t replays = sparse_lu_.stats().refactors;
+    sparse_lu_.refactor(pattern_);
+    stats_.sparse_refactors += sparse_lu_.stats().refactors - replays;
+    sparse_lu_.solve_into(rhs_, x_);
+  } else {
+    lu_.factor(g_);
+    lu_.solve_into(rhs_, x_);
+  }
   return x_;
 }
 

@@ -44,11 +44,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "circuit/netlist.h"
 #include "circuit/solver.h"
 #include "dsp/matrix.h"
+#include "dsp/sparse.h"
 
 namespace msbist::circuit {
 
@@ -56,8 +58,9 @@ namespace msbist::circuit {
 struct SolverStats {
   std::size_t binds = 0;              ///< classification + base rebuilds
   std::size_t assemblies = 0;         ///< per-iteration system assemblies
-  std::size_t lu_factorizations = 0;  ///< full O(n^3) factorizations
+  std::size_t lu_factorizations = 0;  ///< pivoting numeric factorizations
   std::size_t lu_reuses = 0;          ///< solves served by a cached factorization
+  std::size_t sparse_refactors = 0;   ///< sparse pattern-replay refactorizations
 };
 
 class SolverWorkspace {
@@ -83,6 +86,21 @@ class SolverWorkspace {
   /// call after mutating element parameters in place.
   void invalidate() { bound_ = false; }
 
+  /// Classify the named elements' matrix entries as dynamic even when
+  /// they are time-invariant, so in-place parameter mutation of those
+  /// elements between solves is picked up without invalidate(). This is
+  /// the dc_sweep hook: the swept source re-stamps every iteration while
+  /// the rest of the circuit keeps its cached base matrix and symbolic
+  /// analysis across sweep points. Entries still accumulate in the same
+  /// per-entry order as a from-scratch build (the keep-mask only moves
+  /// writes between base and per-iteration stamping, it never reorders
+  /// them), so results stay bit-identical. Changing the set changes the
+  /// fingerprint (forces a re-bind).
+  void set_forced_dynamic(std::vector<std::string> element_names);
+  const std::vector<std::string>& forced_dynamic() const {
+    return forced_dynamic_;
+  }
+
   /// Assemble and solve the MNA system for one Newton iteration at ctx
   /// (bind() must have been called for this analysis). Returns the
   /// solution by reference; valid until the next call.
@@ -93,6 +111,10 @@ class SolverWorkspace {
 
   /// True when the bound analysis has a constant matrix (LU reuse active).
   bool matrix_fully_static() const { return bound_ && dynamic_entries_ == 0; }
+
+  /// True when the bound analysis factors through the sparse engine
+  /// (NewtonOptions::backend resolved against the unknown count).
+  bool sparse_backend() const { return bound_ && sparse_; }
 
   const SolverStats& stats() const { return stats_; }
   void reset_stats() { stats_ = SolverStats{}; }
@@ -108,11 +130,14 @@ class SolverWorkspace {
     Integration method = Integration::kTrapezoidal;
     double gmin = 0.0;
     bool caching = true;
+    bool sparse = false;  ///< backend resolved for this bind
+    std::vector<std::string> forced_dynamic;
 
     bool operator==(const Fingerprint&) const = default;
   };
 
   void rebuild(const Netlist& netlist, const StampContext& ctx);
+  void gather_into_pattern(const dsp::Matrix& src);
 
   bool caching_ = true;
   bool bound_ = false;
@@ -138,6 +163,22 @@ class SolverWorkspace {
   std::vector<double> x_;
   dsp::LuDecomposition lu_;
   bool lu_valid_ = false;
+
+  // Sparse backend (valid while bound_ && sparse_): assembly still runs
+  // through the dense g_/base_ machinery above — that is what keeps the
+  // assembled system bit-identical to the reference build — and the
+  // nonzero values are then gathered into pattern_ (gather_src_[p] is the
+  // row-major dense offset of pattern entry p) for factorization by
+  // sparse_lu_. The SparseLu keeps its symbolic analysis and pivot
+  // sequence across re-binds whose pattern is unchanged (the rescue
+  // ladder's gmin steps), so only numeric refactorization remains per
+  // Newton iteration.
+  bool sparse_ = false;
+  dsp::SparseMatrix pattern_;
+  std::vector<std::size_t> gather_src_;
+  dsp::SparseLu sparse_lu_;
+
+  std::vector<std::string> forced_dynamic_;  ///< sorted element names
 
   SolverStats stats_;
 };

@@ -164,6 +164,13 @@ std::vector<double> LuDecomposition::solve(const std::vector<double>& b) const {
 
 void LuDecomposition::solve_into(const std::vector<double>& b,
                                  std::vector<double>& x) const {
+  // Check factored state before the size check: on a never-factored or
+  // failed decomposition n_ == 0, so an empty rhs would otherwise pass
+  // the mismatch test and silently "solve" to an empty vector.
+  if (!factored()) {
+    throw std::logic_error(
+        "LuDecomposition::solve: decomposition is not factored");
+  }
   require(b.size() == n_, "LuDecomposition::solve: rhs size mismatch");
   require(&b != &x, "LuDecomposition::solve_into: aliased buffers");
   x.resize(n_);
@@ -183,6 +190,12 @@ void LuDecomposition::solve_into(const std::vector<double>& b,
 }
 
 double LuDecomposition::determinant() const {
+  // An unfactored decomposition has no diagonal, so the product below
+  // would degenerate to perm_sign_ (±1) — a plausible-looking lie.
+  if (!factored()) {
+    throw std::logic_error(
+        "LuDecomposition::determinant: decomposition is not factored");
+  }
   double d = perm_sign_;
   for (std::size_t i = 0; i < n_; ++i) d *= lu_(i, i);
   return d;

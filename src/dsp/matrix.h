@@ -79,14 +79,17 @@ class LuDecomposition {
   bool factored() const { return n_ > 0; }
   std::size_t size() const { return n_; }
 
-  /// Solve A x = b.
+  /// Solve A x = b. Throws std::logic_error when the decomposition is
+  /// unfactored (never-factored, or a failed factor()).
   std::vector<double> solve(const std::vector<double>& b) const;
 
   /// Solve A x = b into a caller-owned vector (resized to n). b and x must
   /// be distinct buffers. Avoids the per-solve allocation of solve().
+  /// Same unfactored-state error contract as solve().
   void solve_into(const std::vector<double>& b, std::vector<double>& x) const;
 
-  /// Determinant of the factorized matrix.
+  /// Determinant of the factorized matrix. Throws std::logic_error when
+  /// the decomposition is unfactored.
   double determinant() const;
 
  private:

@@ -66,13 +66,42 @@ FaultResult guarded_call(const FaultTestFn& test, const FaultSpec& fault) {
   }
 }
 
+/// Campaign-owned registry of timed-out worker threads. A runaway fault
+/// test cannot be cancelled, but it must not outlive the campaign either
+/// (a detached thread could still be running user-closure code at process
+/// exit — a use-after-free by construction). Overrunning workers are
+/// adopted here and joined before the campaign returns its report: the
+/// timeout bounds what the report *counts*, never a thread's lifetime.
+/// Thread-safe: parallel-engine workers adopt concurrently.
+class AbandonedWorkers {
+ public:
+  void adopt(std::thread t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads_.push_back(std::move(t));
+  }
+  void join_all() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+  ~AbandonedWorkers() { join_all(); }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::thread> threads_;
+};
+
 /// Run one fault under the options' timeout policy. Without a timeout the
 /// test runs inline on the calling thread. With one, it runs on a
 /// dedicated thread holding its own copies of the functor and spec; on
-/// overrun that thread is detached and the fault reported timed_out — the
-/// abandoned thread can only touch its private copies, never the report.
+/// overrun the fault is reported timed_out and the still-running thread
+/// handed to the campaign's reaper — it can only touch its private
+/// copies, never the report, and is joined before the campaign returns.
 FaultResult run_one(const FaultTestFn& test, const FaultSpec& fault,
-                    const CampaignOptions& options) {
+                    const CampaignOptions& options,
+                    AbandonedWorkers& reaper) {
   const auto t0 = Clock::now();
   FaultResult r;
   if (!options.per_fault_timeout) {
@@ -87,7 +116,7 @@ FaultResult run_one(const FaultTestFn& test, const FaultSpec& fault,
       runner.join();
       r = done.get();
     } else {
-      runner.detach();
+      reaper.adopt(std::move(runner));
       r.fault = fault;
       r.detected = false;
       r.timed_out = true;
@@ -109,7 +138,11 @@ void tally(CampaignReport& report, const FaultResult& r) {
   if (r.detected_by_failure) ++report.detected_by_failure_count;
   if (r.errored) ++report.errored_count;
   if (r.timed_out) ++report.timed_out_count;
-  report.cpu_seconds += r.elapsed_seconds;
+  // A timed-out fault's elapsed time is the budget the campaign *waited*,
+  // not compute the test performed (the runaway's real cpu time is
+  // unknowable from here) — counting it would inflate cpu_seconds by
+  // exactly the timeout per overrun.
+  if (!r.timed_out) report.cpu_seconds += r.elapsed_seconds;
 }
 
 /// Validate CampaignOptions::collapse against the universe actually
@@ -285,12 +318,14 @@ CampaignReport run_campaign(const std::vector<FaultSpec>& universe,
   const auto t0 = Clock::now();
   CampaignReport report;
   report.threads_used = 1;
+  // Joined (in its destructor) before the report reaches the caller.
+  AbandonedWorkers reaper;
   if (const CollapsedUniverse* cu = checked_collapse(universe, options)) {
     const auto& reps = cu->map.representatives();
     std::vector<FaultResult> rep_results;
     rep_results.reserve(reps.size());
     for (std::size_t k = 0; k < reps.size(); ++k) {
-      rep_results.push_back(run_one(test, universe[reps[k]], options));
+      rep_results.push_back(run_one(test, universe[reps[k]], options, reaper));
       if (options.progress) {
         options.progress(k + 1, reps.size(), rep_results.back());
       }
@@ -301,7 +336,7 @@ CampaignReport run_campaign(const std::vector<FaultSpec>& universe,
   }
   report.results.reserve(universe.size());
   for (const FaultSpec& f : universe) {
-    FaultResult r = run_one(test, f, options);
+    FaultResult r = run_one(test, f, options, reaper);
     tally(report, r);
     report.results.push_back(std::move(r));
     if (options.progress) {
@@ -331,6 +366,8 @@ CampaignReport run_campaign_parallel(const std::vector<FaultSpec>& universe,
 
   CampaignReport report;
   report.threads_used = threads;
+  // Joined (in its destructor) before the report reaches the caller.
+  AbandonedWorkers reaper;
   if (n == 0) {
     if (cu != nullptr) finalize_collapsed(report, *cu, {});
     report.wall_seconds = seconds_since(t0);
@@ -347,7 +384,7 @@ CampaignReport run_campaign_parallel(const std::vector<FaultSpec>& universe,
       for (;;) {
         const std::size_t k = next_rep.fetch_add(1, std::memory_order_relaxed);
         if (k >= n) return;
-        rep_slots[k] = run_one(test, universe[reps[k]], options);
+        rep_slots[k] = run_one(test, universe[reps[k]], options, reaper);
         if (options.progress) {
           std::lock_guard<std::mutex> lock(rep_progress_mu);
           options.progress(++rep_completed, n, rep_slots[k]);
@@ -381,7 +418,7 @@ CampaignReport run_campaign_parallel(const std::vector<FaultSpec>& universe,
           i > first_undetected.load(std::memory_order_acquire)) {
         return;  // later claims only grow past the cut — nothing left to do
       }
-      FaultResult r = run_one(test, universe[i], options);
+      FaultResult r = run_one(test, universe[i], options, reaper);
       if (options.stop_on_first_undetected && !r.detected) {
         std::size_t seen = first_undetected.load(std::memory_order_acquire);
         while (i < seen && !first_undetected.compare_exchange_weak(

@@ -126,9 +126,12 @@ struct CampaignOptions {
   std::size_t threads = 0;
   /// Per-fault wall-clock budget. When set, each test runs on its own
   /// thread; on overrun the fault is reported {detected=false,
-  /// timed_out=true} and the runaway thread is abandoned (it holds its own
-  /// copies of the test functor and FaultSpec, so it must only touch state
-  /// owned by the closure — which must outlive it).
+  /// timed_out=true} and the runaway thread (holding its own copies of
+  /// the test functor and FaultSpec) keeps running off to the side — the
+  /// campaign joins every such thread before returning its report, so no
+  /// worker ever outlives the campaign call or the closure state it
+  /// captured. Timed-out faults contribute their wait to wall_seconds but
+  /// not to cpu_seconds (the runaway's true compute time is unknowable).
   std::optional<std::chrono::duration<double>> per_fault_timeout;
   ProgressCallback progress;
   /// Stop scheduling new faults once the earliest (universe-ordered)

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "core/device.h"
@@ -517,6 +518,66 @@ BatchReport run_batch(const std::vector<DieSpec>& population,
 
 BatchReport run_batch(const BatchConfig& cfg) {
   return run_batch(make_population(cfg), cfg.plan, cfg.threads);
+}
+
+BatchReport run_batch_lockstep(const std::vector<DieSpec>& population,
+                               const LockstepPlan& plan) {
+  if (!plan.build || !plan.evaluate) {
+    throw std::invalid_argument(
+        "run_batch_lockstep: plan.build and plan.evaluate are required");
+  }
+  const auto t0 = Clock::now();
+  const std::size_t n = population.size();
+
+  // Fabricate every die's netlist up front; the lockstep engine needs
+  // the whole population at once (that is what it amortizes over).
+  std::vector<circuit::Netlist> nets(n);
+  std::vector<circuit::Netlist*> variants(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.build(population[i], nets[i]);
+    variants[i] = &nets[i];
+  }
+
+  const circuit::BatchTransient engine(plan.transient);
+  const circuit::BatchTransientReport sim = engine.run(variants);
+
+  std::vector<DeviceOutcome> slots(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DeviceOutcome& out = slots[i];
+    out.seed = population[i].seed;
+    out.label = population[i].label;
+    const circuit::BatchVariantOutcome& lane = sim.variants[i];
+    if (!lane.ok()) {
+      out.degraded = true;
+      out.failures.push_back(*lane.failure);
+      out.outcome = core::Outcome::fail("lockstep lane failed: " +
+                                        lane.failure->message());
+      continue;
+    }
+    try {
+      out.outcome = plan.evaluate(population[i], *lane.result);
+      if (out.outcome.pass && out.outcome.detail.empty()) {
+        out.outcome.detail = "pass";
+      }
+    } catch (const std::exception& e) {
+      out.degraded = true;
+      core::Failure f;
+      f.code = core::ErrorCode::kInternal;
+      f.analysis = "production/lockstep_evaluate";
+      f.detail = e.what();
+      out.failures.push_back(std::move(f));
+      out.outcome =
+          core::Outcome::fail("lockstep evaluate aborted: " +
+                              std::string(e.what()));
+    }
+  }
+
+  BatchReport report = aggregate(std::move(slots), /*threads=*/1);
+  report.wall_seconds = seconds_since(t0);
+  // Lockstep shares one solver pass across the lot, so per-die elapsed
+  // time is not separable; cpu_seconds reports the shared wall time.
+  report.cpu_seconds = report.wall_seconds;
+  return report;
 }
 
 }  // namespace msbist::production

@@ -26,6 +26,7 @@
 #include "adc/dual_slope.h"
 #include "adc/metrics.h"
 #include "bist/controller.h"
+#include "circuit/batch_transient.h"
 #include "core/error.h"
 #include "core/outcome.h"
 #include "production/plan.h"
@@ -176,5 +177,36 @@ BatchReport run_batch(const std::vector<DieSpec>& population,
 
 /// make_population + run_batch.
 BatchReport run_batch(const BatchConfig& cfg);
+
+/// A lockstep production screen: how to fabricate each die's macro
+/// netlist, how to march the population, and how to judge the waveforms.
+///
+/// The contract mirrors DeviceTestFn — one die in, one verdict out — but
+/// the middle runs through circuit::BatchTransient: build() is called
+/// once per die to produce value-variants of ONE topology (same nodes,
+/// same elements; only parameters may depend on the spec), the whole
+/// population is simulated in lockstep, and evaluate() scores each die's
+/// waveforms into its DeviceOutcome.
+struct LockstepPlan {
+  /// Fabricate die `spec` into the (empty) netlist. Must build the same
+  /// topology for every die; draw only element values from the spec.
+  std::function<void(const DieSpec&, circuit::Netlist&)> build;
+  circuit::BatchTransientOptions transient;
+  /// Judge one die's simulated waveforms. Exceptions degrade the die
+  /// (structured failing outcome), never the batch.
+  std::function<core::Outcome(const DieSpec&, const circuit::TransientResult&)>
+      evaluate;
+};
+
+/// Fabricate-and-screen a population in lockstep. Produces the same
+/// BatchReport shape as run_batch (ordered slots, deterministic
+/// aggregation); dies whose lane failed (typed solver failure) or whose
+/// evaluate() threw are degraded failing outcomes, exactly like a
+/// DeviceTestFn that threw under run_batch. Throws std::invalid_argument
+/// when build() violates the shared-topology contract and
+/// core::SingularMatrixError when a die's matrix defeats even private
+/// re-pivoting (see circuit/batch_transient.h).
+BatchReport run_batch_lockstep(const std::vector<DieSpec>& population,
+                               const LockstepPlan& plan);
 
 }  // namespace msbist::production

@@ -253,8 +253,8 @@ TEST(CampaignParallel, TimeoutMarksFaultAndCampaignSurvives) {
   using namespace std::chrono_literals;
   const auto universe = op1_fault_universe();
   const std::string hung_label = universe[3].label;
-  // Capture by value: a timed-out test's thread is abandoned and may still
-  // be running when this scope would otherwise unwind.
+  // Capture by value: a timed-out test's thread runs on past the budget
+  // (it is joined by the campaign before the report returns).
   const FaultTestFn probe = [hung_label](const FaultSpec& f) {
     if (f.label == hung_label) std::this_thread::sleep_for(300ms);
     return deterministic_probe(f);
@@ -275,9 +275,40 @@ TEST(CampaignParallel, TimeoutMarksFaultAndCampaignSurvives) {
       EXPECT_EQ(r.detected, deterministic_probe(r.fault).detected);
     }
   }
-  // Let the abandoned runner drain before the process can exit (it only
-  // touches its own copies, but leaving it running past main is untidy).
-  std::this_thread::sleep_for(350ms);
+}
+
+TEST(Campaign, TimedOutWorkersAreJoinedBeforeReturn) {
+  using namespace std::chrono_literals;
+  // Regression: timed-out workers used to be detach()ed, so they could
+  // outlive the campaign — or the whole process — while still touching
+  // closure state. The campaign now owns a reaper that joins every
+  // abandoned worker before the report returns: each worker's increment
+  // below is sequenced before run_campaign* returns, so the counter must
+  // read the full universe immediately afterwards.
+  const auto universe = all_single_stuck(1, 3);  // 6 faults
+  for (const bool parallel : {false, true}) {
+    auto finished = std::make_shared<std::atomic<std::size_t>>(0);
+    const FaultTestFn probe = [finished](const FaultSpec& f) {
+      std::this_thread::sleep_for(100ms);
+      finished->fetch_add(1, std::memory_order_relaxed);
+      FaultResult r;
+      r.fault = f;
+      r.detected = true;
+      return r;
+    };
+    CampaignOptions opts;
+    opts.threads = 2;
+    opts.per_fault_timeout = 5ms;
+    const CampaignReport rep =
+        parallel ? run_campaign_parallel(universe, probe, opts)
+                 : run_campaign(universe, probe, opts);
+    EXPECT_EQ(rep.timed_out_count, universe.size());
+    EXPECT_EQ(finished->load(), universe.size())
+        << (parallel ? "parallel" : "serial");
+    // Timed-out faults spend *waiting* wall time, not measured compute:
+    // they are excluded from cpu_seconds entirely.
+    EXPECT_EQ(rep.cpu_seconds, 0.0);
+  }
 }
 
 TEST(Campaign, ProgressCallbackFiresOncePerFault) {

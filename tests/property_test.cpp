@@ -3,10 +3,14 @@
 // substrates.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <random>
+#include <vector>
 
 #include "adc/dual_slope.h"
+#include "adc/metrics.h"
+#include "production/stats.h"
 #include "circuit/dc.h"
 #include "circuit/elements.h"
 #include "core/device.h"
@@ -227,6 +231,155 @@ TEST(MonotonicityTolerance, SmallDipsIgnoredLargeCaught) {
   EXPECT_TRUE(tolerant.report().monotonic);  // within the 2-count band
   tolerant.observe(9);                       // 15 -> 9: structural
   EXPECT_FALSE(tolerant.report().monotonic);
+}
+
+// --- Ramp transition measurement invariants over random staircases ---
+
+class RampStaircaseSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RampStaircaseSweep, HalfLevelInvariantsHoldForRandomQuantizers) {
+  // For any monotonic staircase (random LSB and offset), the sweep must
+  // record exactly one transition per half-level crossed, in strictly
+  // increasing voltage order, with no reverse transitions — the contract
+  // the DNL/INL pipeline builds on.
+  std::mt19937_64 rng(0xADC0 + GetParam());
+  std::uniform_real_distribution<double> lsb_dist(0.005, 0.05);
+  std::uniform_real_distribution<double> off_dist(0.0, 0.02);
+  const double lsb = lsb_dist(rng);
+  const double offset = off_dist(rng);
+  adc::AdcTransferFn xfer = [=](double v) {
+    return static_cast<std::uint32_t>(
+        std::max(0.0, std::floor((v - offset) / lsb)));
+  };
+  const double v_lo = 0.001, v_hi = 0.5;
+  const auto tl = adc::measure_transitions_ramp(xfer, v_lo, v_hi, lsb / 20.0);
+
+  EXPECT_TRUE(tl.monotonic);
+  EXPECT_TRUE(tl.reverse_transitions.empty());
+  // One transition per code step: last code minus base code.
+  const std::uint32_t last_code = xfer(v_hi);
+  ASSERT_EQ(tl.transitions.size(),
+            static_cast<std::size_t>(last_code - tl.base_code));
+  for (std::size_t k = 0; k + 1 < tl.transitions.size(); ++k) {
+    EXPECT_LT(tl.transitions[k], tl.transitions[k + 1]);
+  }
+  // Each transition lands within one sweep step of its true staircase edge.
+  for (std::size_t k = 0; k < tl.transitions.size(); ++k) {
+    const double true_edge =
+        offset + (static_cast<double>(tl.base_code) + 1.0 +
+                  static_cast<double>(k)) * lsb;
+    EXPECT_NEAR(tl.transitions[k], true_edge, lsb / 20.0 + 1e-12);
+  }
+}
+
+TEST_P(RampStaircaseSweep, ReboundIsFlaggedWithoutCorruptingTransitions) {
+  // Insert a one-code rebound at a random half-level: the sweep must flag
+  // non-monotonicity and record the downward crossing, while `transitions`
+  // keeps exactly one (first-upward) entry per half-level.
+  std::mt19937_64 rng(0xBAD0 + GetParam());
+  std::uniform_int_distribution<int> code_dist(2, 6);
+  const int rebound_code = code_dist(rng);
+  const double lsb = 0.05;
+  const double w_lo = (static_cast<double>(rebound_code) + 0.2) * lsb;
+  const double w_hi = w_lo + 0.6 * lsb;
+  adc::AdcTransferFn xfer = [=](double v) -> std::uint32_t {
+    auto c = static_cast<std::uint32_t>(std::max(0.0, std::floor(v / lsb)));
+    if (v >= w_lo && v < w_hi) c = static_cast<std::uint32_t>(rebound_code - 1);
+    return c;
+  };
+  const auto clean = adc::measure_transitions_ramp(
+      adc::AdcTransferFn([=](double v) {
+        return static_cast<std::uint32_t>(
+            std::max(0.0, std::floor(v / lsb)));
+      }),
+      0.001, 0.5, lsb / 25.0);
+  const auto tl = adc::measure_transitions_ramp(xfer, 0.001, 0.5, lsb / 25.0);
+
+  EXPECT_FALSE(tl.monotonic);
+  ASSERT_EQ(tl.reverse_transitions.size(), 1u);
+  EXPECT_NEAR(tl.reverse_transitions[0], w_lo, lsb / 25.0 + 1e-12);
+  // Same half-level census as the clean staircase: the rebound's re-ascent
+  // must not deposit duplicate entries.
+  ASSERT_EQ(tl.transitions.size(), clean.transitions.size());
+  for (std::size_t k = 0; k + 1 < tl.transitions.size(); ++k) {
+    EXPECT_LT(tl.transitions[k], tl.transitions[k + 1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EightStaircases, RampStaircaseSweep,
+                         ::testing::Range<std::uint32_t>(0, 8));
+
+// --- Distribution summary invariants ---
+
+TEST(StatsProperty, SingleElementCollapsesEveryField) {
+  const production::ParamStats s = production::compute_stats({3.25});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 3.25);
+  EXPECT_EQ(s.sigma, 0.0);
+  EXPECT_EQ(s.min, 3.25);
+  EXPECT_EQ(s.max, 3.25);
+  EXPECT_EQ(s.p05, 3.25);
+  EXPECT_EQ(s.p50, 3.25);
+  EXPECT_EQ(s.p95, 3.25);
+  // Any quantile of a one-element sample is that element.
+  for (double q : {0.0, 0.25, 0.5, 1.0}) {
+    EXPECT_EQ(production::percentile_sorted({3.25}, q), 3.25);
+  }
+}
+
+TEST(StatsProperty, AllEqualSampleHasZeroSpread) {
+  const std::vector<double> same(17, -2.5);
+  const production::ParamStats s = production::compute_stats(same);
+  EXPECT_EQ(s.sigma, 0.0);
+  EXPECT_EQ(s.mean, -2.5);
+  EXPECT_EQ(s.min, s.max);
+  EXPECT_EQ(s.p05, -2.5);
+  EXPECT_EQ(s.p50, -2.5);
+  EXPECT_EQ(s.p95, -2.5);
+}
+
+TEST(StatsProperty, QuantileEndpointsAndMonotonicityOnRandomSamples) {
+  std::mt19937_64 rng(0x57A7);
+  std::normal_distribution<double> dist(1.0, 0.3);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<double> sample(50 + trial * 37);
+    for (double& v : sample) v = dist(rng);
+    std::vector<double> sorted = sample;
+    std::sort(sorted.begin(), sorted.end());
+    // q = 0 / q = 1 are exactly the extremes; interior quantiles are
+    // monotone in q and bounded by them.
+    EXPECT_EQ(production::percentile_sorted(sorted, 0.0), sorted.front());
+    EXPECT_EQ(production::percentile_sorted(sorted, 1.0), sorted.back());
+    double prev = sorted.front();
+    for (double q = 0.05; q < 1.0; q += 0.05) {
+      const double p = production::percentile_sorted(sorted, q);
+      EXPECT_GE(p, prev);
+      EXPECT_LE(p, sorted.back());
+      prev = p;
+    }
+    // Out-of-range q clamps rather than reading out of bounds.
+    EXPECT_EQ(production::percentile_sorted(sorted, -0.5), sorted.front());
+    EXPECT_EQ(production::percentile_sorted(sorted, 1.5), sorted.back());
+
+    // compute_stats is order-independent: a shuffled copy summarizes
+    // bit-identically (it sorts internally), which is what makes batch
+    // aggregation deterministic at any thread count.
+    std::vector<double> shuffled = sample;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    const production::ParamStats a = production::compute_stats(sample);
+    const production::ParamStats b = production::compute_stats(shuffled);
+    EXPECT_EQ(a.mean, b.mean);
+    EXPECT_EQ(a.sigma, b.sigma);
+    EXPECT_EQ(a.p05, b.p05);
+    EXPECT_EQ(a.p50, b.p50);
+    EXPECT_EQ(a.p95, b.p95);
+    EXPECT_LE(a.min, a.p05);
+    EXPECT_LE(a.p05, a.p50);
+    EXPECT_LE(a.p50, a.p95);
+    EXPECT_LE(a.p95, a.max);
+    EXPECT_GE(a.mean, a.min);
+    EXPECT_LE(a.mean, a.max);
+  }
 }
 
 // --- Pole extraction consistency with the AC magnitude response ---

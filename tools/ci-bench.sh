@@ -14,11 +14,15 @@ BUILD_DIR="${1:-build-bench}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target bench_step_response --target bench_batch
+  --target bench_step_response --target bench_batch \
+  --target bench_sparse_transient --target bench_batch_lockstep
 
 # Curated subset: the transient-solver trajectory benchmarks (cached vs
-# from-scratch) and the 1000-die production batch. Fixed iteration counts
-# on the batch keep the job's wall time bounded.
+# from-scratch), the 1000-die production batch, the sparse-vs-dense MNA
+# backend comparison, and the lockstep Monte-Carlo screen. Fixed
+# iteration counts on the batch keep the job's wall time bounded; the
+# sparse/lockstep mains also print their PR-7 acceptance comparisons
+# (>= 3x sparse-over-dense, >= 2x lockstep-over-scalar) to the job log.
 "$BUILD_DIR"/bench/bench_step_response \
   --benchmark_filter='LinearIntegratorTransient|SingleConversion' \
   --benchmark_format=json --benchmark_out="$BUILD_DIR"/bench_step.json \
@@ -26,8 +30,15 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 "$BUILD_DIR"/bench/bench_batch \
   --benchmark_format=json --benchmark_out="$BUILD_DIR"/bench_batch.json \
   --benchmark_out_format=json > /dev/null
+"$BUILD_DIR"/bench/bench_sparse_transient \
+  --benchmark_format=console --benchmark_out="$BUILD_DIR"/bench_sparse.json \
+  --benchmark_out_format=json
+"$BUILD_DIR"/bench/bench_batch_lockstep \
+  --benchmark_format=console --benchmark_out="$BUILD_DIR"/bench_lockstep.json \
+  --benchmark_out_format=json
 
-python3 - "$BUILD_DIR"/bench_step.json "$BUILD_DIR"/bench_batch.json <<'EOF'
+python3 - "$BUILD_DIR"/bench_step.json "$BUILD_DIR"/bench_batch.json \
+  "$BUILD_DIR"/bench_sparse.json "$BUILD_DIR"/bench_lockstep.json <<'EOF'
 import json, sys
 merged = None
 for path in sys.argv[1:]:
