@@ -53,7 +53,7 @@ void BM_CompressedTestTier(benchmark::State& state) {
   bist::BistController ctrl = bist::BistController::typical();
   adc::DualSlopeAdc adc(adc::DualSlopeAdcConfig::characterized());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ctrl.run_compressed_test(adc));
+    benchmark::DoNotOptimize(ctrl.run_tier(bist::Tier::kCompressed, adc));
   }
 }
 BENCHMARK(BM_CompressedTestTier);

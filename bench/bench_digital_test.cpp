@@ -19,7 +19,9 @@ using namespace msbist;
 void print_reproduction() {
   bist::BistController ctrl = bist::BistController::typical();
   adc::DualSlopeAdc adc(adc::DualSlopeAdcConfig::characterized());
-  const bist::DigitalTestResult res = ctrl.run_digital_test(adc);
+  bist::BistReport rep;
+  ctrl.run_tier(bist::Tier::kDigital, adc, rep);
+  const bist::DigitalTestResult& res = rep.digital;
 
   core::Table table({"parameter", "paper", "measured", "pass"});
   table.add_row({"max conversion time [ms]", "< 5.6",
@@ -41,7 +43,7 @@ void BM_DigitalBistTier(benchmark::State& state) {
   bist::BistController ctrl = bist::BistController::typical();
   adc::DualSlopeAdc adc(adc::DualSlopeAdcConfig::characterized());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ctrl.run_digital_test(adc));
+    benchmark::DoNotOptimize(ctrl.run_tier(bist::Tier::kDigital, adc));
   }
 }
 BENCHMARK(BM_DigitalBistTier);

@@ -25,7 +25,9 @@ using namespace msbist;
 void print_reproduction() {
   bist::BistController ctrl = bist::BistController::typical();
   adc::DualSlopeAdc adc(adc::DualSlopeAdcConfig::characterized());
-  const bist::RampTestResult res = ctrl.run_ramp_test(adc);
+  bist::BistReport rep;
+  ctrl.run_tier(bist::Tier::kRamp, adc, rep);
+  const bist::RampTestResult& res = rep.ramp;
 
   core::Table table({"t [ms]", "ramp [V]", "output code"});
   for (std::size_t i = 0; i < res.sample_times_s.size(); ++i) {
@@ -52,9 +54,13 @@ void print_reproduction() {
   bist::BistController honest = bist::BistController::typical();
   adc::DualSlopeAdc good(adc::DualSlopeAdcConfig::ideal());
 
-  const auto masked = matched.run_ramp_test(skewed);
-  const auto revealed = honest.run_ramp_test(skewed);
-  const auto baseline = honest.run_ramp_test(good);
+  bist::BistReport masked_rep, revealed_rep, baseline_rep;
+  matched.run_tier(bist::Tier::kRamp, skewed, masked_rep);
+  honest.run_tier(bist::Tier::kRamp, skewed, revealed_rep);
+  honest.run_tier(bist::Tier::kRamp, good, baseline_rep);
+  const auto& masked = masked_rep.ramp;
+  const auto& revealed = revealed_rep.ramp;
+  const auto& baseline = baseline_rep.ramp;
 
   core::Table mask({"sample", "healthy ADC code", "3% ADC + matched ramp",
                     "3% ADC + accurate ramp"});
@@ -74,7 +80,7 @@ void BM_RampTestTier(benchmark::State& state) {
   bist::BistController ctrl = bist::BistController::typical();
   adc::DualSlopeAdc adc(adc::DualSlopeAdcConfig::characterized());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ctrl.run_ramp_test(adc));
+    benchmark::DoNotOptimize(ctrl.run_tier(bist::Tier::kRamp, adc));
   }
 }
 BENCHMARK(BM_RampTestTier);

@@ -58,7 +58,7 @@ void BM_AnalogBistTier(benchmark::State& state) {
   bist::BistController ctrl = bist::BistController::typical();
   adc::DualSlopeAdc adc(adc::DualSlopeAdcConfig::characterized());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ctrl.run_analog_test(adc));
+    benchmark::DoNotOptimize(ctrl.run_tier(bist::Tier::kAnalog, adc));
   }
 }
 BENCHMARK(BM_AnalogBistTier);

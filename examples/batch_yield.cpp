@@ -25,6 +25,7 @@
 #include <string>
 
 #include "core/msbist.h"
+#include "service/dispatch.h"
 
 namespace {
 
@@ -100,21 +101,37 @@ int main(int argc, char** argv) {
   }
 
   // Part 1: the fabricated lot (the same dies core::Batch::paper_batch
-  // screens), under the full plan. Thread count never changes the report.
-  const production::BatchReport paper_rep = production::run_batch(
-      production::paper_population(), production::TestPlan::full(),
-      /*threads=*/0);
+  // screens), under the full plan, through the unified job-request entry
+  // point the msbistd daemon also uses. Thread count never changes the
+  // report.
+  core::JobRequest paper_job;
+  paper_job.kind = core::JobKind::kBatch;
+  paper_job.label = "paper batch";
+  paper_job.full_spec = true;
+  paper_job.fault_spot_check = true;
+  paper_job.threads = 0;  // hardware concurrency
+  const service::DispatchResult paper_res =
+      service::dispatch(paper_job, production::paper_population(), {});
+  const production::BatchReport& paper_rep = *paper_res.batch;
 
   // Part 2: a fresh Monte-Carlo lot from one batch seed.
-  production::BatchConfig lot;
-  lot.device_count = extrapolation;
-  lot.batch_seed = 1995;
-  lot.threads = 0;  // hardware concurrency
-  lot.plan = production::TestPlan::full();
-  lot.plan.fault_spot_check = false;  // testability already proven on 10
+  core::JobRequest lot_job;
+  lot_job.kind = core::JobKind::kBatch;
+  lot_job.label = "extrapolation lot";
+  lot_job.device_count = extrapolation;
+  lot_job.batch_seed = 1995;
+  lot_job.full_spec = true;
+  lot_job.fault_spot_check = false;  // testability already proven on 10
+  lot_job.threads = 0;
 
   production::BatchReport lot_rep;
   if (chaos) {
+    production::BatchConfig lot;
+    lot.device_count = extrapolation;
+    lot.batch_seed = 1995;
+    lot.plan.tiers = service::parse_tiers(lot_job.tiers);
+    lot.plan.full_spec = lot_job.full_spec;
+    lot.plan.fault_spot_check = lot_job.fault_spot_check;
     // Deterministic fault seeding: every 7th die's tester hits a hard
     // solver failure mid-procedure. run_batch must isolate each one into
     // a degraded failing outcome instead of aborting the lot.
@@ -133,9 +150,10 @@ int main(int argc, char** argv) {
           return production::test_device(spec, plan);
         };
     lot_rep = production::run_batch(production::make_population(lot),
-                                    lot.plan, lot.threads, chaotic);
+                                    lot.plan, /*threads=*/0, chaotic);
   } else {
-    lot_rep = production::run_batch(lot);
+    // The clean path goes through the same dispatcher as the daemon.
+    lot_rep = *service::dispatch(lot_job).batch;
   }
 
   if (json) {

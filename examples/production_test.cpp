@@ -82,7 +82,8 @@ int main(int argc, char** argv) {
   core::Table table({"die", "injected condition", "a", "r", "d", "c", "verdict",
                      "diagnosis"});
   core::JsonWriter w;
-  w.begin_object().member("schema", "msbist.screening.v1");
+  w.begin_object();
+  core::write_report_envelope(w, "screening");
   w.key("dies").begin_array();
   std::size_t passed = 0;
   std::uint64_t seed = 100;

@@ -12,12 +12,15 @@
 //      that cannot reach the tap are marked statically undetectable.
 //   3. Rank candidate test points by marginal observability gain.
 //
-// --json emits the same content through the unified report API
-// (TestabilityReport::to_json / CollapsedUniverse::to_json).
+// --json emits the same content through the unified report API: each
+// circuit's study is the exact "testability_study" document the msbistd
+// daemon serves for a testability job, produced by the shared
+// service::dispatch entry point.
 #include <cstdio>
 #include <cstring>
 
 #include "core/msbist.h"
+#include "service/dispatch.h"
 
 namespace {
 
@@ -25,7 +28,7 @@ using namespace msbist;
 
 struct Study {
   tsrt::CircuitKind kind;
-  const std::vector<faults::FaultSpec> universe;
+  const char* circuit;  ///< wire name for the job request
 };
 
 void print_report(const analysis::TestabilityReport& rep,
@@ -69,42 +72,33 @@ int main(int argc, char** argv) {
   const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
 
   const Study studies[] = {
-      {tsrt::CircuitKind::kOp1Follower, faults::op1_fault_universe()},
-      {tsrt::CircuitKind::kScIntegratorComparator, faults::sc_fault_universe()},
+      {tsrt::CircuitKind::kOp1Follower, "op1_follower"},
+      {tsrt::CircuitKind::kScIntegratorComparator, "sc_integrator_comparator"},
   };
 
   if (!json) std::printf("== msbist static testability report ==\n\n");
   core::JsonWriter w;
   if (json) {
-    w.begin_object().member("schema", "msbist.testability_report.v1");
+    w.begin_object();
+    core::write_report_envelope(w, "testability_study_set");
     w.key("circuits").begin_array();
   }
 
   for (const Study& study : studies) {
-    const tsrt::ExampleCircuit c = tsrt::build_circuit(study.kind);
-
-    analysis::TestabilityOptions topts;
-    topts.taps = {c.output_node};
-    const analysis::TestabilityReport rep =
-        analysis::analyze_testability(c.netlist, topts);
-
-    faults::CollapseOptions copts;
-    copts.taps = {c.output_node};
-    const faults::CollapsedUniverse cu =
-        faults::collapse(study.universe, c.netlist, c.node_map, copts);
+    core::JobRequest job;
+    job.kind = core::JobKind::kTestability;
+    job.circuit = study.circuit;
+    const service::DispatchResult res = service::dispatch(job);
 
     if (json) {
-      w.begin_object().member("name", tsrt::circuit_name(study.kind));
-      w.key("testability");
-      rep.to_json(w);
-      w.key("collapse");
-      cu.to_json(w);
-      w.end_object();
+      // The per-circuit document is exactly what the daemon serves.
+      w.raw_value(res.report_json);
     } else {
+      const tsrt::ExampleCircuit c = tsrt::build_circuit(study.kind);
       std::printf("%s (%d transistors), observed at %s\n",
                   tsrt::circuit_name(study.kind).c_str(), c.transistor_count,
                   c.output_node.c_str());
-      print_report(rep, cu);
+      print_report(*res.testability, *res.collapsed);
     }
   }
 

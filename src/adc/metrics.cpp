@@ -1,5 +1,7 @@
 #include "adc/metrics.h"
 
+#include "core/job.h"
+
 #include <algorithm>
 #include <cmath>
 #include <map>
@@ -111,8 +113,9 @@ core::Outcome AdcMetrics::outcome(const MetricsLimits& limits) const {
 }
 
 void AdcMetrics::to_json(core::JsonWriter& w, bool include_curves) const {
-  w.begin_object()
-      .member("lsb_ideal", lsb_ideal)
+  w.begin_object();
+  core::write_report_envelope(w, "adc_metrics");
+  w.member("lsb_ideal", lsb_ideal)
       .member("lsb_measured", lsb_measured)
       .member("offset_lsb", offset_lsb)
       .member("gain_error_lsb", gain_error_lsb)

@@ -1,5 +1,7 @@
 #include "analysis/diagnostic.h"
 
+#include "core/job.h"
+
 namespace msbist::analysis {
 
 const char* to_string(Severity s) {
@@ -40,8 +42,9 @@ core::Outcome Report::outcome() const {
 }
 
 void Report::to_json(core::JsonWriter& w) const {
-  w.begin_object()
-      .member("errors", static_cast<std::uint64_t>(count(Severity::kError)))
+  w.begin_object();
+  core::write_report_envelope(w, "erc_report");
+  w.member("errors", static_cast<std::uint64_t>(count(Severity::kError)))
       .member("warnings", static_cast<std::uint64_t>(count(Severity::kWarning)));
   w.key("diagnostics").begin_array();
   for (const auto& d : diagnostics_) d.to_json(w);

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "circuit/elements.h"
+#include "core/job.h"
 #include "circuit/mos.h"
 
 namespace msbist::analysis {
@@ -298,6 +299,7 @@ core::Outcome TestabilityReport::outcome() const {
 
 void TestabilityReport::to_json(core::JsonWriter& w) const {
   w.begin_object();
+  core::write_report_envelope(w, "testability_report");
   w.key("taps").begin_array();
   for (const auto& t : taps) w.value(t);
   w.end_array();

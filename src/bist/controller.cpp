@@ -1,5 +1,7 @@
 #include "bist/controller.h"
 
+#include "core/job.h"
+
 #include <algorithm>
 #include <cmath>
 #include <sstream>
@@ -143,7 +145,9 @@ core::Outcome BistReport::outcome() const {
 }
 
 void BistReport::to_json(core::JsonWriter& w) const {
-  w.begin_object().member("pass", pass);
+  w.begin_object();
+  core::write_report_envelope(w, "bist_report");
+  w.member("pass", pass);
   w.key("analog");
   analog.to_json(w);
   w.key("ramp");
@@ -338,31 +342,6 @@ BistReport BistController::run_all(adc::DualSlopeAdc& adc) const {
     rep.pass = run_tier(t, adc, rep).pass && rep.pass;
   }
   return rep;
-}
-
-AnalogTestResult BistController::run_analog_test(adc::DualSlopeAdc& adc) const {
-  BistReport scratch;
-  run_tier(Tier::kAnalog, adc, scratch);
-  return std::move(scratch.analog);
-}
-
-RampTestResult BistController::run_ramp_test(adc::DualSlopeAdc& adc) const {
-  BistReport scratch;
-  run_tier(Tier::kRamp, adc, scratch);
-  return std::move(scratch.ramp);
-}
-
-DigitalTestResult BistController::run_digital_test(adc::DualSlopeAdc& adc) const {
-  BistReport scratch;
-  run_tier(Tier::kDigital, adc, scratch);
-  return std::move(scratch.digital);
-}
-
-CompressedTestResult BistController::run_compressed_test(
-    adc::DualSlopeAdc& adc) const {
-  BistReport scratch;
-  run_tier(Tier::kCompressed, adc, scratch);
-  return std::move(scratch.compressed);
 }
 
 }  // namespace msbist::bist

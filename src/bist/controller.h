@@ -14,8 +14,8 @@
 //
 // Tiers are first-class: run_tier(Tier, adc) executes any tier through
 // one generic signature, so batch-level tooling (src/production) can
-// iterate a test plan without naming each tier. The legacy per-tier
-// methods (run_analog_test & co.) survive as thin forwarding wrappers.
+// iterate a test plan without naming each tier. The detailed per-tier
+// result lands in the matching BistReport slot.
 #pragma once
 
 #include <array>
@@ -143,13 +143,6 @@ class BistController {
 
   /// Every tier in kAllTiers order; overall pass requires all to pass.
   BistReport run_all(adc::DualSlopeAdc& adc) const;
-
-  // Legacy per-tier API, kept as forwarding wrappers over run_tier so
-  // seed-era callers and tests compile unchanged. Prefer run_tier.
-  AnalogTestResult run_analog_test(adc::DualSlopeAdc& adc) const;
-  RampTestResult run_ramp_test(adc::DualSlopeAdc& adc) const;
-  DigitalTestResult run_digital_test(adc::DualSlopeAdc& adc) const;
-  CompressedTestResult run_compressed_test(adc::DualSlopeAdc& adc) const;
 
   const StepGenerator& steps() const { return steps_; }
   const RampGenerator& ramp() const { return ramp_; }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "analysis/runner.h"
+#include "core/job.h"
 #include "circuit/workspace.h"
 
 namespace msbist::circuit {
@@ -71,6 +72,7 @@ core::Outcome DcSweepResult::outcome() const {
 
 void DcSweepResult::to_json(core::JsonWriter& w) const {
   w.begin_object();
+  core::write_report_envelope(w, "dc_sweep");
   w.key("outcome");
   outcome().to_json(w);
   w.key("sweep_values").begin_array();

@@ -71,6 +71,11 @@ class JsonWriter {
     return value(static_cast<T&&>(v));
   }
 
+  /// Splice a pre-rendered JSON document in value position (e.g. a report
+  /// produced by another JsonWriter, embedded into a response envelope).
+  /// The text is emitted verbatim — the caller vouches for its validity.
+  JsonWriter& raw_value(std::string_view json) { return raw(json); }
+
   /// The finished document. Throws if containers are still open.
   const std::string& str() const {
     if (!stack_.empty()) {

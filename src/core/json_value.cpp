@@ -1,0 +1,490 @@
+#include "core/json_value.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace msbist::core {
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+JsonValue JsonValue::integer(std::int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = static_cast<double>(i);
+  v.has_int_ = true;
+  if (i < 0) {
+    v.int_negative_ = true;
+    v.i64_ = i;
+  } else {
+    v.u64_ = static_cast<std::uint64_t>(i);
+  }
+  return v;
+}
+
+JsonValue JsonValue::integer(std::uint64_t u) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = static_cast<double>(u);
+  v.has_int_ = true;
+  v.u64_ = u;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+namespace {
+[[noreturn]] void kind_error(const char* want) {
+  throw std::logic_error(std::string("JsonValue: not a ") + want);
+}
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error("bool");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (kind_ != Kind::kNumber) kind_error("number");
+  return num_;
+}
+
+std::int64_t JsonValue::as_i64() const {
+  if (!is_integer()) kind_error("exact integer");
+  if (int_negative_) return i64_;
+  if (u64_ > static_cast<std::uint64_t>(
+                 std::numeric_limits<std::int64_t>::max())) {
+    throw std::logic_error("JsonValue: integer exceeds int64 range");
+  }
+  return static_cast<std::int64_t>(u64_);
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (!is_integer()) kind_error("exact integer");
+  if (int_negative_) {
+    throw std::logic_error("JsonValue: negative integer read as uint64");
+  }
+  return u64_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) kind_error("string");
+  return str_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) kind_error("array");
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  if (kind_ != Kind::kObject) kind_error("object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (kind_ != Kind::kArray) kind_error("array");
+  items_.push_back(std::move(v));
+}
+
+void JsonValue::set(std::string key, JsonValue v) {
+  if (kind_ != Kind::kObject) kind_error("object");
+  for (Member& m : members_) {
+    if (m.first == key) {
+      m.second = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+bool JsonValue::erase(std::string_view key) {
+  if (kind_ != Kind::kObject) kind_error("object");
+  for (auto it = members_.begin(); it != members_.end(); ++it) {
+    if (it->first == key) {
+      members_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void JsonValue::dump(JsonWriter& w) const {
+  switch (kind_) {
+    case Kind::kNull:
+      w.value(nullptr);
+      return;
+    case Kind::kBool:
+      w.value(bool_);
+      return;
+    case Kind::kNumber:
+      if (has_int_) {
+        if (int_negative_) {
+          w.value(i64_);
+        } else {
+          w.value(u64_);
+        }
+      } else {
+        w.value(num_);
+      }
+      return;
+    case Kind::kString:
+      w.value(str_);
+      return;
+    case Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& v : items_) v.dump(w);
+      w.end_array();
+      return;
+    case Kind::kObject:
+      w.begin_object();
+      for (const Member& m : members_) {
+        w.key(m.first);
+        m.second.dump(w);
+      }
+      w.end_object();
+      return;
+  }
+}
+
+std::string JsonValue::dump() const {
+  JsonWriter w;
+  dump(w);
+  return w.str();
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull:
+      return true;
+    case Kind::kBool:
+      return bool_ == other.bool_;
+    case Kind::kNumber:
+      if (has_int_ && other.has_int_) {
+        return int_negative_ == other.int_negative_ &&
+               (int_negative_ ? i64_ == other.i64_ : u64_ == other.u64_);
+      }
+      return num_ == other.num_ && has_int_ == other.has_int_;
+    case Kind::kString:
+      return str_ == other.str_;
+    case Kind::kArray:
+      return items_ == other.items_;
+    case Kind::kObject:
+      return members_ == other.members_;
+  }
+  return false;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  // Deep enough for any real report, small enough to keep a hostile
+  // document from blowing the stack.
+  static constexpr int kMaxDepth = 96;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonParseError(what, pos_);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char take() {
+    if (eof()) fail("unexpected end of document");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      fail("invalid literal (expected '" + std::string(lit) + "')");
+    }
+    pos_ += lit.size();
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 96 levels");
+    if (eof()) fail("unexpected end of document");
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return JsonValue::string(parse_string());
+      case 't':
+        expect_literal("true");
+        return JsonValue::boolean(true);
+      case 'f':
+        expect_literal("false");
+        return JsonValue::boolean(false);
+      case 'n':
+        expect_literal("null");
+        return JsonValue::null();
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    JsonValue obj = JsonValue::object();
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected string object key");
+      std::string key = parse_string();
+      if (obj.find(key) != nullptr) fail("duplicate object key \"" + key + "\"");
+      skip_ws();
+      if (take() != ':') fail("expected ':' after object key");
+      skip_ws();
+      obj.set(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = take();
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    JsonValue arr = JsonValue::array();
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      skip_ws();
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = take();
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+            if (take() != '\\' || take() != 'u') {
+              fail("unpaired UTF-16 surrogate");
+            }
+            const std::uint32_t lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired UTF-16 surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    const bool negative = !eof() && peek() == '-';
+    if (negative) ++pos_;
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      pos_ = start;
+      fail("invalid value");
+    }
+    // Leading zero may not be followed by another digit (RFC 8259).
+    if (peek() == '0' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      fail("leading zero in number");
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    bool is_integer = true;
+    if (!eof() && peek() == '.') {
+      is_integer = false;
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digit required after decimal point");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      is_integer = false;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digit required in exponent");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+
+    if (is_integer) {
+      // Keep the exact 64-bit value when it fits; overflow falls back to
+      // the double path below.
+      if (negative) {
+        std::int64_t i = 0;
+        const auto res =
+            std::from_chars(token.data(), token.data() + token.size(), i);
+        if (res.ec == std::errc() && res.ptr == token.data() + token.size()) {
+          return JsonValue::integer(i);
+        }
+      } else {
+        std::uint64_t u = 0;
+        const auto res =
+            std::from_chars(token.data(), token.data() + token.size(), u);
+        if (res.ec == std::errc() && res.ptr == token.data() + token.size()) {
+          return JsonValue::integer(u);
+        }
+      }
+    }
+    double d = 0.0;
+    const auto res =
+        std::from_chars(token.data(), token.data() + token.size(), d);
+    if (res.ec == std::errc::result_out_of_range) {
+      // Magnitude overflow collapses to +/-HUGE_VAL like strtod; the
+      // writer will render it as null, matching the non-finite contract.
+      d = negative ? -HUGE_VAL : HUGE_VAL;
+    } else if (res.ec != std::errc() ||
+               res.ptr != token.data() + token.size()) {
+      fail("invalid number");
+    }
+    return JsonValue::number(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace msbist::core

@@ -1,0 +1,130 @@
+// Minimal JSON parser — the read half of the wire format whose write
+// half is core/json.h.
+//
+// The daemon (src/service) accepts job requests over HTTP/JSON, so the
+// repo finally needs to *parse* documents, not just emit them. Like the
+// writer this is dependency-free on purpose: a recursive-descent parser
+// over a DOM value small enough to audit, not a third-party library.
+//
+// Contract:
+//   * Strict RFC 8259 subset: no comments, no trailing commas, no
+//     unquoted keys. \uXXXX escapes decode to UTF-8 (surrogate pairs
+//     included).
+//   * Numbers keep both views: every number is a double, and a token
+//     that is a pure integer fitting std::int64_t/std::uint64_t also
+//     retains the exact integer (seeds are 64-bit; doubles lose
+//     precision past 2^53).
+//   * Objects preserve insertion order (lookup is linear — documents
+//     here are small) and reject duplicate keys.
+//   * Errors throw JsonParseError with a byte offset and context.
+//   * dump() re-serializes through core::JsonWriter, so
+//     parse(dump(v)) == v and dump(parse(s)) is canonical.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/json.h"
+
+namespace msbist::core {
+
+/// Malformed document. what() carries the byte offset and what was
+/// expected, e.g. "json: expected ':' after object key at offset 17".
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error("json: " + what + " at offset " +
+                          std::to_string(offset)),
+        offset_(offset) {}
+
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// One parsed JSON value: a tagged union over the seven JSON shapes
+/// (integers are a refinement of number, see kind()).
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull = 0,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue number(double d);
+  static JsonValue integer(std::int64_t i);
+  static JsonValue integer(std::uint64_t u);
+  static JsonValue string(std::string s);
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  /// True for a number token that was a pure integer fitting 64 bits
+  /// (as_i64/as_u64 are then exact).
+  bool is_integer() const { return kind_ == Kind::kNumber && has_int_; }
+
+  // Typed accessors; each throws std::logic_error on a kind mismatch
+  // (callers that need a diagnostic with request context use the
+  // require_* helpers on the object instead).
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_i64() const;   ///< throws when not an exact integer
+  std::uint64_t as_u64() const;  ///< throws when negative or not exact
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;    ///< array elements
+  const std::vector<Member>& members() const;     ///< object members, in order
+
+  // Object lookup: pointer to the member value, or nullptr when absent
+  // (or when this value is not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  // Mutating builders (used by tests and by canonicalization helpers).
+  void push_back(JsonValue v);                    ///< array append
+  void set(std::string key, JsonValue v);         ///< object insert/overwrite
+  bool erase(std::string_view key);               ///< object remove; false if absent
+
+  /// Re-serialize through core::JsonWriter (canonical member order =
+  /// insertion order; exact integers render as integers).
+  void dump(JsonWriter& w) const;
+  std::string dump() const;
+
+  bool operator==(const JsonValue& other) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  bool has_int_ = false;
+  bool int_negative_ = false;  ///< exact value is int64 (vs uint64)
+  std::int64_t i64_ = 0;
+  std::uint64_t u64_ = 0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// Parse one complete JSON document (leading/trailing whitespace
+/// allowed, trailing garbage rejected). Throws JsonParseError.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace msbist::core

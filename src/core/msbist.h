@@ -59,7 +59,9 @@
 #include "circuit/waveform.h"
 #include "core/device.h"
 #include "core/error.h"
+#include "core/job.h"
 #include "core/json.h"
+#include "core/json_value.h"
 #include "core/outcome.h"
 #include "core/report.h"
 #include "core/thread_pool.h"

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "analysis/diagnostic.h"
+#include "core/job.h"
 #include "core/thread_pool.h"
 #include "faults/collapse.h"
 
@@ -244,8 +245,9 @@ core::Outcome CampaignReport::outcome() const {
 }
 
 void CampaignReport::to_json(core::JsonWriter& w) const {
-  w.begin_object()
-      .member("faults", static_cast<std::uint64_t>(results.size()))
+  w.begin_object();
+  core::write_report_envelope(w, "campaign_report");
+  w.member("faults", static_cast<std::uint64_t>(results.size()))
       .member("detected_count", static_cast<std::uint64_t>(detected_count))
       .member("detected_by_failure_count",
               static_cast<std::uint64_t>(detected_by_failure_count))

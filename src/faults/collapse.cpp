@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "analysis/topology.h"
+#include "core/job.h"
 #include "circuit/elements.h"
 #include "circuit/mos.h"
 
@@ -222,8 +223,9 @@ core::Outcome CollapsedUniverse::outcome() const {
 }
 
 void CollapsedUniverse::to_json(core::JsonWriter& w) const {
-  w.begin_object()
-      .member("faults", static_cast<std::uint64_t>(universe.size()))
+  w.begin_object();
+  core::write_report_envelope(w, "collapsed_universe");
+  w.member("faults", static_cast<std::uint64_t>(universe.size()))
       .member("simulated", static_cast<std::uint64_t>(map.simulated_count()))
       .member("solves_saved", static_cast<std::uint64_t>(map.solves_saved()))
       .member("statically_undetectable",

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/device.h"
+#include "core/job.h"
 #include "core/thread_pool.h"
 #include "faults/collapse.h"
 
@@ -368,9 +369,9 @@ core::Outcome BatchReport::outcome() const {
 }
 
 void BatchReport::to_json(core::JsonWriter& w) const {
-  w.begin_object()
-      .member("schema", "msbist.batch_report.v1")
-      .member("device_count", static_cast<std::uint64_t>(devices.size()))
+  w.begin_object();
+  core::write_report_envelope(w, "batch_report");
+  w.member("device_count", static_cast<std::uint64_t>(devices.size()))
       .member("passed", static_cast<std::uint64_t>(passed))
       .member("degraded_count", static_cast<std::uint64_t>(degraded_count))
       .member("yield", yield())

@@ -1,0 +1,33 @@
+// The msbistd REST surface: routes HTTP requests onto a JobManager.
+//
+//   POST   /jobs               submit a core::JobRequest      -> 202 job_accepted
+//   GET    /jobs               list retained jobs             -> 200 job_list
+//   GET    /jobs/{id}          status + incremental progress  -> 200 job_status
+//   GET    /jobs/{id}/result   terminal verdict + full report -> 200 job_result
+//   POST   /jobs/{id}/cancel   request cancellation           -> 200 job_cancel
+//   DELETE /jobs/{id}          alias for cancel
+//   POST   /populations        register a named device population
+//   GET    /populations        list registered populations
+//   GET    /metrics            counters, gauges, latency histograms
+//   GET    /healthz            liveness + draining flag
+//
+// Error mapping: malformed JSON / bad request fields -> 400 with the
+// structured core::Failure as the body; unknown routes/ids -> 404;
+// result of a still-running job -> 409; submit while draining -> 503;
+// anything unexpected -> 500. Every response is application/json.
+#pragma once
+
+#include "service/http.h"
+#include "service/job_manager.h"
+
+namespace msbist::service {
+
+/// Route one parsed request. Never throws: errors become status codes
+/// with structured JSON bodies.
+HttpResponse handle_api_request(JobManager& manager, const HttpRequest& req);
+
+/// The handler to mount on HttpServer: handle_api_request wrapped with
+/// request counting and latency observation into manager.metrics().
+HttpHandler make_api_handler(JobManager& manager);
+
+}  // namespace msbist::service

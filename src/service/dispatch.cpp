@@ -1,0 +1,358 @@
+#include "service/dispatch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "circuit/elements.h"
+#include "circuit/netlist.h"
+#include "core/error.h"
+#include "core/thread_pool.h"
+#include "faults/universe.h"
+#include "tsrt/detector.h"
+#include "tsrt/example_circuits.h"
+#include "tsrt/transient_test.h"
+
+namespace msbist::service {
+
+namespace {
+
+[[noreturn]] void bad_request(std::string detail) {
+  core::Failure f;
+  f.code = core::ErrorCode::kBadInput;
+  f.analysis = "dispatch";
+  f.detail = std::move(detail);
+  core::throw_failure(std::move(f));
+}
+
+/// Resolve the effective engine thread count: 0 means hardware
+/// concurrency, then the per-job cap clamps.
+std::size_t effective_threads(const core::JobRequest& req) {
+  std::size_t t = req.threads == 0 ? core::ThreadPool::default_thread_count()
+                                   : req.threads;
+  if (req.limits.max_threads > 0 && t > req.limits.max_threads) {
+    t = req.limits.max_threads;
+  }
+  return t;
+}
+
+tsrt::CircuitKind parse_circuit(const std::string& name) {
+  if (name == "op1_follower") return tsrt::CircuitKind::kOp1Follower;
+  if (name == "sc_integrator_comparator") {
+    return tsrt::CircuitKind::kScIntegratorComparator;
+  }
+  bad_request("unknown circuit \"" + name +
+              "\" (expected op1_follower or sc_integrator_comparator)");
+}
+
+DispatchResult run_batch_job(const core::JobRequest& req,
+                             const std::vector<production::DieSpec>& population,
+                             const DispatchHooks& hooks) {
+  production::TestPlan plan;
+  plan.tiers = parse_tiers(req.tiers);
+  plan.full_spec = req.full_spec;
+  plan.fault_spot_check = req.fault_spot_check;
+
+  const std::size_t total = population.size();
+  auto done = std::make_shared<std::atomic<std::size_t>>(0);
+  auto stopped = std::make_shared<std::atomic<bool>>(false);
+
+  production::DeviceTestFn test_fn;
+  if (hooks.should_stop || hooks.progress) {
+    test_fn = [hooks, done, stopped, total](const production::DieSpec& spec,
+                                            const production::TestPlan& plan) {
+      if (hooks.should_stop && hooks.should_stop()) {
+        stopped->store(true, std::memory_order_relaxed);
+        production::DeviceOutcome out;
+        out.seed = spec.seed;
+        out.label = spec.label;
+        out.outcome = core::Outcome::fail("skipped: job stopping");
+        return out;
+      }
+      production::DeviceOutcome out = production::test_device(spec, plan);
+      const std::size_t n = done->fetch_add(1, std::memory_order_relaxed) + 1;
+      if (hooks.progress) hooks.progress(n, total);
+      return out;
+    };
+  }
+
+  DispatchResult res;
+  res.batch = production::run_batch(population, plan, effective_threads(req),
+                                    test_fn);
+  res.stopped = stopped->load(std::memory_order_relaxed);
+  res.report_kind = "batch_report";
+  if (!res.stopped) {
+    res.outcome = res.batch->outcome();
+    res.report_json = core::to_json(*res.batch);
+  } else {
+    res.outcome = core::Outcome::fail("job stopped before completion");
+    res.batch.reset();
+  }
+  return res;
+}
+
+DispatchResult run_lockstep_job(const core::JobRequest& req,
+                                const std::vector<production::DieSpec>& population,
+                                const DispatchHooks& hooks) {
+  if (hooks.should_stop && hooks.should_stop()) {
+    DispatchResult res;
+    res.stopped = true;
+    res.report_kind = "batch_report";
+    res.outcome = core::Outcome::fail("job stopped before start");
+    return res;
+  }
+  if (hooks.progress) hooks.progress(0, 1);
+  (void)req;
+
+  DispatchResult res;
+  res.batch = production::run_batch_lockstep(population, lockstep_screen_plan());
+  res.report_kind = "batch_report";
+  res.outcome = res.batch->outcome();
+  res.report_json = core::to_json(*res.batch);
+  if (hooks.progress) hooks.progress(1, 1);
+  return res;
+}
+
+DispatchResult run_campaign_job(const core::JobRequest& req,
+                                const DispatchHooks& hooks) {
+  const tsrt::CircuitKind kind = parse_circuit(req.circuit);
+  const tsrt::ExampleCircuit circuit = tsrt::build_circuit(kind);
+  std::vector<faults::FaultSpec> universe =
+      kind == tsrt::CircuitKind::kOp1Follower ? faults::op1_fault_universe()
+                                              : faults::sc_fault_universe();
+  if (req.max_faults > 0 && universe.size() > req.max_faults) {
+    universe.resize(req.max_faults);
+  }
+
+  const tsrt::TsrtOptions opts = tsrt::paper_options(kind);
+  const tsrt::TsrtRun golden =
+      tsrt::run_transient_test(kind, std::nullopt, opts);
+
+  auto stopped = std::make_shared<std::atomic<bool>>(false);
+  const faults::FaultTestFn test = [kind, opts, &golden, hooks,
+                                    stopped](const faults::FaultSpec& fault) {
+    faults::FaultResult r;
+    r.fault = fault;
+    if (hooks.should_stop && hooks.should_stop()) {
+      stopped->store(true, std::memory_order_relaxed);
+      r.detail = "skipped: job stopping";
+      return r;
+    }
+    const tsrt::TsrtRun faulty = tsrt::run_transient_test(kind, fault, opts);
+    r.score = tsrt::combined_detection_percent(golden, faulty);
+    r.detected = tsrt::is_detected(r.score);
+    return r;
+  };
+
+  faults::CampaignOptions copts;
+  copts.threads = effective_threads(req);
+  if (hooks.progress) {
+    copts.progress = [hooks](std::size_t completed, std::size_t total,
+                             const faults::FaultResult&) {
+      hooks.progress(completed, total);
+    };
+  }
+
+  // The collapse analysis must outlive the engine call.
+  std::optional<faults::CollapsedUniverse> cu;
+  if (req.collapse) {
+    faults::CollapseOptions col;
+    col.taps = {circuit.output_node};
+    cu = faults::collapse(universe, circuit.netlist, circuit.node_map, col);
+    copts.collapse = &*cu;
+  }
+
+  DispatchResult res;
+  res.campaign = copts.threads > 1
+                     ? faults::run_campaign_parallel(universe, test, copts)
+                     : faults::run_campaign(universe, test, copts);
+  res.stopped = stopped->load(std::memory_order_relaxed);
+  res.report_kind = "campaign_report";
+  if (!res.stopped) {
+    res.outcome = res.campaign->outcome();
+    res.report_json = core::to_json(*res.campaign);
+    res.collapsed = std::move(cu);
+  } else {
+    res.outcome = core::Outcome::fail("job stopped before completion");
+    res.campaign.reset();
+  }
+  return res;
+}
+
+DispatchResult run_testability_job(const core::JobRequest& req,
+                                   const DispatchHooks& hooks) {
+  const tsrt::CircuitKind kind = parse_circuit(req.circuit);
+  const tsrt::ExampleCircuit circuit = tsrt::build_circuit(kind);
+
+  if (hooks.should_stop && hooks.should_stop()) {
+    DispatchResult res;
+    res.stopped = true;
+    res.report_kind = "testability_study";
+    res.outcome = core::Outcome::fail("job stopped before start");
+    return res;
+  }
+
+  analysis::TestabilityOptions topts;
+  topts.taps = {circuit.output_node};
+  DispatchResult res;
+  res.testability = analysis::analyze_testability(circuit.netlist, topts);
+
+  const std::vector<faults::FaultSpec> universe =
+      kind == tsrt::CircuitKind::kOp1Follower ? faults::op1_fault_universe()
+                                              : faults::sc_fault_universe();
+  faults::CollapseOptions col;
+  col.taps = {circuit.output_node};
+  res.collapsed =
+      faults::collapse(universe, circuit.netlist, circuit.node_map, col);
+
+  res.report_kind = "testability_study";
+  res.outcome = res.testability->outcome();
+
+  core::JsonWriter w;
+  w.begin_object();
+  core::write_report_envelope(w, "testability_study");
+  w.member("circuit", req.circuit)
+      .member("circuit_name", tsrt::circuit_name(kind))
+      .member("output_node", circuit.output_node)
+      .member("transistor_count", circuit.transistor_count);
+  w.key("testability");
+  res.testability->to_json(w);
+  w.key("collapse");
+  res.collapsed->to_json(w);
+  w.end_object();
+  res.report_json = w.str();
+  if (hooks.progress) hooks.progress(1, 1);
+  return res;
+}
+
+}  // namespace
+
+std::vector<bist::Tier> parse_tiers(const std::vector<std::string>& names) {
+  if (names.empty()) {
+    return {bist::kAllTiers.begin(), bist::kAllTiers.end()};
+  }
+  std::vector<bist::Tier> tiers;
+  tiers.reserve(names.size());
+  for (const std::string& name : names) {
+    bool found = false;
+    for (bist::Tier t : bist::kAllTiers) {
+      if (name == bist::to_string(t)) {
+        tiers.push_back(t);
+        found = true;
+        break;
+      }
+    }
+    if (!found) bad_request("unknown tier \"" + name + "\"");
+  }
+  return tiers;
+}
+
+std::vector<production::DieSpec> lockstep_screen_population(
+    std::size_t count, std::uint64_t batch_seed) {
+  std::vector<production::DieSpec> dies(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    dies[i].seed = production::device_seed(batch_seed, i);
+    dies[i].label = "die " + std::to_string(i + 1);
+  }
+  return dies;
+}
+
+namespace {
+
+/// Deterministic per-die parameter spread in [1 - amp, 1 + amp].
+double spread(std::uint64_t seed, std::uint64_t salt, double amp) {
+  const std::uint64_t h = (seed ^ salt) * 0x9E3779B97F4A7C15ull;
+  const double u =
+      static_cast<double>(h >> 11) / static_cast<double>(1ull << 53);
+  return 1.0 + amp * (2.0 * u - 1.0);
+}
+
+constexpr std::size_t kScreenCells = 94;  // 98 MNA unknowns
+
+void build_screen_die(const production::DieSpec& spec, circuit::Netlist& n) {
+  using circuit::kGround;
+  const double r_scale = spread(spec.seed, 0x52, 0.05);
+  const double c_scale = spread(spec.seed, 0x43, 0.05);
+  const circuit::NodeId stim = n.node("stim");
+  const circuit::NodeId bus = n.node("bus");
+  const circuit::NodeId out = n.node("out");
+  n.add<circuit::VoltageSource>(
+      stim, kGround,
+      std::make_shared<circuit::SineWave>(
+          2.5, 2.5 * spread(spec.seed, 0x56, 0.02), 50e3));
+  n.add<circuit::Resistor>(stim, bus, 100.0 * r_scale);
+  n.add<circuit::Resistor>(bus, out, 1e3 * r_scale);
+  n.add<circuit::Resistor>(out, kGround, 10e3 * r_scale);
+  n.add<circuit::Capacitor>(out, kGround, 10e-9 * c_scale);
+  for (std::size_t i = 0; i < kScreenCells; ++i) {
+    const circuit::NodeId cell = n.node("cell" + std::to_string(i));
+    n.add<circuit::Resistor>(
+        bus, cell, (1e3 + 10.0 * static_cast<double>(i)) * r_scale);
+    if (i % 16 == 0) {
+      n.add<circuit::Capacitor>(
+          cell, kGround, (1e-9 + 1e-11 * static_cast<double>(i)) * c_scale);
+    }
+  }
+}
+
+core::Outcome judge_screen_die(const production::DieSpec&,
+                               const circuit::TransientResult& r) {
+  double lo = 1e300;
+  double hi = -1e300;
+  for (double v : r.voltage("out")) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi - lo > 0.5) return core::Outcome::ok("pass");
+  return core::Outcome::fail("output swing " + std::to_string(hi - lo) + " V");
+}
+
+}  // namespace
+
+production::LockstepPlan lockstep_screen_plan() {
+  production::LockstepPlan plan;
+  plan.build = build_screen_die;
+  plan.transient.dt = 100e-9;
+  plan.transient.t_stop = 5e-6;  // 50-step settling screen
+  plan.evaluate = judge_screen_die;
+  return plan;
+}
+
+DispatchResult dispatch(const core::JobRequest& request,
+                        const DispatchHooks& hooks) {
+  switch (request.kind) {
+    case core::JobKind::kBatch: {
+      production::BatchConfig cfg;
+      cfg.device_count = request.device_count;
+      cfg.batch_seed = request.batch_seed;
+      return run_batch_job(request, production::make_population(cfg), hooks);
+    }
+    case core::JobKind::kLockstepBatch:
+      return run_lockstep_job(
+          request,
+          lockstep_screen_population(request.device_count, request.batch_seed),
+          hooks);
+    case core::JobKind::kFaultCampaign:
+      return run_campaign_job(request, hooks);
+    case core::JobKind::kTestability:
+      return run_testability_job(request, hooks);
+  }
+  bad_request("unknown job kind");
+}
+
+DispatchResult dispatch(const core::JobRequest& request,
+                        const std::vector<production::DieSpec>& population,
+                        const DispatchHooks& hooks) {
+  switch (request.kind) {
+    case core::JobKind::kBatch:
+      return run_batch_job(request, population, hooks);
+    case core::JobKind::kLockstepBatch:
+      return run_lockstep_job(request, population, hooks);
+    default:
+      bad_request("explicit populations apply only to batch jobs");
+  }
+}
+
+}  // namespace msbist::service

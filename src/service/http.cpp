@@ -1,0 +1,409 @@
+#include "service/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <string_view>
+
+namespace msbist::service {
+
+namespace {
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+void set_io_timeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Write the whole buffer, riding out EINTR and short writes.
+bool write_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+struct HttpServer::ConnQueue {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<int> fds;
+  bool stop = false;
+};
+
+HttpServer::HttpServer(Options options, HttpHandler handler)
+    : options_(std::move(options)),
+      handler_(std::move(handler)),
+      queue_(new ConnQueue) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("http: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close_fd(listen_fd_);
+    throw std::runtime_error("http: bad bind address " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close_fd(listen_fd_);
+    throw std::runtime_error("http: bind(" + options_.bind_address + ":" +
+                             std::to_string(options_.port) + ") failed: " + err);
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    const std::string err = std::strerror(errno);
+    close_fd(listen_fd_);
+    throw std::runtime_error("http: listen() failed: " + err);
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  const std::size_t workers = std::max<std::size_t>(1, options_.io_threads);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_->mu);
+    if (queue_->stop) return;
+    queue_->stop = true;
+  }
+  // Unblock accept(): shutdown makes a blocked accept return on Linux;
+  // close() finishes the job.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  close_fd(listen_fd_);
+  listen_fd_ = -1;
+  queue_->cv.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  // Connections accepted but never served: close without response.
+  for (int fd : queue_->fds) close_fd(fd);
+  queue_->fds.clear();
+}
+
+void HttpServer::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stop()
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_->mu);
+      if (queue_->stop) {
+        close_fd(fd);
+        return;
+      }
+      queue_->fds.push_back(fd);
+    }
+    queue_->cv.notify_one();
+  }
+}
+
+void HttpServer::worker_loop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_->mu);
+      queue_->cv.wait(lock, [this] { return queue_->stop || !queue_->fds.empty(); });
+      if (!queue_->fds.empty()) {
+        fd = queue_->fds.front();
+        queue_->fds.pop_front();
+      } else if (queue_->stop) {
+        return;
+      }
+    }
+    if (fd >= 0) serve_connection(fd);
+  }
+}
+
+namespace {
+
+/// Read until the header terminator; then read Content-Length body
+/// bytes. Returns false on IO error / timeout / overlong input.
+bool read_request(int fd, std::size_t max_body, std::string& head,
+                  std::string& body, int& error_status) {
+  std::string buf;
+  char chunk[4096];
+  std::size_t header_end = std::string::npos;
+  // A request head larger than 64 KiB is nobody's legitimate job
+  // submission.
+  constexpr std::size_t kMaxHead = 64u * 1024;
+  while (header_end == std::string::npos) {
+    if (buf.size() > kMaxHead) {
+      error_status = 400;
+      return false;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      error_status = 0;  // peer vanished: nothing to answer
+      return false;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+    header_end = buf.find("\r\n\r\n");
+  }
+  head = buf.substr(0, header_end);
+  body = buf.substr(header_end + 4);
+
+  // Content-Length (case-insensitive scan of the raw head).
+  std::size_t content_length = 0;
+  {
+    const std::string lhead = lower(head);
+    const std::size_t pos = lhead.find("content-length:");
+    if (pos != std::string::npos) {
+      content_length = static_cast<std::size_t>(
+          std::strtoull(head.c_str() + pos + 15, nullptr, 10));
+    }
+  }
+  if (content_length > max_body) {
+    error_status = 413;
+    return false;
+  }
+  while (body.size() < content_length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      error_status = 0;
+      return false;
+    }
+    body.append(chunk, static_cast<std::size_t>(n));
+  }
+  body.resize(content_length);
+  return true;
+}
+
+bool parse_head(const std::string& head, HttpRequest& req) {
+  const std::size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return false;
+  req.method = request_line.substr(0, sp1);
+  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = request_line.substr(sp2 + 1);
+  if (req.method.empty() || target.empty() || target[0] != '/') return false;
+  if (version.rfind("HTTP/1.", 0) != 0) return false;
+
+  const std::size_t qpos = target.find('?');
+  if (qpos != std::string::npos) {
+    req.query = target.substr(qpos + 1);
+    target.resize(qpos);
+  }
+  req.target = std::move(target);
+
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t next = head.find("\r\n", pos);
+    if (next == std::string::npos) next = head.size();
+    const std::string line = head.substr(pos, next - pos);
+    pos = next + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) return false;
+    req.headers[lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
+  }
+  return true;
+}
+
+std::string render_response(const HttpResponse& resp) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    status_text(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  return out;
+}
+
+std::string error_body(int status, const std::string& detail) {
+  // Shape matches core::Failure::to_json for a kBadInput/kInternal
+  // failure so clients parse one error schema everywhere.
+  std::string code = status == 500 ? "internal" : "bad_input";
+  std::string out = "{\"kind\":\"error\",\"failure\":{\"code\":\"" + code +
+                    "\",\"analysis\":\"http\",\"iterations\":0,\"detail\":\"";
+  for (const char c : detail) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+  out += "\"}}";
+  return out;
+}
+
+}  // namespace
+
+void HttpServer::serve_connection(int fd) {
+  set_io_timeout(fd, options_.io_timeout_s);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::string head;
+  std::string body;
+  int error_status = 0;
+  if (!read_request(fd, options_.max_body, head, body, error_status)) {
+    if (error_status != 0) {
+      HttpResponse err = HttpResponse::json(
+          error_status, error_body(error_status, "unreadable request"));
+      write_all(fd, render_response(err));
+    }
+    close_fd(fd);
+    return;
+  }
+
+  HttpRequest req;
+  HttpResponse resp;
+  if (!parse_head(head, req)) {
+    resp = HttpResponse::json(400, error_body(400, "malformed request line"));
+  } else {
+    req.body = std::move(body);
+    try {
+      resp = handler_(req);
+    } catch (const std::exception& e) {
+      resp = HttpResponse::json(500, error_body(500, e.what()));
+    } catch (...) {
+      resp = HttpResponse::json(500, error_body(500, "unknown handler error"));
+    }
+  }
+  write_all(fd, render_response(resp));
+  close_fd(fd);
+}
+
+HttpResponse http_request(std::uint16_t port, const std::string& method,
+                          const std::string& target, const std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("http client: socket() failed");
+  set_io_timeout(fd, 60.0);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close_fd(fd);
+    throw std::runtime_error("http client: connect(127.0.0.1:" +
+                             std::to_string(port) + ") failed: " + err);
+  }
+
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  out += "Host: 127.0.0.1\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    out += "Content-Type: application/json\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  if (!write_all(fd, out)) {
+    close_fd(fd);
+    throw std::runtime_error("http client: send failed");
+  }
+
+  std::string in;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    in.append(chunk, static_cast<std::size_t>(n));
+  }
+  close_fd(fd);
+
+  const std::size_t header_end = in.find("\r\n\r\n");
+  if (in.rfind("HTTP/1.", 0) != 0 || header_end == std::string::npos) {
+    throw std::runtime_error("http client: malformed response");
+  }
+  HttpResponse resp;
+  resp.status = std::atoi(in.c_str() + 9);
+  const std::string lhead = lower(in.substr(0, header_end));
+  const std::size_t ct = lhead.find("content-type:");
+  if (ct != std::string::npos) {
+    std::size_t eol = lhead.find("\r\n", ct);
+    if (eol == std::string::npos) eol = lhead.size();
+    resp.content_type = trim(in.substr(ct + 13, eol - ct - 13));
+  }
+  resp.body = in.substr(header_end + 4);
+  return resp;
+}
+
+}  // namespace msbist::service

@@ -1,0 +1,110 @@
+// Dependency-free HTTP/1.1 server over blocking POSIX sockets.
+//
+// The daemon's traffic is small JSON documents from operators and CI,
+// not a CDN workload, so the transport is deliberately simple: one
+// accept thread hands connections to a fixed pool of connection
+// workers; each worker reads one request (request line, headers,
+// Content-Length body), invokes the router handler, writes the response
+// with "Connection: close", and closes. No TLS, no chunked encoding,
+// no keep-alive — every feature left out is a feature that cannot
+// break a production tester at 3 a.m.
+//
+// Robustness contract:
+//   * Malformed request line / headers    -> 400, structured JSON body.
+//   * Body larger than Options::max_body  -> 413.
+//   * Handler throwing                    -> 500 (the worker survives).
+//   * Slow/stalled peers                  -> per-connection SO_RCVTIMEO /
+//     SO_SNDTIMEO; a timed-out read drops the connection.
+//
+// Binding port 0 picks an ephemeral port (port() reports the real one)
+// — the loopback tests and the CI smoke job depend on that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace msbist::service {
+
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ... (uppercase as received)
+  std::string target;   ///< path only, query string stripped into `query`
+  std::string query;    ///< raw query string ("" when absent)
+  std::map<std::string, std::string> headers;  ///< keys lowercased
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+
+  static HttpResponse json(int status, std::string body) {
+    HttpResponse r;
+    r.status = status;
+    r.body = std::move(body);
+    return r;
+  }
+};
+
+/// The router: every successfully parsed request goes through here.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    std::uint16_t port = 0;       ///< 0 = ephemeral, see port()
+    std::size_t io_threads = 4;   ///< connection workers
+    std::size_t max_body = 8u << 20;
+    int backlog = 64;
+    double io_timeout_s = 30.0;   ///< per-connection read/write timeout
+  };
+
+  /// Binds and listens immediately (throws std::runtime_error on
+  /// failure: port in use, bad address), then starts the accept thread
+  /// and workers.
+  HttpServer(Options options, HttpHandler handler);
+  ~HttpServer();  ///< stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The actually bound port (resolves an ephemeral bind).
+  std::uint16_t port() const { return port_; }
+
+  /// Close the listener and join every thread. In-flight responses
+  /// finish; queued-but-unread connections are closed. Idempotent.
+  void stop();
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+
+  Options options_;
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  struct ConnQueue;
+  std::unique_ptr<ConnQueue> queue_;
+};
+
+/// Reason-phrase for the status codes the service emits.
+const char* status_text(int status);
+
+/// Minimal loopback HTTP client for tests and CLI tooling: one
+/// request/response exchange against 127.0.0.1:port. Throws
+/// std::runtime_error on connect/IO failure.
+HttpResponse http_request(std::uint16_t port, const std::string& method,
+                          const std::string& target,
+                          const std::string& body = "");
+
+}  // namespace msbist::service

@@ -1,0 +1,327 @@
+#include "service/job_manager.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/error.h"
+#include "service/dispatch.h"
+
+namespace msbist::service {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kSucceeded: return "succeeded";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kTimedOut: return "timed_out";
+  }
+  return "?";
+}
+
+void JobSnapshot::to_json(core::JsonWriter& w) const {
+  w.begin_object();
+  core::write_report_envelope(w, "job_status");
+  w.member("id", id).member("state", to_string(state));
+  w.key("request");
+  request.to_json(w);
+  w.key("progress")
+      .begin_object()
+      .member("done", progress_done)
+      .member("total", progress_total)
+      .end_object();
+  if (state == JobState::kSucceeded) {
+    w.key("outcome");
+    outcome.to_json(w);
+    w.member("report_kind", report_kind);
+  }
+  if (failure.code != core::ErrorCode::kNone) {
+    w.key("failure");
+    failure.to_json(w);
+  }
+  w.key("times")
+      .begin_object()
+      .member("queued_seconds", queued_seconds);
+  if (started_seconds > 0.0) w.member("started_seconds", started_seconds);
+  if (finished_seconds > 0.0) w.member("finished_seconds", finished_seconds);
+  w.end_object();
+  w.end_object();
+}
+
+/// Everything the manager tracks per job. Mutable fields are written
+/// under JobManager::mu_; the atomics are the lock-free lane shared with
+/// engine worker threads (progress) and pollers (stop flags).
+struct JobManager::Job {
+  std::uint64_t id = 0;
+  core::JobRequest request;
+  /// Resolved at submit() so a later register_population() replacing the
+  /// name cannot change a job already in flight.
+  std::optional<std::vector<production::DieSpec>> population;
+
+  JobState state = JobState::kQueued;
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> total{0};
+  std::atomic<bool> stop{false};            ///< cooperative stop flag
+  std::atomic<bool> cancel_requested{false};
+  std::atomic<bool> deadline_hit{false};
+
+  core::Outcome outcome;
+  core::Failure failure;
+  std::string report_json;
+  std::string report_kind;
+  double queued_seconds = 0.0;
+  double started_seconds = 0.0;
+  double finished_seconds = 0.0;
+};
+
+JobManager::JobManager(JobManagerOptions options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+  pool_ = std::make_unique<core::ThreadPool>(
+      std::max<std::size_t>(1, options_.workers));
+}
+
+JobManager::~JobManager() { drain(/*hard=*/true); }
+
+double JobManager::now_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+std::uint64_t JobManager::submit(core::JobRequest request) {
+  if (draining_.load(std::memory_order_relaxed)) {
+    throw std::runtime_error("job manager is draining");
+  }
+  // Reject what dispatch would reject anyway, but at submit time so the
+  // client gets a 400 instead of a failed job. Tier and circuit names
+  // resolve through the same helpers dispatch uses.
+  if (request.kind == core::JobKind::kBatch) {
+    (void)parse_tiers(request.tiers);
+  }
+
+  auto job = std::make_shared<Job>();
+  job->request = std::move(request);
+
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!job->request.population.empty()) {
+      const auto it = populations_.find(job->request.population);
+      if (it == populations_.end()) {
+        core::Failure f;
+        f.code = core::ErrorCode::kBadInput;
+        f.analysis = "job_request";
+        f.detail = "unknown population \"" + job->request.population + "\"";
+        throw core::SolverError(std::move(f));
+      }
+      job->population = it->second;
+    }
+    id = next_id_++;
+    job->id = id;
+    job->queued_seconds = now_seconds();
+    jobs_.emplace(id, job);
+    evict_terminal_locked();
+  }
+  metrics_.jobs_submitted.fetch_add(1, std::memory_order_relaxed);
+  pool_->submit([this, job] { execute(job); });
+  return id;
+}
+
+void JobManager::execute(const std::shared_ptr<Job>& job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job->state != JobState::kQueued) return;  // cancelled while queued
+    job->state = JobState::kRunning;
+    job->started_seconds = now_seconds();
+  }
+  metrics_.job_queue_seconds.observe(job->started_seconds -
+                                     job->queued_seconds);
+
+  // Per-job resource limits: the manager-wide thread cap folds into the
+  // request's own cap (dispatch clamps engine threads by it), and the
+  // wall timeout folds into the stop flag the engines already poll.
+  core::JobRequest request = job->request;
+  if (options_.max_threads_per_job > 0) {
+    request.limits.max_threads =
+        request.limits.max_threads == 0
+            ? options_.max_threads_per_job
+            : std::min(request.limits.max_threads,
+                       options_.max_threads_per_job);
+  }
+  const double deadline =
+      request.limits.wall_timeout_s > 0.0
+          ? job->started_seconds + request.limits.wall_timeout_s
+          : 0.0;
+
+  DispatchHooks hooks;
+  hooks.should_stop = [this, job, deadline] {
+    if (job->stop.load(std::memory_order_relaxed)) return true;
+    if (deadline > 0.0 && now_seconds() > deadline) {
+      job->deadline_hit.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+  hooks.progress = [job](std::size_t done, std::size_t total) {
+    job->total.store(total, std::memory_order_relaxed);
+    job->done.store(done, std::memory_order_relaxed);
+  };
+
+  JobState final_state = JobState::kSucceeded;
+  core::Outcome outcome;
+  core::Failure failure;
+  std::string report_json;
+  std::string report_kind;
+  try {
+    DispatchResult result = job->population
+                                ? dispatch(request, *job->population, hooks)
+                                : dispatch(request, hooks);
+    if (result.stopped) {
+      if (job->deadline_hit.load(std::memory_order_relaxed)) {
+        final_state = JobState::kTimedOut;
+        failure.code = core::ErrorCode::kTimeout;
+        failure.analysis = "job";
+        failure.detail = "wall timeout of " +
+                         std::to_string(request.limits.wall_timeout_s) +
+                         " s exceeded";
+      } else {
+        final_state = JobState::kCancelled;
+      }
+    } else {
+      outcome = std::move(result.outcome);
+      report_json = std::move(result.report_json);
+      report_kind = std::move(result.report_kind);
+    }
+  } catch (const core::SolverError& e) {
+    final_state = JobState::kFailed;
+    failure = e.failure();
+  } catch (const std::exception& e) {
+    final_state = JobState::kFailed;
+    failure.code = core::ErrorCode::kInternal;
+    failure.analysis = "job";
+    failure.detail = e.what();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job->state = final_state;
+    job->outcome = std::move(outcome);
+    job->failure = std::move(failure);
+    job->report_json = std::move(report_json);
+    job->report_kind = std::move(report_kind);
+    job->finished_seconds = now_seconds();
+  }
+  metrics_.job_seconds.observe(job->finished_seconds - job->started_seconds);
+  switch (final_state) {
+    case JobState::kSucceeded:
+      metrics_.jobs_succeeded.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobState::kFailed:
+      metrics_.jobs_failed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobState::kCancelled:
+      metrics_.jobs_cancelled.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobState::kTimedOut:
+      metrics_.jobs_timed_out.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
+  }
+}
+
+JobSnapshot JobManager::snapshot_locked(const Job& job) const {
+  JobSnapshot s;
+  s.id = job.id;
+  s.request = job.request;
+  s.state = job.state;
+  s.progress_done = job.done.load(std::memory_order_relaxed);
+  s.progress_total = job.total.load(std::memory_order_relaxed);
+  s.outcome = job.outcome;
+  s.failure = job.failure;
+  s.report_json = job.report_json;
+  s.report_kind = job.report_kind;
+  s.queued_seconds = job.queued_seconds;
+  s.started_seconds = job.started_seconds;
+  s.finished_seconds = job.finished_seconds;
+  return s;
+}
+
+std::optional<JobSnapshot> JobManager::get(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return snapshot_locked(*it->second);
+}
+
+std::vector<JobSnapshot> JobManager::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobSnapshot> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(snapshot_locked(*job));
+  return out;
+}
+
+bool JobManager::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job& job = *it->second;
+  if (is_terminal(job.state)) return false;
+  job.cancel_requested.store(true, std::memory_order_relaxed);
+  job.stop.store(true, std::memory_order_relaxed);
+  if (job.state == JobState::kQueued) {
+    // Never started: resolve immediately instead of waiting for a slot.
+    job.state = JobState::kCancelled;
+    job.finished_seconds = now_seconds();
+    metrics_.jobs_cancelled.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void JobManager::register_population(const std::string& name,
+                                     std::vector<production::DieSpec> dies) {
+  std::lock_guard<std::mutex> lock(mu_);
+  populations_[name] = std::move(dies);
+}
+
+std::vector<PopulationInfo> JobManager::populations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PopulationInfo> out;
+  out.reserve(populations_.size());
+  for (const auto& [name, dies] : populations_) {
+    out.push_back({name, dies.size()});
+  }
+  return out;
+}
+
+void JobManager::drain(bool hard) {
+  draining_.store(true, std::memory_order_relaxed);
+  if (hard) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, job] : jobs_) {
+      if (!is_terminal(job->state)) {
+        job->stop.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  pool_->wait_idle();
+}
+
+void JobManager::evict_terminal_locked() {
+  while (jobs_.size() > options_.retain_jobs) {
+    auto victim = jobs_.end();
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (is_terminal(it->second->state)) {
+        victim = it;
+        break;  // std::map iterates in id order: oldest terminal first
+      }
+    }
+    if (victim == jobs_.end()) break;  // everything live; keep them all
+    jobs_.erase(victim);
+  }
+}
+
+}  // namespace msbist::service

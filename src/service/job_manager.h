@@ -1,0 +1,159 @@
+// The daemon's heart: an asynchronous job executor over core::ThreadPool
+// with a device-population registry and service metrics.
+//
+// Lifecycle state machine (terminal states marked *):
+//
+//   submit()           worker picks up            dispatch returns
+//   ───────▶ queued ──────────────────▶ running ──┬──▶ succeeded*
+//                │                         │      ├──▶ failed*     (Failure)
+//                │ cancel()                │      ├──▶ cancelled*  (cancel())
+//                └──────────▶ cancelled*   │      └──▶ timed_out*  (limits)
+//                                          │
+//                          cancel()/deadline sets the stop flag; the
+//                          engines poll it between dies/faults and
+//                          wind down cooperatively.
+//
+// Concurrency model: the manager owns one ThreadPool of `workers` job
+// slots; each job occupies one slot for its whole run and fans out
+// further on its *own* engine threads (request.threads, clamped by the
+// per-job and manager caps). Status snapshots are taken under one mutex;
+// progress counters are atomics so engine worker threads never contend
+// with pollers.
+//
+// drain() flips the manager into shutdown: new submissions are rejected
+// (the daemon answers 503), running jobs get their stop flag set when
+// `hard` draining, and the call blocks until every slot is idle — the
+// SIGTERM path of msbistd.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/job.h"
+#include "core/outcome.h"
+#include "core/thread_pool.h"
+#include "production/batch.h"
+#include "service/metrics.h"
+
+namespace msbist::service {
+
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning,
+  kSucceeded,
+  kFailed,
+  kCancelled,
+  kTimedOut,
+};
+
+const char* to_string(JobState s);
+inline bool is_terminal(JobState s) {
+  return s != JobState::kQueued && s != JobState::kRunning;
+}
+
+/// Point-in-time snapshot of one job (returned by value: safe to hold
+/// while the job keeps running).
+struct JobSnapshot {
+  std::uint64_t id = 0;
+  core::JobRequest request;
+  JobState state = JobState::kQueued;
+  std::size_t progress_done = 0;
+  std::size_t progress_total = 0;
+  /// Engine verdict; meaningful in kSucceeded only.
+  core::Outcome outcome;
+  /// Structured error; meaningful in kFailed/kTimedOut.
+  core::Failure failure;
+  /// Full report JSON; non-empty in kSucceeded only.
+  std::string report_json;
+  std::string report_kind;
+  double queued_seconds = 0.0;   ///< since service start
+  double started_seconds = 0.0;  ///< 0 while queued
+  double finished_seconds = 0.0; ///< 0 until terminal
+
+  /// The status document served by GET /jobs/{id}.
+  void to_json(core::JsonWriter& w) const;
+};
+
+struct PopulationInfo {
+  std::string name;
+  std::size_t device_count = 0;
+};
+
+struct JobManagerOptions {
+  /// Concurrent job slots.
+  std::size_t workers = 2;
+  /// Hard cap on any job's engine threads (0 = uncapped). Applied after
+  /// the job's own limits.max_threads.
+  std::size_t max_threads_per_job = 0;
+  /// Jobs retained for status/result queries; the oldest terminal jobs
+  /// are evicted past this.
+  std::size_t retain_jobs = 256;
+};
+
+class JobManager {
+ public:
+  explicit JobManager(JobManagerOptions options = {});
+  ~JobManager();  ///< drain(hard=true)
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Validate and enqueue. Returns the job id; throws
+  /// core::SolverError(kBadInput) for an invalid request (unknown
+  /// population, bad tier name caught later at dispatch) and
+  /// std::runtime_error when draining.
+  std::uint64_t submit(core::JobRequest request);
+
+  std::optional<JobSnapshot> get(std::uint64_t id) const;
+  std::vector<JobSnapshot> list() const;
+
+  /// Request cancellation. Queued jobs cancel immediately; running jobs
+  /// get their stop flag set and reach kCancelled when the engine winds
+  /// down. Returns false for unknown ids and already-terminal jobs.
+  bool cancel(std::uint64_t id);
+
+  /// Register (or replace) a named device population.
+  void register_population(const std::string& name,
+                           std::vector<production::DieSpec> dies);
+  std::vector<PopulationInfo> populations() const;
+
+  /// Stop accepting submissions and wait for every slot to go idle.
+  /// hard = also set every running job's stop flag (cooperative
+  /// cancellation), so the wait is bounded by one work unit.
+  void drain(bool hard = false);
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  ServiceMetrics& metrics() { return metrics_; }
+  const ServiceMetrics& metrics() const { return metrics_; }
+
+  /// Monotonic seconds since this manager was constructed (the clock
+  /// all job timestamps are expressed in).
+  double now_seconds() const;
+
+ private:
+  struct Job;
+
+  void execute(const std::shared_ptr<Job>& job);
+  JobSnapshot snapshot_locked(const Job& job) const;
+  void evict_terminal_locked();
+
+  JobManagerOptions options_;
+  ServiceMetrics metrics_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::map<std::string, std::vector<production::DieSpec>> populations_;
+  std::uint64_t next_id_ = 1;
+  std::atomic<bool> draining_{false};
+  // Last: workers touch everything above, so the pool must die first.
+  std::unique_ptr<core::ThreadPool> pool_;
+};
+
+}  // namespace msbist::service

@@ -1,0 +1,157 @@
+// Service observability: monotonic counters and latency histograms for
+// the /metrics endpoint.
+//
+// Everything is lock-free atomics — request workers and job slots bump
+// counters concurrently; a /metrics scrape reads them without stalling
+// traffic. The histogram is fixed-bucket log-scale (100 us .. 100 s),
+// which covers both a sub-millisecond status poll and a multi-minute
+// fault campaign in 13 buckets; `sum` and `count` ride along so clients
+// can derive rates and means exactly like a Prometheus histogram.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "core/json.h"
+
+namespace msbist::service {
+
+/// Log-scale latency histogram. Bucket i counts observations with
+/// seconds <= kBounds[i]; the last bucket is the +Inf catch-all.
+class LatencyHistogram {
+ public:
+  static constexpr std::array<double, 12> kBounds = {
+      1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 100.0};
+  static constexpr std::size_t kBuckets = kBounds.size() + 1;
+
+  void observe(double seconds) {
+    std::size_t i = 0;
+    while (i < kBounds.size() && seconds > kBounds[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // Atomic double sum via CAS on the bit pattern.
+    std::uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+    std::uint64_t desired;
+    do {
+      double current;
+      static_assert(sizeof(current) == sizeof(expected));
+      __builtin_memcpy(&current, &expected, sizeof(current));
+      const double next = current + seconds;
+      __builtin_memcpy(&desired, &next, sizeof(desired));
+    } while (!sum_bits_.compare_exchange_weak(expected, desired,
+                                              std::memory_order_relaxed));
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  double sum() const {
+    const std::uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+    double d;
+    __builtin_memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+
+  /// {"count":N,"sum":S,"buckets":[{"le":1e-4,"count":..},...,
+  ///  {"le":null,"count":..}]} — le=null is the +Inf bucket.
+  void to_json(core::JsonWriter& w) const {
+    w.begin_object()
+        .member("count", count())
+        .member("sum", sum());
+    w.key("buckets").begin_array();
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      w.begin_object();
+      if (i < kBounds.size()) {
+        w.member("le", kBounds[i]);
+      } else {
+        w.key("le").value(nullptr);
+      }
+      w.member("count", buckets_[i].load(std::memory_order_relaxed));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};
+};
+
+/// All counters the daemon exports. Field names are the wire names.
+struct ServiceMetrics {
+  // HTTP surface.
+  std::atomic<std::uint64_t> http_requests_total{0};
+  std::atomic<std::uint64_t> http_responses_2xx{0};
+  std::atomic<std::uint64_t> http_responses_4xx{0};
+  std::atomic<std::uint64_t> http_responses_5xx{0};
+  LatencyHistogram request_seconds;
+
+  // Job engine.
+  std::atomic<std::uint64_t> jobs_submitted{0};
+  std::atomic<std::uint64_t> jobs_rejected{0};
+  std::atomic<std::uint64_t> jobs_succeeded{0};
+  std::atomic<std::uint64_t> jobs_failed{0};
+  std::atomic<std::uint64_t> jobs_cancelled{0};
+  std::atomic<std::uint64_t> jobs_timed_out{0};
+  LatencyHistogram job_seconds;       ///< running -> terminal
+  LatencyHistogram job_queue_seconds; ///< submit -> running
+
+  void count_response(int status) {
+    if (status >= 500) {
+      http_responses_5xx.fetch_add(1, std::memory_order_relaxed);
+    } else if (status >= 400) {
+      http_responses_4xx.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      http_responses_2xx.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// The /metrics document (gauges are supplied by the caller, which
+  /// owns the job table).
+  void to_json(core::JsonWriter& w, std::uint64_t jobs_running,
+               std::uint64_t jobs_queued, std::uint64_t population_count,
+               double uptime_seconds) const {
+    w.begin_object()
+        .member("kind", "service_metrics")
+        .member("schema_version", 2)
+        .member("uptime_seconds", uptime_seconds);
+    w.key("counters")
+        .begin_object()
+        .member("http_requests_total",
+                http_requests_total.load(std::memory_order_relaxed))
+        .member("http_responses_2xx",
+                http_responses_2xx.load(std::memory_order_relaxed))
+        .member("http_responses_4xx",
+                http_responses_4xx.load(std::memory_order_relaxed))
+        .member("http_responses_5xx",
+                http_responses_5xx.load(std::memory_order_relaxed))
+        .member("jobs_submitted", jobs_submitted.load(std::memory_order_relaxed))
+        .member("jobs_rejected", jobs_rejected.load(std::memory_order_relaxed))
+        .member("jobs_succeeded", jobs_succeeded.load(std::memory_order_relaxed))
+        .member("jobs_failed", jobs_failed.load(std::memory_order_relaxed))
+        .member("jobs_cancelled", jobs_cancelled.load(std::memory_order_relaxed))
+        .member("jobs_timed_out", jobs_timed_out.load(std::memory_order_relaxed))
+        .end_object();
+    w.key("gauges")
+        .begin_object()
+        .member("jobs_running", jobs_running)
+        .member("jobs_queued", jobs_queued)
+        .member("populations", population_count)
+        .end_object();
+    w.key("histograms").begin_object();
+    w.key("request_seconds");
+    request_seconds.to_json(w);
+    w.key("job_seconds");
+    job_seconds.to_json(w);
+    w.key("job_queue_seconds");
+    job_queue_seconds.to_json(w);
+    w.end_object();
+    w.end_object();
+  }
+};
+
+}  // namespace msbist::service

@@ -1,0 +1,124 @@
+// msbistd — the long-running mixed-signal BIST test service.
+//
+// Boots a JobManager (with the canonical "default" 32-die lockstep
+// screen population pre-registered), mounts the REST surface on an
+// HTTP/1.1 listener, prints the bound address, and then parks in
+// sigwait. SIGTERM/SIGINT trigger the graceful drain: the listener
+// closes (in-flight responses finish), the job manager stops accepting
+// work and waits for running jobs to complete, and the process exits 0.
+//
+// Signals are blocked before any thread is spawned, so every worker
+// inherits the mask and only the main thread ever sees the signal —
+// no async-signal-safety gymnastics in handlers.
+//
+//   msbistd [--port N] [--bind ADDR] [--workers N] [--io-threads N]
+//           [--max-threads-per-job N]
+//
+// --port 0 (the default) binds an ephemeral port; the printed
+// "listening on" line reports the real one, which is how the CI smoke
+// job and the loopback tests find the server.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "service/api.h"
+#include "service/dispatch.h"
+#include "service/http.h"
+#include "service/job_manager.h"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: msbistd [--port N] [--bind ADDR] [--workers N]\n"
+      "               [--io-threads N] [--max-threads-per-job N]\n"
+      "\n"
+      "Long-running mixed-signal BIST test service. Serves the job API\n"
+      "(POST /jobs, GET /jobs/{id}, GET /jobs/{id}/result, POST\n"
+      "/jobs/{id}/cancel, /populations, /metrics, /healthz) until\n"
+      "SIGTERM/SIGINT, then drains gracefully.\n",
+      out);
+}
+
+bool parse_size(const char* text, std::size_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  msbist::service::HttpServer::Options http_options;
+  msbist::service::JobManagerOptions job_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    std::size_t parsed = 0;
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    }
+    if (arg == "--port" && value != nullptr && parse_size(value, parsed) &&
+        parsed <= 65535) {
+      http_options.port = static_cast<std::uint16_t>(parsed);
+      ++i;
+    } else if (arg == "--bind" && value != nullptr) {
+      http_options.bind_address = value;
+      ++i;
+    } else if (arg == "--workers" && value != nullptr &&
+               parse_size(value, parsed) && parsed > 0) {
+      job_options.workers = parsed;
+      ++i;
+    } else if (arg == "--io-threads" && value != nullptr &&
+               parse_size(value, parsed) && parsed > 0) {
+      http_options.io_threads = parsed;
+      ++i;
+    } else if (arg == "--max-threads-per-job" && value != nullptr &&
+               parse_size(value, parsed)) {
+      job_options.max_threads_per_job = parsed;
+      ++i;
+    } else {
+      std::fprintf(stderr, "msbistd: bad argument \"%s\"\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  // Block the shutdown signals before any thread exists, so the pool and
+  // IO workers inherit the mask and sigwait below is the only receiver.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGTERM);
+  sigaddset(&signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  try {
+    msbist::service::JobManager manager(job_options);
+    manager.register_population(
+        "default", msbist::service::lockstep_screen_population(32, 1995));
+
+    msbist::service::HttpServer server(
+        http_options, msbist::service::make_api_handler(manager));
+    std::printf("msbistd listening on %s:%u\n",
+                http_options.bind_address.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    int sig = 0;
+    sigwait(&signals, &sig);
+    std::fprintf(stderr, "msbistd: received %s, draining\n",
+                 sig == SIGTERM ? "SIGTERM" : "SIGINT");
+    server.stop();       // no new connections; in-flight responses finish
+    manager.drain(false); // running jobs complete, submissions rejected
+    std::fprintf(stderr, "msbistd: drained, exiting\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "msbistd: fatal: %s\n", e.what());
+    return 1;
+  }
+}

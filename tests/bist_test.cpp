@@ -142,7 +142,9 @@ TEST(Controller, HealthyDevicePassesAllTiers) {
 TEST(Controller, AnalogTestMatchesPaperFallTimes) {
   BistController ctrl = BistController::typical();
   adc::DualSlopeAdc adc(adc::DualSlopeAdcConfig::ideal());
-  const AnalogTestResult res = ctrl.run_analog_test(adc);
+  BistReport rep;
+  ctrl.run_tier(Tier::kAnalog, adc, rep);
+  const AnalogTestResult& res = rep.analog;
   ASSERT_EQ(res.fall_times_s.size(), 6u);
   // The paper's fall-time law: 2.6 ms down to 0.1 ms.
   EXPECT_NEAR(res.fall_times_s.front(), 2.6e-3, 30e-6);
@@ -153,7 +155,9 @@ TEST(Controller, AnalogTestMatchesPaperFallTimes) {
 TEST(Controller, RampTestCodesDecrease) {
   BistController ctrl = BistController::typical();
   adc::DualSlopeAdc adc(adc::DualSlopeAdcConfig::ideal());
-  const RampTestResult res = ctrl.run_ramp_test(adc);
+  BistReport rep;
+  ctrl.run_tier(Tier::kRamp, adc, rep);
+  const RampTestResult& res = rep.ramp;
   EXPECT_TRUE(res.codes_monotonic);
   EXPECT_TRUE(res.pass);
   EXPECT_GT(res.codes.front(), res.codes.back());
@@ -172,13 +176,19 @@ TEST(Controller, MatchedGainErrorsMask) {
   BistController matched(StepGenerator(paper_step_levels(), shared_gain_error, pv),
                          RampGenerator(2.5, 1.0, shared_gain_error, pv),
                          DcLevelSensor::typical());
-  const RampTestResult masked = matched.run_ramp_test(skewed);
+  BistReport masked_rep;
+  matched.run_tier(Tier::kRamp, skewed, masked_rep);
+  const RampTestResult& masked = masked_rep.ramp;
   EXPECT_TRUE(masked.pass);  // no indication of error at the output
   // An external (accurate) ramp would reveal it: codes shift visibly.
   BistController honest = BistController::typical();
-  const RampTestResult revealed = honest.run_ramp_test(skewed);
+  BistReport revealed_rep;
+  honest.run_tier(Tier::kRamp, skewed, revealed_rep);
+  const RampTestResult& revealed = revealed_rep.ramp;
   adc::DualSlopeAdc good(adc::DualSlopeAdcConfig::ideal());
-  const RampTestResult baseline = honest.run_ramp_test(good);
+  BistReport baseline_rep;
+  honest.run_tier(Tier::kRamp, good, baseline_rep);
+  const RampTestResult& baseline = baseline_rep.ramp;
   ASSERT_EQ(revealed.codes.size(), baseline.codes.size());
   int shifted = 0;
   for (std::size_t i = 0; i < revealed.codes.size(); ++i) {
@@ -190,7 +200,9 @@ TEST(Controller, MatchedGainErrorsMask) {
 TEST(Controller, DigitalTestWithinSpec) {
   BistController ctrl = BistController::typical();
   adc::DualSlopeAdc adc(adc::DualSlopeAdcConfig::ideal());
-  const DigitalTestResult res = ctrl.run_digital_test(adc);
+  BistReport rep;
+  ctrl.run_tier(Tier::kDigital, adc, rep);
+  const DigitalTestResult& res = rep.digital;
   EXPECT_LE(res.max_conversion_time_s, 5.6e-3);
   EXPECT_NEAR(res.fall_time_per_code_s, 10e-6, 2e-6);
   EXPECT_NEAR(res.volts_per_code, 0.01, 1e-12);
@@ -211,7 +223,7 @@ TEST(Controller, CounterFaultCaughtByCompressedTest) {
   adc::DualSlopeAdcConfig cfg = adc::DualSlopeAdcConfig::characterized();
   cfg.counter_faults.stuck_bit = 5;
   adc::DualSlopeAdc adc(cfg);
-  EXPECT_FALSE(ctrl.run_compressed_test(adc).pass);
+  EXPECT_FALSE(ctrl.run_tier(Tier::kCompressed, adc).pass);
 }
 
 TEST(Controller, LargeComparatorOffsetCaught) {

@@ -1,0 +1,160 @@
+// core::JsonValue / parse_json — the read half of the wire format — and
+// the core::JobRequest envelope decoded through it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/error.h"
+#include "core/job.h"
+#include "core/json_value.h"
+#include "core/outcome.h"
+
+namespace {
+
+using namespace msbist;
+using core::JsonValue;
+using core::parse_json;
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("-2.5e3").as_double(), -2500.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+  EXPECT_DOUBLE_EQ(parse_json("  0.125  ").as_double(), 0.125);
+}
+
+TEST(JsonParse, ExactIntegerFidelity) {
+  // Seeds are 64-bit: a double-only parser would corrupt them past 2^53.
+  const std::uint64_t big = 0xDEADBEEFCAFEF00Dull;  // > 2^63
+  const JsonValue v = parse_json(std::to_string(big));
+  ASSERT_TRUE(v.is_integer());
+  EXPECT_EQ(v.as_u64(), big);
+
+  const JsonValue neg = parse_json("-9223372036854775808");
+  ASSERT_TRUE(neg.is_integer());
+  EXPECT_EQ(neg.as_i64(), std::numeric_limits<std::int64_t>::min());
+
+  // A fractional or exponent form is a plain double, never "exact".
+  EXPECT_FALSE(parse_json("1.0").is_integer());
+  EXPECT_FALSE(parse_json("1e3").is_integer());
+}
+
+TEST(JsonParse, ObjectsPreserveOrderAndRejectDuplicates) {
+  const JsonValue v = parse_json(R"({"b":1,"a":2,"c":[3,{"d":4}]})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "b");
+  EXPECT_EQ(v.members()[1].first, "a");
+  ASSERT_NE(v.find("c"), nullptr);
+  EXPECT_EQ(v.find("c")->items()[1].find("d")->as_i64(), 4);
+  EXPECT_EQ(v.find("missing"), nullptr);
+
+  EXPECT_THROW(parse_json(R"({"x":1,"x":2})"), core::JsonParseError);
+}
+
+TEST(JsonParse, StringEscapesAndSurrogatePairs) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\ndA")").as_string(), "a\"b\\c\nd\x41");
+  // U+1F600 via surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(parse_json(R"("😀")").as_string(), "\xF0\x9F\x98\x80");
+  EXPECT_THROW(parse_json(R"("\uD83D")"), core::JsonParseError);  // lone high
+}
+
+TEST(JsonParse, StrictnessRejections) {
+  EXPECT_THROW(parse_json(""), core::JsonParseError);
+  EXPECT_THROW(parse_json("[1,2,]"), core::JsonParseError);  // trailing comma
+  EXPECT_THROW(parse_json("{'a':1}"), core::JsonParseError); // single quotes
+  EXPECT_THROW(parse_json("01"), core::JsonParseError);      // leading zero
+  EXPECT_THROW(parse_json("[1] x"), core::JsonParseError);   // trailing junk
+  EXPECT_THROW(parse_json("nul"), core::JsonParseError);
+  try {
+    parse_json("{\"a\" 1}");
+    FAIL() << "expected JsonParseError";
+  } catch (const core::JsonParseError& e) {
+    EXPECT_GT(e.offset(), 0u);
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, DepthGuard) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW(parse_json(deep), core::JsonParseError);
+}
+
+TEST(JsonParse, DumpRoundTrip) {
+  const std::string doc =
+      R"({"kind":"batch_report","schema_version":2,"seed":18446744073709551615,)"
+      R"("yield":0.875,"tiers":["analog","ramp"],"nested":{"ok":true,"x":null}})";
+  const JsonValue v = parse_json(doc);
+  EXPECT_EQ(v.dump(), doc);          // canonical form is stable
+  EXPECT_EQ(parse_json(v.dump()), v);  // parse . dump is the identity
+}
+
+TEST(JsonParse, MutatingBuilders) {
+  JsonValue v = parse_json(R"({"keep":1,"drop":2})");
+  EXPECT_TRUE(v.erase("drop"));
+  EXPECT_FALSE(v.erase("drop"));
+  v.set("added", JsonValue::string("x"));
+  EXPECT_EQ(v.dump(), R"({"keep":1,"added":"x"})");
+}
+
+// --- JobRequest envelope ---------------------------------------------
+
+TEST(JobRequestWire, FullRoundTrip) {
+  const std::string doc = R"({
+    "kind": "fault_campaign",
+    "label": "nightly",
+    "circuit": "sc_integrator_comparator",
+    "collapse": false,
+    "max_faults": 5,
+    "threads": 4,
+    "limits": {"wall_timeout_s": 2.5, "max_threads": 2}
+  })";
+  const core::JobRequest req = core::JobRequest::from_json_text(doc);
+  EXPECT_EQ(req.kind, core::JobKind::kFaultCampaign);
+  EXPECT_EQ(req.label, "nightly");
+  EXPECT_EQ(req.circuit, "sc_integrator_comparator");
+  EXPECT_FALSE(req.collapse);
+  EXPECT_EQ(req.max_faults, 5u);
+  EXPECT_EQ(req.threads, 4u);
+  EXPECT_DOUBLE_EQ(req.limits.wall_timeout_s, 2.5);
+  EXPECT_EQ(req.limits.max_threads, 2u);
+
+  // to_json -> from_json is the identity on every field.
+  const core::JobRequest again =
+      core::JobRequest::from_json_text(core::to_json(req));
+  EXPECT_EQ(core::to_json(again), core::to_json(req));
+}
+
+TEST(JobRequestWire, SeedSurvivesTheWire) {
+  const std::uint64_t seed = 0xFEEDFACEDEADBEEFull;
+  core::JobRequest req;
+  req.kind = core::JobKind::kLockstepBatch;
+  req.batch_seed = seed;
+  const core::JobRequest back =
+      core::JobRequest::from_json_text(core::to_json(req));
+  EXPECT_EQ(back.batch_seed, seed);
+}
+
+TEST(JobRequestWire, RejectionsAreTypedBadInput) {
+  const auto expect_bad = [](const std::string& doc) {
+    try {
+      (void)core::JobRequest::from_json_text(doc);
+      FAIL() << "expected SolverError for " << doc;
+    } catch (const core::SolverError& e) {
+      EXPECT_EQ(e.code(), core::ErrorCode::kBadInput) << doc;
+      EXPECT_FALSE(e.failure().detail.empty());
+    }
+  };
+  expect_bad("{nope");                              // malformed JSON
+  expect_bad(R"([1,2,3])");                          // not an object
+  expect_bad(R"({"kind":"warp_drive"})");            // unknown kind
+  expect_bad(R"({"kind":"batch","bogus":1})");       // unknown field
+  expect_bad(R"({"kind":"batch","threads":"two"})"); // wrong type
+  expect_bad(R"({"kind":"batch","device_count":0})");// out of range
+  expect_bad(R"({"kind":"batch","schema_version":99})");  // future schema
+}
+
+}  // namespace

@@ -11,10 +11,15 @@
 
 #include "adc/metrics.h"
 #include "analysis/diagnostic.h"
+#include "analysis/testability.h"
 #include "bist/controller.h"
+#include "circuit/dc.h"
 #include "core/device.h"
+#include "core/job.h"
+#include "core/json_value.h"
 #include "core/outcome.h"
 #include "faults/campaign.h"
+#include "faults/collapse.h"
 #include "production/batch.h"
 
 namespace {
@@ -37,6 +42,10 @@ static_assert(core::Serializable<analysis::Report>);
 static_assert(core::Serializable<production::ParamStats>);
 static_assert(core::Serializable<production::DeviceOutcome>);
 static_assert(core::Serializable<production::BatchReport>);
+static_assert(core::Serializable<analysis::TestabilityReport>);
+static_assert(core::Serializable<faults::CollapsedUniverse>);
+static_assert(core::Serializable<circuit::DcSweepResult>);
+static_assert(core::Serializable<core::JobRequest>);
 
 TEST(JsonWriter, FlatObject) {
   core::JsonWriter w;
@@ -160,6 +169,40 @@ TEST(FailureJson, AllFieldsSerializeWithSnakeCaseCode) {
   // The human-readable message threads the same facts together.
   EXPECT_NE(f.message().find("numeric_overflow"), std::string::npos);
   EXPECT_NE(f.message().find("out"), std::string::npos);
+}
+
+// The wire-schema envelope: every top-level report document leads with
+// "kind" then "schema_version" so clients can route a document before
+// reading any payload field.
+TEST(ReportEnvelope, EveryReportLeadsWithKindAndSchemaVersion) {
+  const auto expect_envelope = [](const std::string& json,
+                                  const std::string& kind) {
+    const core::JsonValue doc = core::parse_json(json);
+    ASSERT_TRUE(doc.is_object()) << json;
+    ASSERT_GE(doc.members().size(), 2u) << json;
+    EXPECT_EQ(doc.members()[0].first, "kind") << json;
+    EXPECT_EQ(doc.members()[1].first, "schema_version") << json;
+    EXPECT_EQ(doc.find("kind")->as_string(), kind);
+    EXPECT_EQ(doc.find("schema_version")->as_u64(), core::kSchemaVersion);
+  };
+
+  expect_envelope(core::to_json(bist::BistReport{}), "bist_report");
+  expect_envelope(core::to_json(faults::CampaignReport{}), "campaign_report");
+  expect_envelope(core::to_json(adc::AdcMetrics{}), "adc_metrics");
+  expect_envelope(core::to_json(analysis::Report{}), "erc_report");
+  expect_envelope(core::to_json(analysis::TestabilityReport{}),
+                  "testability_report");
+  expect_envelope(core::to_json(faults::CollapsedUniverse{}),
+                  "collapsed_universe");
+  expect_envelope(core::to_json(circuit::DcSweepResult{}), "dc_sweep");
+
+  const production::BatchReport batch = production::run_batch(
+      production::paper_population(), production::TestPlan::bist_only(), 2);
+  expect_envelope(core::to_json(batch), "batch_report");
+
+  // The request envelope leads with the same pair; its kind is the job
+  // kind rather than a report name.
+  expect_envelope(core::to_json(core::JobRequest{}), "batch");
 }
 
 // Round-trip fixture: every migrated report type rendered into one JSON

@@ -239,31 +239,19 @@ TEST(ProductionStats, PercentileEdgeCases) {
   EXPECT_DOUBLE_EQ(empty.sigma, 0.0);
 }
 
-TEST(ProductionTier, RunTierMatchesLegacyWrappers) {
+TEST(ProductionTier, RunTierIsDeterministicAndFillsItsSlot) {
   const auto cfg = adc::DualSlopeAdcConfig::characterized();
   const bist::BistController ctrl = bist::BistController::typical();
 
   for (bist::Tier t : bist::kAllTiers) {
-    adc::DualSlopeAdc via_enum(cfg);
-    adc::DualSlopeAdc via_legacy(cfg);
+    adc::DualSlopeAdc first(cfg);
+    adc::DualSlopeAdc second(cfg);
     bist::BistReport rep;
-    const core::Outcome out = ctrl.run_tier(t, via_enum, rep);
-    bool legacy_pass = false;
-    switch (t) {
-      case bist::Tier::kAnalog:
-        legacy_pass = ctrl.run_analog_test(via_legacy).pass;
-        break;
-      case bist::Tier::kRamp:
-        legacy_pass = ctrl.run_ramp_test(via_legacy).pass;
-        break;
-      case bist::Tier::kDigital:
-        legacy_pass = ctrl.run_digital_test(via_legacy).pass;
-        break;
-      case bist::Tier::kCompressed:
-        legacy_pass = ctrl.run_compressed_test(via_legacy).pass;
-        break;
-    }
-    EXPECT_EQ(out.pass, legacy_pass) << bist::to_string(t);
+    const core::Outcome out = ctrl.run_tier(t, first, rep);
+    // The report-free overload agrees with the slot-filling one.
+    const core::Outcome again = ctrl.run_tier(t, second);
+    EXPECT_EQ(out.pass, again.pass) << bist::to_string(t);
+    EXPECT_EQ(out.detail, again.detail) << bist::to_string(t);
     EXPECT_EQ(rep.tier_pass(t), out.pass) << bist::to_string(t);
   }
 }

@@ -1,0 +1,359 @@
+// Loopback tests of the msbistd service stack: real sockets against an
+// ephemeral-port HttpServer fronting a JobManager, exercising the whole
+// submit -> poll -> result lifecycle, cancellation, structured errors,
+// per-job thread caps, metrics consistency, and the acceptance contract
+// that a lockstep batch over the wire is bit-identical to the direct
+// library call.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/job.h"
+#include "core/json_value.h"
+#include "core/outcome.h"
+#include "production/batch.h"
+#include "service/api.h"
+#include "service/dispatch.h"
+#include "service/http.h"
+#include "service/job_manager.h"
+
+namespace {
+
+using namespace msbist;
+using core::JsonValue;
+using core::parse_json;
+
+/// One daemon-in-a-test: manager + listener on an ephemeral port.
+struct ServiceFixture {
+  explicit ServiceFixture(service::JobManagerOptions mopts = {})
+      : manager(mopts),
+        server({/*bind_address=*/"127.0.0.1", /*port=*/0, /*io_threads=*/2},
+               service::make_api_handler(manager)) {}
+
+  service::HttpResponse request(const std::string& method,
+                                const std::string& target,
+                                const std::string& body = "") {
+    return service::http_request(server.port(), method, target, body);
+  }
+
+  /// Poll GET /jobs/{id} until the state is terminal (or 10 s elapse).
+  JsonValue await_terminal(std::uint64_t id) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const auto resp = request("GET", "/jobs/" + std::to_string(id));
+      EXPECT_EQ(resp.status, 200);
+      JsonValue doc = parse_json(resp.body);
+      const std::string state = doc.find("state")->as_string();
+      if (state != "queued" && state != "running") return doc;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ADD_FAILURE() << "job " << id << " never reached a terminal state";
+    return JsonValue();
+  }
+
+  std::uint64_t submit(const std::string& body, int expect_status = 202) {
+    const auto resp = request("POST", "/jobs", body);
+    EXPECT_EQ(resp.status, expect_status) << resp.body;
+    const JsonValue doc = parse_json(resp.body);
+    EXPECT_EQ(doc.find("kind")->as_string(), "job_accepted");
+    return doc.find("id")->as_u64();
+  }
+
+  service::JobManager manager;
+  service::HttpServer server;
+};
+
+TEST(Service, SubmitPollResultHappyPath) {
+  ServiceFixture fx;
+  const std::uint64_t id = fx.submit(
+      R"({"kind":"batch","device_count":3,"batch_seed":7,)"
+      R"("tiers":["digital"],"threads":1,"label":"happy"})");
+
+  const JsonValue status = fx.await_terminal(id);
+  EXPECT_EQ(status.find("kind")->as_string(), "job_status");
+  EXPECT_EQ(status.find("schema_version")->as_u64(), core::kSchemaVersion);
+  EXPECT_EQ(status.find("state")->as_string(), "succeeded");
+  EXPECT_EQ(status.find("request")->find("label")->as_string(), "happy");
+  EXPECT_EQ(status.find("progress")->find("done")->as_u64(), 3u);
+  EXPECT_EQ(status.find("progress")->find("total")->as_u64(), 3u);
+
+  const auto result = fx.request("GET", "/jobs/" + std::to_string(id) + "/result");
+  ASSERT_EQ(result.status, 200) << result.body;
+  const JsonValue doc = parse_json(result.body);
+  EXPECT_EQ(doc.find("kind")->as_string(), "job_result");
+  EXPECT_EQ(doc.find("report_kind")->as_string(), "batch_report");
+  const JsonValue* report = doc.find("report");
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->find("kind")->as_string(), "batch_report");
+  EXPECT_EQ(report->find("schema_version")->as_u64(), core::kSchemaVersion);
+  EXPECT_EQ(report->find("device_count")->as_u64(), 3u);
+  EXPECT_EQ(report->find("devices")->items().size(), 3u);
+}
+
+TEST(Service, ResultBeforeTerminalIs409) {
+  ServiceFixture fx;
+  const std::uint64_t id = fx.submit(
+      R"({"kind":"batch","device_count":200,"batch_seed":3,)"
+      R"("full_spec":true,"threads":1})");
+  // Immediately asking for the result races the job, but a 200 is only
+  // possible if it already finished; otherwise the contract is 409.
+  const auto early = fx.request("GET", "/jobs/" + std::to_string(id) + "/result");
+  if (early.status != 200) {
+    EXPECT_EQ(early.status, 409);
+    const JsonValue doc = parse_json(early.body);
+    EXPECT_EQ(doc.find("kind")->as_string(), "error");
+    EXPECT_EQ(doc.find("failure")->find("code")->as_string(), "bad_input");
+  }
+  fx.request("POST", "/jobs/" + std::to_string(id) + "/cancel");
+  fx.await_terminal(id);
+}
+
+TEST(Service, CancellationMidJob) {
+  ServiceFixture fx;
+  // A long serial batch: 400 dies under the full-spec plan. Cancel as
+  // soon as progress shows the engine is inside the lot.
+  const std::uint64_t id = fx.submit(
+      R"({"kind":"batch","device_count":400,"batch_seed":11,)"
+      R"("full_spec":true,"threads":1})");
+
+  bool saw_progress = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const JsonValue doc =
+        parse_json(fx.request("GET", "/jobs/" + std::to_string(id)).body);
+    const std::string state = doc.find("state")->as_string();
+    if (state == "running" && doc.find("progress")->find("done")->as_u64() > 0) {
+      saw_progress = true;
+      break;
+    }
+    if (state != "queued" && state != "running") break;  // finished already
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  const auto cancel =
+      fx.request("POST", "/jobs/" + std::to_string(id) + "/cancel");
+  const JsonValue done = fx.await_terminal(id);
+  if (saw_progress && cancel.status == 200) {
+    EXPECT_EQ(done.find("state")->as_string(), "cancelled");
+    // A cancelled job serves no report.
+    const auto result =
+        fx.request("GET", "/jobs/" + std::to_string(id) + "/result");
+    EXPECT_EQ(result.status, 200);
+    const JsonValue rdoc = parse_json(result.body);
+    EXPECT_EQ(rdoc.find("state")->as_string(), "cancelled");
+    EXPECT_EQ(rdoc.find("report"), nullptr);
+    // Cancelling again is a 409: the job is already terminal.
+    EXPECT_EQ(
+        fx.request("POST", "/jobs/" + std::to_string(id) + "/cancel").status,
+        409);
+  }
+}
+
+TEST(Service, MalformedRequestsAre400WithStructuredFailure) {
+  ServiceFixture fx;
+
+  const auto expect_bad = [&fx](const std::string& body) {
+    const auto resp = fx.request("POST", "/jobs", body);
+    EXPECT_EQ(resp.status, 400) << body << " -> " << resp.body;
+    const JsonValue doc = parse_json(resp.body);
+    EXPECT_EQ(doc.find("kind")->as_string(), "error") << body;
+    const JsonValue* failure = doc.find("failure");
+    ASSERT_NE(failure, nullptr) << body;
+    EXPECT_EQ(failure->find("code")->as_string(), "bad_input") << body;
+    EXPECT_FALSE(failure->find("detail")->as_string().empty()) << body;
+  };
+
+  expect_bad("{not json");
+  expect_bad(R"({"kind":"warp_drive"})");
+  expect_bad(R"({"kind":"batch","bogus_field":1})");
+  expect_bad(R"({"kind":"batch","tiers":["analog","nope"]})");
+  expect_bad(R"({"kind":"batch","population":"never-registered"})");
+
+  // Unknown routes and ids are structured too.
+  EXPECT_EQ(fx.request("GET", "/jobs/999").status, 404);
+  EXPECT_EQ(fx.request("GET", "/nope").status, 404);
+  EXPECT_EQ(fx.request("PUT", "/jobs").status, 405);
+}
+
+TEST(Service, ConcurrentJobsWithDistinctThreadCaps) {
+  ServiceFixture fx({/*workers=*/2});
+  // Both jobs ask for four engine threads but carry different per-job
+  // caps; the engine must fan out no wider than each job's own limit.
+  const std::uint64_t one = fx.submit(
+      R"({"kind":"batch","device_count":8,"batch_seed":21,"threads":4,)"
+      R"("tiers":["digital"],"limits":{"max_threads":1}})");
+  const std::uint64_t two = fx.submit(
+      R"({"kind":"batch","device_count":8,"batch_seed":22,"threads":4,)"
+      R"("tiers":["digital"],"limits":{"max_threads":2}})");
+
+  const JsonValue s1 = fx.await_terminal(one);
+  const JsonValue s2 = fx.await_terminal(two);
+  EXPECT_EQ(s1.find("state")->as_string(), "succeeded");
+  EXPECT_EQ(s2.find("state")->as_string(), "succeeded");
+
+  const JsonValue r1 = parse_json(
+      fx.request("GET", "/jobs/" + std::to_string(one) + "/result").body);
+  const JsonValue r2 = parse_json(
+      fx.request("GET", "/jobs/" + std::to_string(two) + "/result").body);
+  EXPECT_EQ(r1.find("report")->find("threads_used")->as_u64(), 1u);
+  EXPECT_EQ(r2.find("report")->find("threads_used")->as_u64(), 2u);
+  // Same lot geometry, different seeds: both full reports.
+  EXPECT_EQ(r1.find("report")->find("device_count")->as_u64(), 8u);
+  EXPECT_EQ(r2.find("report")->find("device_count")->as_u64(), 8u);
+}
+
+TEST(Service, WallTimeoutYieldsTimedOutWithTimeoutFailure) {
+  ServiceFixture fx;
+  const std::uint64_t id = fx.submit(
+      R"({"kind":"batch","device_count":2000,"batch_seed":5,"threads":1,)"
+      R"("full_spec":true,"limits":{"wall_timeout_s":0.05}})");
+  const JsonValue done = fx.await_terminal(id);
+  EXPECT_EQ(done.find("state")->as_string(), "timed_out");
+  EXPECT_EQ(done.find("failure")->find("code")->as_string(), "timeout");
+}
+
+TEST(Service, MetricsCountersAreConsistent) {
+  ServiceFixture fx;
+  const std::uint64_t ok = fx.submit(
+      R"({"kind":"batch","device_count":2,"batch_seed":1,)"
+      R"("tiers":["digital"],"threads":1})");
+  fx.await_terminal(ok);
+  fx.request("POST", "/jobs", "{broken");  // one 400
+  fx.request("GET", "/jobs/424242");       // one 404
+
+  // The job-side counters are bumped by the worker thread shortly after
+  // the status flips to terminal; poll the scrape until they land.
+  JsonValue m;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto resp = fx.request("GET", "/metrics");
+    ASSERT_EQ(resp.status, 200);
+    m = parse_json(resp.body);
+    if (m.find("counters")->find("jobs_succeeded")->as_u64() == 1 &&
+        m.find("histograms")->find("job_seconds")->find("count")->as_u64() ==
+            1) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  EXPECT_EQ(m.find("kind")->as_string(), "service_metrics");
+  const JsonValue* counters = m.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const auto counter = [counters](const char* name) {
+    return counters->find(name)->as_u64();
+  };
+  EXPECT_EQ(counter("jobs_submitted"), 1u);
+  EXPECT_EQ(counter("jobs_succeeded"), 1u);
+  EXPECT_EQ(counter("jobs_failed"), 0u);
+  EXPECT_EQ(counter("jobs_cancelled"), 0u);
+  EXPECT_GE(counter("http_responses_4xx"), 2u);
+  EXPECT_GE(counter("http_responses_2xx"), 2u);  // submit + polls + scrapes
+  // Every request is counted on entry, its response class on exit. The
+  // scrape that produced this snapshot is the single in-flight request:
+  // counted in the total, not yet in any response class.
+  EXPECT_EQ(counter("http_requests_total"),
+            counter("http_responses_2xx") + counter("http_responses_4xx") +
+                counter("http_responses_5xx") + 1);
+
+  const JsonValue* hist = m.find("histograms")->find("request_seconds");
+  ASSERT_NE(hist, nullptr);
+  // Same in-flight accounting for the latency histogram.
+  EXPECT_EQ(hist->find("count")->as_u64() + 1,
+            counter("http_requests_total"));
+  EXPECT_EQ(m.find("histograms")->find("job_seconds")->find("count")->as_u64(),
+            1u);
+  EXPECT_EQ(m.find("gauges")->find("jobs_running")->as_u64(), 0u);
+}
+
+TEST(Service, PopulationRegistryOverTheWire) {
+  ServiceFixture fx;
+  const auto created = fx.request(
+      "POST", "/populations",
+      R"({"name":"lot-a","device_count":4,"batch_seed":99})");
+  EXPECT_EQ(created.status, 201) << created.body;
+
+  const JsonValue listed =
+      parse_json(fx.request("GET", "/populations").body);
+  ASSERT_EQ(listed.find("populations")->items().size(), 1u);
+  EXPECT_EQ(listed.find("populations")->items()[0].find("name")->as_string(),
+            "lot-a");
+  EXPECT_EQ(
+      listed.find("populations")->items()[0].find("device_count")->as_u64(),
+      4u);
+
+  const std::uint64_t id = fx.submit(
+      R"({"kind":"lockstep_batch","population":"lot-a"})");
+  const JsonValue done = fx.await_terminal(id);
+  EXPECT_EQ(done.find("state")->as_string(), "succeeded");
+  const JsonValue result = parse_json(
+      fx.request("GET", "/jobs/" + std::to_string(id) + "/result").body);
+  EXPECT_EQ(result.find("report")->find("device_count")->as_u64(), 4u);
+
+  EXPECT_EQ(fx.request("POST", "/populations", R"({"name":""})").status, 400);
+}
+
+/// Strip the nondeterministic timing fields (wall clock, CPU seconds,
+/// throughput) so two reports from different runs compare bit-identical
+/// on everything the engines guarantee deterministic.
+JsonValue strip_timing(JsonValue report) {
+  report.erase("wall_seconds");
+  report.erase("cpu_seconds");
+  report.erase("devices_per_second");
+  if (const JsonValue* devices = report.find("devices")) {
+    JsonValue cleaned = JsonValue::array();
+    for (JsonValue d : devices->items()) {
+      d.erase("elapsed_seconds");
+      cleaned.push_back(std::move(d));
+    }
+    report.set("devices", std::move(cleaned));
+  }
+  return report;
+}
+
+// The PR's acceptance contract: a 32-die lockstep batch submitted
+// through POST /jobs returns a BatchReport payload bit-identical to
+// production::run_batch_lockstep invoked directly with the same seed
+// and plan.
+TEST(Service, LockstepBatchOverWireMatchesDirectCall) {
+  constexpr std::size_t kDies = 32;
+  constexpr std::uint64_t kSeed = 424242;
+
+  ServiceFixture fx;
+  const std::uint64_t id = fx.submit(
+      R"({"kind":"lockstep_batch","device_count":32,"batch_seed":424242})");
+  const JsonValue done = fx.await_terminal(id);
+  ASSERT_EQ(done.find("state")->as_string(), "succeeded");
+  const JsonValue wire = parse_json(
+      fx.request("GET", "/jobs/" + std::to_string(id) + "/result").body);
+
+  const production::BatchReport direct = production::run_batch_lockstep(
+      service::lockstep_screen_population(kDies, kSeed),
+      service::lockstep_screen_plan());
+
+  const JsonValue wire_report = strip_timing(*wire.find("report"));
+  const JsonValue direct_report =
+      strip_timing(parse_json(core::to_json(direct)));
+  EXPECT_EQ(wire_report.dump(), direct_report.dump());
+  EXPECT_EQ(wire_report, direct_report);
+  EXPECT_EQ(wire_report.find("device_count")->as_u64(), kDies);
+}
+
+TEST(Service, DrainRejectsNewSubmissionsWith503) {
+  ServiceFixture fx;
+  fx.manager.drain(/*hard=*/true);
+  const auto resp = fx.request(
+      "POST", "/jobs", R"({"kind":"batch","device_count":1,"threads":1})");
+  EXPECT_EQ(resp.status, 503);
+  const JsonValue health = parse_json(fx.request("GET", "/healthz").body);
+  EXPECT_TRUE(health.find("draining")->as_bool());
+}
+
+}  // namespace

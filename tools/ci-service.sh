@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Service smoke gate: boot the real msbistd daemon under ASan+UBSan,
+# drive the job API end to end over actual HTTP, and shut it down
+# cleanly. Mirrors the "service" CI job:
+#
+#   tools/ci-service.sh [build-dir]
+#
+# Assertions:
+#   1. The loopback service/JSON-wire test suites run clean under
+#      ASan+UBSan (submit/poll/result, cancellation, structured 400s,
+#      thread caps, metrics, lockstep bit-identity).
+#   2. A daemon on an ephemeral port serves /healthz, accepts a
+#      lockstep batch job over curl, reaches "succeeded" under polling,
+#      returns a well-formed result document (python3 -m json.tool),
+#      and exits 0 on SIGTERM after a graceful drain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-service}"
+
+cmake -B "$BUILD_DIR" -S . -DMSBIST_SANITIZE=address,undefined -DMSBIST_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+# Gate 1: the service and wire-format suites under sanitizers.
+"$BUILD_DIR"/tests/msbist_tests \
+  --gtest_filter='Service.*:JsonParse.*:JobRequestWire.*:ReportEnvelope.*'
+
+# Gate 2: the daemon itself, over real HTTP.
+log="$(mktemp)"
+"$BUILD_DIR"/src/msbistd --port 0 --workers 2 >"$log" 2>&1 &
+daemon=$!
+trap 'kill -9 "$daemon" 2>/dev/null || true' EXIT
+
+# The first stdout line is "msbistd listening on ADDR:PORT".
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/^msbistd listening on .*:\([0-9]*\)$/\1/p' "$log")"
+  [ -n "$port" ] && break
+  kill -0 "$daemon" 2>/dev/null || { cat "$log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$port" ] || { echo "msbistd never reported its port"; cat "$log"; exit 1; }
+base="http://127.0.0.1:$port"
+
+curl -sSf "$base/healthz" | python3 -m json.tool > /dev/null
+curl -sSf "$base/populations" | python3 -m json.tool > /dev/null
+
+# Submit a 32-die lockstep screen and poll it to a terminal state.
+accepted="$(curl -sSf -X POST "$base/jobs" \
+  -d '{"kind":"lockstep_batch","device_count":32,"batch_seed":1995,"label":"ci smoke"}')"
+id="$(echo "$accepted" | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')"
+
+state="queued"
+for _ in $(seq 1 300); do
+  state="$(curl -sSf "$base/jobs/$id" |
+    python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')"
+  case "$state" in queued|running) sleep 0.1 ;; *) break ;; esac
+done
+[ "$state" = "succeeded" ] || { echo "job ended $state"; cat "$log"; exit 1; }
+
+# The result document must be valid JSON carrying the batch report.
+curl -sSf "$base/jobs/$id/result" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["kind"] == "job_result", doc["kind"]
+assert doc["report_kind"] == "batch_report", doc["report_kind"]
+report = doc["report"]
+assert report["kind"] == "batch_report" and report["device_count"] == 32, report
+print("service smoke: job %d -> %d/%d dies pass"
+      % (doc["id"], report["passed"], report["device_count"]))
+'
+curl -sSf "$base/metrics" | python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+c = m["counters"]
+assert c["jobs_submitted"] == 1 and c["jobs_succeeded"] == 1, c
+assert c["http_responses_5xx"] == 0, c
+'
+
+# Clean shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$daemon"
+wait "$daemon"
+trap - EXIT
+grep -q "drained, exiting" "$log" || { cat "$log"; exit 1; }
+echo "service smoke: clean SIGTERM drain, exit 0"
+rm -f "$log"
