@@ -37,6 +37,7 @@ enum class ErrorCode : std::uint8_t {
   kErcViolation,     ///< netlist rejected by the static ERC before solving
   kBadInput,         ///< malformed request (unknown tier, bad options)
   kInternal,         ///< unexpected exception mapped into the taxonomy
+  kOverloaded,       ///< admission refused: the service queue is full (429)
 };
 
 inline const char* to_string(ErrorCode code) {
@@ -49,6 +50,7 @@ inline const char* to_string(ErrorCode code) {
     case ErrorCode::kErcViolation: return "erc_violation";
     case ErrorCode::kBadInput: return "bad_input";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kOverloaded: return "overloaded";
   }
   return "?";
 }

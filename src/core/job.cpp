@@ -66,6 +66,23 @@ JobKind parse_job_kind(const std::string& name) {
   bad_request("unknown job kind \"" + name + "\"");
 }
 
+const char* to_string(JobPriority priority) {
+  switch (priority) {
+    case JobPriority::kLow: return "low";
+    case JobPriority::kNormal: return "normal";
+    case JobPriority::kHigh: return "high";
+  }
+  return "?";
+}
+
+JobPriority parse_job_priority(const std::string& name) {
+  if (name == "low") return JobPriority::kLow;
+  if (name == "normal") return JobPriority::kNormal;
+  if (name == "high") return JobPriority::kHigh;
+  bad_request("unknown priority \"" + name +
+              "\" (expected low, normal, or high)");
+}
+
 void JobLimits::to_json(JsonWriter& w) const {
   w.begin_object()
       .member("wall_timeout_s", wall_timeout_s)
@@ -90,6 +107,10 @@ JobRequest JobRequest::from_json(const JsonValue& v) {
       }
     } else if (key == "label") {
       req.label = require_string(val, "label");
+    } else if (key == "priority") {
+      req.priority = parse_job_priority(require_string(val, "priority"));
+    } else if (key == "client_tag") {
+      req.client_tag = require_string(val, "client_tag");
     } else if (key == "device_count") {
       req.device_count = require_size(val, "device_count");
       if (req.device_count == 0) bad_request("device_count must be >= 1");
@@ -177,7 +198,9 @@ void JobRequest::to_json(JsonWriter& w) const {
       w.member("circuit", circuit);
       break;
   }
-  w.member("threads", static_cast<std::uint64_t>(threads));
+  w.member("threads", static_cast<std::uint64_t>(threads))
+      .member("priority", to_string(priority))
+      .member("client_tag", client_tag);
   w.key("limits");
   limits.to_json(w);
   w.end_object();

@@ -60,6 +60,21 @@ const char* to_string(JobKind kind);
 /// "testability"). Throws SolverError(kBadInput) on an unknown name.
 JobKind parse_job_kind(const std::string& name);
 
+/// Scheduling class of a job. Executors dispatch higher priorities
+/// first; anti-starvation aging promotes long-queued jobs one level per
+/// aging interval so a saturated high-priority stream cannot starve the
+/// low lane forever.
+enum class JobPriority : std::uint8_t {
+  kLow = 0,
+  kNormal = 1,
+  kHigh = 2,
+};
+
+const char* to_string(JobPriority priority);
+/// Parses the wire name ("low", "normal", "high"). Throws
+/// SolverError(kBadInput) on an unknown name.
+JobPriority parse_job_priority(const std::string& name);
+
 /// Per-job resource limits, enforced by the executing JobManager.
 struct JobLimits {
   /// Wall-clock budget [s]; 0 = unlimited. An overrunning job is
@@ -75,6 +90,12 @@ struct JobLimits {
 struct JobRequest {
   JobKind kind = JobKind::kBatch;
   std::string label;  ///< free-form tag echoed through status/results
+  /// Scheduling class; the executor's dispatch queue serves high before
+  /// normal before low (with aging, see service::JobManagerOptions).
+  JobPriority priority = JobPriority::kNormal;
+  /// Who is submitting (free-form). The executor keeps per-tag fairness
+  /// accounting and can cap any one tag's share of the admission queue.
+  std::string client_tag;
 
   // batch / lockstep_batch
   std::size_t device_count = 10;

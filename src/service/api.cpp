@@ -1,6 +1,7 @@
 #include "service/api.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -57,6 +58,19 @@ bool parse_job_path(std::string_view rest, std::uint64_t& id,
   return res.ec == std::errc{} && res.ptr == id_text.data() + id_text.size();
 }
 
+/// The structured 429: the kOverloaded Failure as body plus a
+/// Retry-After header (whole seconds, rounded up, floor 1 — RFC 9110
+/// wants an integer) carrying the manager's configured retry hint.
+HttpResponse overloaded_response(JobManager& manager,
+                                 const core::Failure& failure) {
+  HttpResponse resp = failure_response(429, failure);
+  const double hint = manager.options().retry_after_s;
+  const long long seconds =
+      std::max(1LL, static_cast<long long>(std::ceil(hint)));
+  resp.headers["Retry-After"] = std::to_string(seconds);
+  return resp;
+}
+
 HttpResponse submit_job(JobManager& manager, const HttpRequest& req) {
   if (manager.draining()) {
     return error_response(503, core::ErrorCode::kInternal, "job_manager",
@@ -72,6 +86,9 @@ HttpResponse submit_job(JobManager& manager, const HttpRequest& req) {
   try {
     id = manager.submit(std::move(request));
   } catch (const core::SolverError& e) {
+    if (e.code() == core::ErrorCode::kOverloaded) {
+      return overloaded_response(manager, e.failure());
+    }
     return failure_response(400, e.failure());
   } catch (const std::runtime_error& e) {
     // submit() only throws runtime_error for the drain race.
@@ -222,9 +239,15 @@ HttpResponse metrics(JobManager& manager) {
     if (snap.state == JobState::kRunning) ++running;
     if (snap.state == JobState::kQueued) ++queued;
   }
+  std::vector<ClientMetricsRow> clients;
+  for (const ClientStats& s : manager.client_stats()) {
+    clients.push_back({s.tag, s.submitted, s.rejected, s.completed, s.queued,
+                       s.running});
+  }
   core::JsonWriter w;
-  manager.metrics().to_json(w, running, queued, manager.populations().size(),
-                            manager.now_seconds());
+  manager.metrics().to_json(w, running, queued, manager.queue_depth(),
+                            manager.populations().size(),
+                            manager.now_seconds(), clients);
   return HttpResponse::json(200, w.str());
 }
 
@@ -302,11 +325,32 @@ HttpHandler make_api_handler(JobManager& manager) {
   return [&manager](const HttpRequest& req) {
     ServiceMetrics& m = manager.metrics();
     m.http_requests_total.fetch_add(1, std::memory_order_relaxed);
+    // Connection-reuse picture from the request's serial number on its
+    // connection: 1 = fresh connection, 2 = the moment a connection
+    // proves reused, >1 = a request that saved a TCP handshake.
+    if (req.serial == 1) {
+      m.http_connections.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      m.keepalive_requests.fetch_add(1, std::memory_order_relaxed);
+      if (req.serial == 2) {
+        m.reused_connections.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     const double start = manager.now_seconds();
     HttpResponse resp = handle_api_request(manager, req);
     m.request_seconds.observe(manager.now_seconds() - start);
     m.count_response(resp.status);
     return resp;
+  };
+}
+
+std::function<void(int, double)> make_internal_response_observer(
+    JobManager& manager) {
+  return [&manager](int status, double seconds) {
+    ServiceMetrics& m = manager.metrics();
+    m.http_requests_total.fetch_add(1, std::memory_order_relaxed);
+    m.request_seconds.observe(seconds);
+    m.count_response(status);
   };
 }
 

@@ -14,8 +14,12 @@
 // Error mapping: malformed JSON / bad request fields -> 400 with the
 // structured core::Failure as the body; unknown routes/ids -> 404;
 // result of a still-running job -> 409; submit while draining -> 503;
-// anything unexpected -> 500. Every response is application/json.
+// bounded admission rejecting a submit -> 429 with a Retry-After
+// header; anything unexpected -> 500. Every response is
+// application/json.
 #pragma once
+
+#include <functional>
 
 #include "service/http.h"
 #include "service/job_manager.h"
@@ -29,5 +33,13 @@ HttpResponse handle_api_request(JobManager& manager, const HttpRequest& req);
 /// The handler to mount on HttpServer: handle_api_request wrapped with
 /// request counting and latency observation into manager.metrics().
 HttpHandler make_api_handler(JobManager& manager);
+
+/// The HttpServer::Options::observe_internal_response hook: counts
+/// responses the server synthesizes below the handler (oversized head
+/// -> 400, body over max_body -> 413, unparseable request line -> 400)
+/// into the same totals and latency histogram as routed requests, so
+/// http_requests_total == 2xx + 4xx + 5xx stays true under abuse.
+std::function<void(int, double)> make_internal_response_observer(
+    JobManager& manager);
 
 }  // namespace msbist::service

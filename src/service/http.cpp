@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <cstring>
@@ -25,11 +26,18 @@ void close_fd(int fd) {
   if (fd >= 0) ::close(fd);
 }
 
-void set_io_timeout(int fd, double seconds) {
+void set_recv_timeout(int fd, double seconds) {
   timeval tv{};
   tv.tv_sec = static_cast<time_t>(seconds);
   tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void set_io_timeout(int fd, double seconds) {
+  set_recv_timeout(fd, seconds);
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
@@ -63,11 +71,18 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b);
 }
 
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 const char* status_text(int status) {
   switch (status) {
     case 200: return "OK";
+    case 201: return "Created";
     case 202: return "Accepted";
     case 204: return "No Content";
     case 400: return "Bad Request";
@@ -75,6 +90,7 @@ const char* status_text(int status) {
     case 405: return "Method Not Allowed";
     case 409: return "Conflict";
     case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Status";
@@ -85,6 +101,9 @@ struct HttpServer::ConnQueue {
   std::mutex mu;
   std::condition_variable cv;
   std::deque<int> fds;
+  /// Connections currently inside serve_connection: stop() shuts their
+  /// read side down so idle keep-alive waits end immediately.
+  std::vector<int> active;
   bool stop = false;
 };
 
@@ -140,13 +159,23 @@ void HttpServer::stop() {
     if (queue_->stop) return;
     queue_->stop = true;
   }
-  // Unblock accept(): shutdown makes a blocked accept return on Linux;
-  // close() finishes the job.
+  // Unblock accept(): shutdown makes a blocked accept return on Linux
+  // (EINVAL), and a not-yet-blocked accept fails the same way. Only
+  // close and clear the fd after the accept thread has joined — it
+  // still reads listen_fd_, and closing early could hand a reused fd
+  // number to its in-flight accept().
   ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
   close_fd(listen_fd_);
   listen_fd_ = -1;
+  {
+    // Read-side shutdown only: a worker blocked waiting for the next
+    // keep-alive request wakes with EOF and exits its connection loop,
+    // while an in-flight response still flushes.
+    std::lock_guard<std::mutex> lock(queue_->mu);
+    for (int fd : queue_->active) ::shutdown(fd, SHUT_RD);
+  }
   queue_->cv.notify_all();
-  if (accept_thread_.joinable()) accept_thread_.join();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
@@ -193,32 +222,59 @@ void HttpServer::worker_loop() {
 
 namespace {
 
-/// Read until the header terminator; then read Content-Length body
-/// bytes. Returns false on IO error / timeout / overlong input.
-bool read_request(int fd, std::size_t max_body, std::string& head,
-                  std::string& body, int& error_status) {
-  std::string buf;
+enum class ReadOutcome {
+  kRequest,  ///< a complete head+body was read
+  kClosed,   ///< peer gone / idle timeout before any byte: nothing to answer
+  kError,    ///< malformed or oversized: answer error_status, then close
+};
+
+/// Read one request off a (possibly reused) connection. `buf` carries
+/// bytes left over from the previous request on this connection
+/// (pipelined clients) and is left holding any bytes past this
+/// request's body. The first read of a reused connection waits
+/// idle_timeout_s for the client to come back; every later read uses
+/// the io timeout.
+ReadOutcome read_request(int fd, const HttpServer::Options& options,
+                         bool first_request, std::string& buf,
+                         std::string& head, std::string& body,
+                         int& error_status) {
   char chunk[4096];
-  std::size_t header_end = std::string::npos;
+  std::size_t header_end = buf.find("\r\n\r\n");
   // A request head larger than 64 KiB is nobody's legitimate job
   // submission.
   constexpr std::size_t kMaxHead = 64u * 1024;
+  bool waiting_for_first_byte = buf.empty();
+  if (!first_request && waiting_for_first_byte) {
+    set_recv_timeout(fd, options.idle_timeout_s > 0.0 ? options.idle_timeout_s
+                                                      : options.io_timeout_s);
+  }
   while (header_end == std::string::npos) {
     if (buf.size() > kMaxHead) {
       error_status = 400;
-      return false;
+      return ReadOutcome::kError;
     }
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      error_status = 0;  // peer vanished: nothing to answer
-      return false;
+      // EOF or timeout before the request started: a clean keep-alive
+      // close. Mid-head it is either a vanished peer (nothing to
+      // answer) or a stalled one (answer 400, then close).
+      if (waiting_for_first_byte || n == 0) {
+        error_status = 0;
+        return ReadOutcome::kClosed;
+      }
+      error_status = 400;
+      return ReadOutcome::kError;
+    }
+    if (waiting_for_first_byte) {
+      waiting_for_first_byte = false;
+      if (!first_request) set_recv_timeout(fd, options.io_timeout_s);
     }
     buf.append(chunk, static_cast<std::size_t>(n));
     header_end = buf.find("\r\n\r\n");
   }
   head = buf.substr(0, header_end);
-  body = buf.substr(header_end + 4);
+  const std::size_t body_start = header_end + 4;
 
   // Content-Length (case-insensitive scan of the raw head).
   std::size_t content_length = 0;
@@ -230,21 +286,22 @@ bool read_request(int fd, std::size_t max_body, std::string& head,
           std::strtoull(head.c_str() + pos + 15, nullptr, 10));
     }
   }
-  if (content_length > max_body) {
+  if (content_length > options.max_body) {
     error_status = 413;
-    return false;
+    return ReadOutcome::kError;
   }
-  while (body.size() < content_length) {
+  while (buf.size() - body_start < content_length) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       error_status = 0;
-      return false;
+      return ReadOutcome::kClosed;
     }
-    body.append(chunk, static_cast<std::size_t>(n));
+    buf.append(chunk, static_cast<std::size_t>(n));
   }
-  body.resize(content_length);
-  return true;
+  body = buf.substr(body_start, content_length);
+  buf.erase(0, body_start + content_length);
+  return ReadOutcome::kRequest;
 }
 
 bool parse_head(const std::string& head, HttpRequest& req) {
@@ -259,9 +316,9 @@ bool parse_head(const std::string& head, HttpRequest& req) {
   if (sp1 == std::string::npos || sp2 == std::string::npos) return false;
   req.method = request_line.substr(0, sp1);
   std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-  const std::string version = request_line.substr(sp2 + 1);
+  req.version = request_line.substr(sp2 + 1);
   if (req.method.empty() || target.empty() || target[0] != '/') return false;
-  if (version.rfind("HTTP/1.", 0) != 0) return false;
+  if (req.version.rfind("HTTP/1.", 0) != 0) return false;
 
   const std::size_t qpos = target.find('?');
   if (qpos != std::string::npos) {
@@ -283,12 +340,15 @@ bool parse_head(const std::string& head, HttpRequest& req) {
   return true;
 }
 
-std::string render_response(const HttpResponse& resp) {
+std::string render_response(const HttpResponse& resp, bool keep_alive) {
   std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
                     status_text(resp.status) + "\r\n";
   out += "Content-Type: " + resp.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
+  for (const auto& [key, value] : resp.headers) {
+    out += key + ": " + value + "\r\n";
+  }
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n" : "Connection: close\r\n\r\n";
   out += resp.body;
   return out;
 }
@@ -311,99 +371,260 @@ std::string error_body(int status, const std::string& detail) {
   return out;
 }
 
+/// "Connection: close" / "keep-alive" token test (the value may be a
+/// comma list; a plain substring scan is enough for the tokens we care
+/// about).
+bool connection_has_token(const HttpRequest& req, const char* token) {
+  const auto it = req.headers.find("connection");
+  if (it == req.headers.end()) return false;
+  return lower(it->second).find(token) != std::string::npos;
+}
+
 }  // namespace
 
 void HttpServer::serve_connection(int fd) {
   set_io_timeout(fd, options_.io_timeout_s);
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  {
+    std::lock_guard<std::mutex> lock(queue_->mu);
+    queue_->active.push_back(fd);
+    // stop() may already have swept the active list: make sure this
+    // connection cannot sit in an idle read afterwards.
+    if (queue_->stop) ::shutdown(fd, SHUT_RD);
+  }
 
-  std::string head;
-  std::string body;
-  int error_status = 0;
-  if (!read_request(fd, options_.max_body, head, body, error_status)) {
-    if (error_status != 0) {
+  std::string buf;
+  std::size_t served = 0;
+  bool open = true;
+  while (open) {
+    std::string head;
+    std::string body;
+    int error_status = 0;
+    const ReadOutcome outcome = read_request(
+        fd, options_, /*first_request=*/served == 0, buf, head, body,
+        error_status);
+    if (outcome == ReadOutcome::kClosed) break;
+    const double start = steady_seconds();
+    if (outcome == ReadOutcome::kError) {
       HttpResponse err = HttpResponse::json(
           error_status, error_body(error_status, "unreadable request"));
-      write_all(fd, render_response(err));
+      write_all(fd, render_response(err, /*keep_alive=*/false));
+      if (options_.observe_internal_response) {
+        options_.observe_internal_response(error_status,
+                                           steady_seconds() - start);
+      }
+      break;
     }
-    close_fd(fd);
-    return;
+
+    ++served;
+    HttpRequest req;
+    req.serial = served;
+    HttpResponse resp;
+    const bool parsed = parse_head(head, req);
+    bool keep = false;
+    if (!parsed) {
+      resp = HttpResponse::json(400, error_body(400, "malformed request line"));
+      if (options_.observe_internal_response) {
+        options_.observe_internal_response(400, steady_seconds() - start);
+      }
+    } else {
+      req.body = std::move(body);
+      try {
+        resp = handler_(req);
+      } catch (const std::exception& e) {
+        resp = HttpResponse::json(500, error_body(500, e.what()));
+      } catch (...) {
+        resp = HttpResponse::json(500, error_body(500, "unknown handler error"));
+      }
+      bool stopping = false;
+      {
+        std::lock_guard<std::mutex> lock(queue_->mu);
+        stopping = queue_->stop;
+      }
+      keep = options_.keep_alive && !stopping &&
+             !connection_has_token(req, "close") &&
+             (options_.max_requests_per_connection == 0 ||
+              served < options_.max_requests_per_connection);
+      // HTTP/1.0 defaults to close; honor an explicit keep-alive ask.
+      if (req.version == "HTTP/1.0" && !connection_has_token(req, "keep-alive")) {
+        keep = false;
+      }
+    }
+    if (!write_all(fd, render_response(resp, keep))) break;
+    open = keep;
   }
 
-  HttpRequest req;
-  HttpResponse resp;
-  if (!parse_head(head, req)) {
-    resp = HttpResponse::json(400, error_body(400, "malformed request line"));
-  } else {
-    req.body = std::move(body);
-    try {
-      resp = handler_(req);
-    } catch (const std::exception& e) {
-      resp = HttpResponse::json(500, error_body(500, e.what()));
-    } catch (...) {
-      resp = HttpResponse::json(500, error_body(500, "unknown handler error"));
-    }
+  {
+    std::lock_guard<std::mutex> lock(queue_->mu);
+    auto it = std::find(queue_->active.begin(), queue_->active.end(), fd);
+    if (it != queue_->active.end()) queue_->active.erase(it);
   }
-  write_all(fd, render_response(resp));
   close_fd(fd);
+}
+
+// --- Client ----------------------------------------------------------
+
+namespace {
+
+/// Thrown by HttpClient::exchange when the reused connection turned out
+/// to be dead before any response byte arrived — the one case where a
+/// transparent retry on a fresh connection is safe (the server cannot
+/// have processed the request and replied).
+struct StaleConnection : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace
+
+HttpClient::HttpClient(std::uint16_t port, double io_timeout_s)
+    : port_(port), io_timeout_s_(io_timeout_s) {}
+
+HttpClient::~HttpClient() { close(); }
+
+void HttpClient::close() {
+  close_fd(fd_);
+  fd_ = -1;
+  on_this_connection_ = 0;
+  buf_.clear();
+}
+
+void HttpClient::ensure_connected() {
+  if (fd_ >= 0) return;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("http client: socket() failed");
+  set_io_timeout(fd_, io_timeout_s_);
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close();
+    throw std::runtime_error("http client: connect(127.0.0.1:" +
+                             std::to_string(port_) + ") failed: " + err);
+  }
+  ++connects_;
+  on_this_connection_ = 0;
+  buf_.clear();
+}
+
+HttpResponse HttpClient::exchange(const std::string& wire) {
+  if (!write_all(fd_, wire)) {
+    if (on_this_connection_ > 0) {
+      throw StaleConnection("http client: send on stale connection");
+    }
+    throw std::runtime_error("http client: send failed");
+  }
+
+  char chunk[4096];
+  std::size_t header_end = buf_.find("\r\n\r\n");
+  bool got_any = !buf_.empty();
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      if (!got_any && on_this_connection_ > 0) {
+        throw StaleConnection("http client: EOF on stale connection");
+      }
+      throw std::runtime_error("http client: truncated response");
+    }
+    got_any = true;
+    buf_.append(chunk, static_cast<std::size_t>(n));
+    header_end = buf_.find("\r\n\r\n");
+  }
+
+  const std::string head = buf_.substr(0, header_end);
+  if (head.rfind("HTTP/1.", 0) != 0 || head.size() < 12) {
+    throw std::runtime_error("http client: malformed response");
+  }
+  HttpResponse resp;
+  resp.status = std::atoi(head.c_str() + 9);
+
+  // Headers: lowercased keys, trimmed values.
+  std::size_t pos = head.find("\r\n");
+  pos = pos == std::string::npos ? head.size() : pos + 2;
+  while (pos < head.size()) {
+    std::size_t next = head.find("\r\n", pos);
+    if (next == std::string::npos) next = head.size();
+    const std::string line = head.substr(pos, next - pos);
+    pos = next + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    resp.headers[lower(trim(line.substr(0, colon)))] =
+        trim(line.substr(colon + 1));
+  }
+  if (const auto it = resp.headers.find("content-type");
+      it != resp.headers.end()) {
+    resp.content_type = it->second;
+  }
+
+  std::size_t content_length = 0;
+  if (const auto it = resp.headers.find("content-length");
+      it != resp.headers.end()) {
+    content_length =
+        static_cast<std::size_t>(std::strtoull(it->second.c_str(), nullptr, 10));
+  }
+  const std::size_t body_start = header_end + 4;
+  while (buf_.size() - body_start < content_length) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw std::runtime_error("http client: truncated body");
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+  resp.body = buf_.substr(body_start, content_length);
+  buf_.erase(0, body_start + content_length);
+  return resp;
+}
+
+HttpResponse HttpClient::request(const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body,
+                                 bool close_connection) {
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: 127.0.0.1\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    wire += "Content-Type: application/json\r\n";
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  wire += close_connection ? "Connection: close\r\n\r\n"
+                           : "Connection: keep-alive\r\n\r\n";
+  wire += body;
+
+  ensure_connected();
+  HttpResponse resp;
+  try {
+    resp = exchange(wire);
+  } catch (const StaleConnection&) {
+    // The server recycled the idle connection (idle timeout, request
+    // cap) before our request: safe to retry exactly once on a fresh
+    // socket.
+    close();
+    ensure_connected();
+    resp = exchange(wire);
+  } catch (...) {
+    close();
+    throw;
+  }
+  ++requests_;
+  ++on_this_connection_;
+
+  bool server_close = false;
+  if (const auto it = resp.headers.find("connection");
+      it != resp.headers.end()) {
+    server_close = lower(it->second).find("close") != std::string::npos;
+  }
+  if (close_connection || server_close) close();
+  return resp;
 }
 
 HttpResponse http_request(std::uint16_t port, const std::string& method,
                           const std::string& target, const std::string& body) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw std::runtime_error("http client: socket() failed");
-  set_io_timeout(fd, 60.0);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string err = std::strerror(errno);
-    close_fd(fd);
-    throw std::runtime_error("http client: connect(127.0.0.1:" +
-                             std::to_string(port) + ") failed: " + err);
-  }
-
-  std::string out = method + " " + target + " HTTP/1.1\r\n";
-  out += "Host: 127.0.0.1\r\n";
-  if (!body.empty() || method == "POST" || method == "PUT") {
-    out += "Content-Type: application/json\r\n";
-    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-  }
-  out += "Connection: close\r\n\r\n";
-  out += body;
-  if (!write_all(fd, out)) {
-    close_fd(fd);
-    throw std::runtime_error("http client: send failed");
-  }
-
-  std::string in;
-  char chunk[4096];
-  while (true) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    in.append(chunk, static_cast<std::size_t>(n));
-  }
-  close_fd(fd);
-
-  const std::size_t header_end = in.find("\r\n\r\n");
-  if (in.rfind("HTTP/1.", 0) != 0 || header_end == std::string::npos) {
-    throw std::runtime_error("http client: malformed response");
-  }
-  HttpResponse resp;
-  resp.status = std::atoi(in.c_str() + 9);
-  const std::string lhead = lower(in.substr(0, header_end));
-  const std::size_t ct = lhead.find("content-type:");
-  if (ct != std::string::npos) {
-    std::size_t eol = lhead.find("\r\n", ct);
-    if (eol == std::string::npos) eol = lhead.size();
-    resp.content_type = trim(in.substr(ct + 13, eol - ct - 13));
-  }
-  resp.body = in.substr(header_end + 4);
-  return resp;
+  HttpClient client(port);
+  return client.request(method, target, body, /*close_connection=*/true);
 }
 
 }  // namespace msbist::service

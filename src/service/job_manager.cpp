@@ -118,27 +118,109 @@ std::uint64_t JobManager::submit(core::JobRequest request) {
       }
       job->population = it->second;
     }
+    admit_locked(job->request);
     id = next_id_++;
     job->id = id;
     job->queued_seconds = now_seconds();
     jobs_.emplace(id, job);
+    pending_.push_back(job);
+    TagCounts& tag = tags_[job->request.client_tag];
+    ++tag.submitted;
+    ++tag.queued;
     evict_terminal_locked();
   }
   metrics_.jobs_submitted.fetch_add(1, std::memory_order_relaxed);
-  pool_->submit([this, job] { execute(job); });
+  pool_->submit([this] { run_next(); });
   return id;
 }
 
-void JobManager::execute(const std::shared_ptr<Job>& job) {
+void JobManager::admit_locked(const core::JobRequest& request) {
+  const bool queue_full = options_.max_queue_depth > 0 &&
+                          pending_.size() >= options_.max_queue_depth;
+  bool tag_over_share = false;
+  if (!queue_full && options_.max_queued_per_tag > 0) {
+    const auto it = tags_.find(request.client_tag);
+    tag_over_share =
+        it != tags_.end() && it->second.queued >= options_.max_queued_per_tag;
+  }
+  if (!queue_full && !tag_over_share) return;
+
+  ++tags_[request.client_tag].rejected;
+  metrics_.jobs_rejected.fetch_add(1, std::memory_order_relaxed);
+  metrics_.jobs_rejected_overload.fetch_add(1, std::memory_order_relaxed);
+
+  core::Failure f;
+  f.code = core::ErrorCode::kOverloaded;
+  f.analysis = "admission";
+  if (queue_full) {
+    f.detail = "dispatch queue full (" + std::to_string(pending_.size()) +
+               "/" + std::to_string(options_.max_queue_depth) + " queued)";
+  } else {
+    f.detail = "client tag \"" + request.client_tag + "\" holds its queue share (" +
+               std::to_string(options_.max_queued_per_tag) + " queued)";
+  }
+  f.detail += "; retry after " + std::to_string(options_.retry_after_s) + " s";
+  throw core::SolverError(std::move(f));
+}
+
+std::shared_ptr<JobManager::Job> JobManager::take_next_locked() {
+  if (pending_.empty()) return nullptr;
+  const double now = now_seconds();
+
+  const auto effective_priority = [&](const Job& job) {
+    int level = static_cast<int>(job.request.priority);
+    if (options_.aging_seconds > 0.0) {
+      level += static_cast<int>((now - job.queued_seconds) /
+                                options_.aging_seconds);
+    }
+    return std::min(level, static_cast<int>(core::JobPriority::kHigh));
+  };
+  const auto running_for = [&](const Job& job) {
+    const auto it = tags_.find(job.request.client_tag);
+    return it == tags_.end() ? std::size_t{0} : it->second.running;
+  };
+
+  // pending_ is in submission order, so strict "better than" keeps the
+  // FIFO tie-break for free.
+  std::size_t best = 0;
+  int best_level = effective_priority(*pending_[0]);
+  std::size_t best_running = running_for(*pending_[0]);
+  for (std::size_t i = 1; i < pending_.size(); ++i) {
+    const int level = effective_priority(*pending_[i]);
+    const std::size_t running = running_for(*pending_[i]);
+    if (level > best_level ||
+        (level == best_level && running < best_running)) {
+      best = i;
+      best_level = level;
+      best_running = running;
+    }
+  }
+
+  std::shared_ptr<Job> job = pending_[best];
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(best));
+  job->state = JobState::kRunning;
+  job->started_seconds = now;
+  TagCounts& tag = tags_[job->request.client_tag];
+  --tag.queued;
+  ++tag.running;
+  return job;
+}
+
+void JobManager::run_next() {
+  std::shared_ptr<Job> job;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (job->state != JobState::kQueued) return;  // cancelled while queued
-    job->state = JobState::kRunning;
-    job->started_seconds = now_seconds();
+    job = take_next_locked();
   }
+  // The job this slot was woken for may have been cancelled while
+  // queued (removed from pending_); nothing left to run then.
+  if (!job) return;
   metrics_.job_queue_seconds.observe(job->started_seconds -
                                      job->queued_seconds);
+  execute(job);
+}
 
+void JobManager::execute(const std::shared_ptr<Job>& job) {
   // Per-job resource limits: the manager-wide thread cap folds into the
   // request's own cap (dispatch clamps engine threads by it), and the
   // wall timeout folds into the stop flag the engines already poll.
@@ -212,6 +294,9 @@ void JobManager::execute(const std::shared_ptr<Job>& job) {
     job->report_json = std::move(report_json);
     job->report_kind = std::move(report_kind);
     job->finished_seconds = now_seconds();
+    TagCounts& tag = tags_[job->request.client_tag];
+    --tag.running;
+    ++tag.completed;
   }
   metrics_.job_seconds.observe(job->finished_seconds - job->started_seconds);
   switch (final_state) {
@@ -273,9 +358,17 @@ bool JobManager::cancel(std::uint64_t id) {
   job.cancel_requested.store(true, std::memory_order_relaxed);
   job.stop.store(true, std::memory_order_relaxed);
   if (job.state == JobState::kQueued) {
-    // Never started: resolve immediately instead of waiting for a slot.
+    // Never started: resolve immediately instead of waiting for a slot,
+    // and free its place in the dispatch queue.
+    const auto pending = std::find_if(
+        pending_.begin(), pending_.end(),
+        [&job](const std::shared_ptr<Job>& p) { return p->id == job.id; });
+    if (pending != pending_.end()) pending_.erase(pending);
     job.state = JobState::kCancelled;
     job.finished_seconds = now_seconds();
+    TagCounts& tag = tags_[job.request.client_tag];
+    --tag.queued;
+    ++tag.completed;
     metrics_.jobs_cancelled.fetch_add(1, std::memory_order_relaxed);
   }
   return true;
@@ -293,6 +386,28 @@ std::vector<PopulationInfo> JobManager::populations() const {
   out.reserve(populations_.size());
   for (const auto& [name, dies] : populations_) {
     out.push_back({name, dies.size()});
+  }
+  return out;
+}
+
+std::size_t JobManager::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+std::vector<ClientStats> JobManager::client_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ClientStats> out;
+  out.reserve(tags_.size());
+  for (const auto& [tag, counts] : tags_) {
+    ClientStats s;
+    s.tag = tag;
+    s.submitted = counts.submitted;
+    s.rejected = counts.rejected;
+    s.completed = counts.completed;
+    s.queued = counts.queued;
+    s.running = counts.running;
+    out.push_back(std::move(s));
   }
   return out;
 }

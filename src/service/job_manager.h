@@ -1,17 +1,30 @@
 // The daemon's heart: an asynchronous job executor over core::ThreadPool
-// with a device-population registry and service metrics.
+// with bounded admission, priority dispatch, a device-population
+// registry, and service metrics.
 //
 // Lifecycle state machine (terminal states marked *):
 //
 //   submit()           worker picks up            dispatch returns
 //   ───────▶ queued ──────────────────▶ running ──┬──▶ succeeded*
-//                │                         │      ├──▶ failed*     (Failure)
-//                │ cancel()                │      ├──▶ cancelled*  (cancel())
-//                └──────────▶ cancelled*   │      └──▶ timed_out*  (limits)
+//       │        │                         │      ├──▶ failed*     (Failure)
+//  429 ─┘        │ cancel()                │      ├──▶ cancelled*  (cancel())
+//  (queue full)  └──────────▶ cancelled*   │      └──▶ timed_out*  (limits)
 //                                          │
 //                          cancel()/deadline sets the stop flag; the
 //                          engines poll it between dies/faults and
 //                          wind down cooperatively.
+//
+// Admission: submit() rejects with a structured kOverloaded Failure
+// (the daemon answers 429 + Retry-After) once the dispatch queue holds
+// max_queue_depth jobs, and optionally once any one client_tag exceeds
+// its queue share — backpressure instead of unbounded memory growth.
+//
+// Dispatch: accepted jobs enter a priority queue, not a FIFO. A slot
+// coming free takes the queued job with the highest *effective*
+// priority — the requested low/normal/high level plus one level per
+// aging_seconds spent queued (anti-starvation: a saturated high lane
+// cannot park the low lane forever). Ties prefer the client tag with
+// the fewest running jobs (fairness), then submission order.
 //
 // Concurrency model: the manager owns one ThreadPool of `workers` job
 // slots; each job occupies one slot for its whole run and fans out
@@ -86,6 +99,17 @@ struct PopulationInfo {
   std::size_t device_count = 0;
 };
 
+/// Point-in-time fairness accounting for one client_tag (""
+/// aggregates untagged submissions).
+struct ClientStats {
+  std::string tag;
+  std::uint64_t submitted = 0;   ///< accepted submissions
+  std::uint64_t rejected = 0;    ///< bounced by admission control (429)
+  std::uint64_t completed = 0;   ///< reached any terminal state
+  std::uint64_t queued = 0;      ///< currently in the dispatch queue
+  std::uint64_t running = 0;     ///< currently occupying a slot
+};
+
 struct JobManagerOptions {
   /// Concurrent job slots.
   std::size_t workers = 2;
@@ -95,6 +119,21 @@ struct JobManagerOptions {
   /// Jobs retained for status/result queries; the oldest terminal jobs
   /// are evicted past this.
   std::size_t retain_jobs = 256;
+  /// Bounded admission: submissions arriving while this many jobs are
+  /// already queued (not yet running) are rejected with a kOverloaded
+  /// Failure. 0 = unbounded (the PR-8 behavior).
+  std::size_t max_queue_depth = 0;
+  /// Per-client-tag queue share: one tag may hold at most this many
+  /// queued jobs (0 = no per-tag cap). Keeps one chatty client from
+  /// monopolizing a bounded queue.
+  std::size_t max_queued_per_tag = 0;
+  /// Retry hint carried in kOverloaded failures (the daemon's
+  /// Retry-After header, rounded up to whole seconds on the wire).
+  double retry_after_s = 1.0;
+  /// Anti-starvation aging: each full interval a job spends queued
+  /// raises its effective priority one level (low -> normal -> high).
+  /// 0 disables aging.
+  double aging_seconds = 5.0;
 };
 
 class JobManager {
@@ -107,8 +146,10 @@ class JobManager {
 
   /// Validate and enqueue. Returns the job id; throws
   /// core::SolverError(kBadInput) for an invalid request (unknown
-  /// population, bad tier name caught later at dispatch) and
-  /// std::runtime_error when draining.
+  /// population, bad tier name caught later at dispatch),
+  /// core::SolverError(kOverloaded) when bounded admission rejects the
+  /// job (queue full / tag over its share), and std::runtime_error when
+  /// draining.
   std::uint64_t submit(core::JobRequest request);
 
   std::optional<JobSnapshot> get(std::uint64_t id) const;
@@ -123,6 +164,15 @@ class JobManager {
   void register_population(const std::string& name,
                            std::vector<production::DieSpec> dies);
   std::vector<PopulationInfo> populations() const;
+
+  /// Jobs currently waiting in the dispatch queue (the /metrics
+  /// queue_depth gauge and the admission-control input).
+  std::size_t queue_depth() const;
+
+  /// Per-client-tag fairness accounting, sorted by tag.
+  std::vector<ClientStats> client_stats() const;
+
+  const JobManagerOptions& options() const { return options_; }
 
   /// Stop accepting submissions and wait for every slot to go idle.
   /// hard = also set every running job's stop flag (cooperative
@@ -139,7 +189,17 @@ class JobManager {
 
  private:
   struct Job;
+  struct TagCounts {
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::size_t queued = 0;
+    std::size_t running = 0;
+  };
 
+  void run_next();
+  std::shared_ptr<Job> take_next_locked();
+  void admit_locked(const core::JobRequest& request);
   void execute(const std::shared_ptr<Job>& job);
   JobSnapshot snapshot_locked(const Job& job) const;
   void evict_terminal_locked();
@@ -149,6 +209,10 @@ class JobManager {
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
   std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  /// The dispatch queue: queued (never cancelled) jobs in submission
+  /// order; take_next_locked() selects by effective priority.
+  std::vector<std::shared_ptr<Job>> pending_;
+  std::map<std::string, TagCounts> tags_;
   std::map<std::string, std::vector<production::DieSpec>> populations_;
   std::uint64_t next_id_ = 1;
   std::atomic<bool> draining_{false};

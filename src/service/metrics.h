@@ -13,7 +13,9 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/json.h"
 
@@ -81,6 +83,18 @@ class LatencyHistogram {
   std::atomic<std::uint64_t> sum_bits_{0};
 };
 
+/// Per-client fairness counters surfaced in the /metrics "clients"
+/// section (snapshot values supplied by the JobManager, which owns the
+/// authoritative tag table).
+struct ClientMetricsRow {
+  std::string tag;
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t running = 0;
+};
+
 /// All counters the daemon exports. Field names are the wire names.
 struct ServiceMetrics {
   // HTTP surface.
@@ -88,11 +102,19 @@ struct ServiceMetrics {
   std::atomic<std::uint64_t> http_responses_2xx{0};
   std::atomic<std::uint64_t> http_responses_4xx{0};
   std::atomic<std::uint64_t> http_responses_5xx{0};
+  /// Connections that served at least one request / at least two
+  /// requests (keep-alive reuse), and requests beyond each connection's
+  /// first — the server-side connection-reuse picture.
+  std::atomic<std::uint64_t> http_connections{0};
+  std::atomic<std::uint64_t> reused_connections{0};
+  std::atomic<std::uint64_t> keepalive_requests{0};
   LatencyHistogram request_seconds;
 
   // Job engine.
   std::atomic<std::uint64_t> jobs_submitted{0};
   std::atomic<std::uint64_t> jobs_rejected{0};
+  /// Subset of jobs_rejected bounced by bounded admission (HTTP 429).
+  std::atomic<std::uint64_t> jobs_rejected_overload{0};
   std::atomic<std::uint64_t> jobs_succeeded{0};
   std::atomic<std::uint64_t> jobs_failed{0};
   std::atomic<std::uint64_t> jobs_cancelled{0};
@@ -110,11 +132,12 @@ struct ServiceMetrics {
     }
   }
 
-  /// The /metrics document (gauges are supplied by the caller, which
-  /// owns the job table).
+  /// The /metrics document (gauges and the per-client rows are supplied
+  /// by the caller, which owns the job table).
   void to_json(core::JsonWriter& w, std::uint64_t jobs_running,
-               std::uint64_t jobs_queued, std::uint64_t population_count,
-               double uptime_seconds) const {
+               std::uint64_t jobs_queued, std::uint64_t queue_depth,
+               std::uint64_t population_count, double uptime_seconds,
+               const std::vector<ClientMetricsRow>& clients) const {
     w.begin_object()
         .member("kind", "service_metrics")
         .member("schema_version", 2)
@@ -129,8 +152,16 @@ struct ServiceMetrics {
                 http_responses_4xx.load(std::memory_order_relaxed))
         .member("http_responses_5xx",
                 http_responses_5xx.load(std::memory_order_relaxed))
+        .member("http_connections",
+                http_connections.load(std::memory_order_relaxed))
+        .member("reused_connections",
+                reused_connections.load(std::memory_order_relaxed))
+        .member("keepalive_requests",
+                keepalive_requests.load(std::memory_order_relaxed))
         .member("jobs_submitted", jobs_submitted.load(std::memory_order_relaxed))
         .member("jobs_rejected", jobs_rejected.load(std::memory_order_relaxed))
+        .member("rejected_overload",
+                jobs_rejected_overload.load(std::memory_order_relaxed))
         .member("jobs_succeeded", jobs_succeeded.load(std::memory_order_relaxed))
         .member("jobs_failed", jobs_failed.load(std::memory_order_relaxed))
         .member("jobs_cancelled", jobs_cancelled.load(std::memory_order_relaxed))
@@ -140,8 +171,21 @@ struct ServiceMetrics {
         .begin_object()
         .member("jobs_running", jobs_running)
         .member("jobs_queued", jobs_queued)
+        .member("queue_depth", queue_depth)
         .member("populations", population_count)
         .end_object();
+    w.key("clients").begin_object();
+    for (const ClientMetricsRow& row : clients) {
+      w.key(row.tag.empty() ? "(untagged)" : row.tag)
+          .begin_object()
+          .member("submitted", row.submitted)
+          .member("rejected", row.rejected)
+          .member("completed", row.completed)
+          .member("queued", row.queued)
+          .member("running", row.running)
+          .end_object();
+    }
+    w.end_object();
     w.key("histograms").begin_object();
     w.key("request_seconds");
     request_seconds.to_json(w);

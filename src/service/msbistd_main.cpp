@@ -12,7 +12,10 @@
 // no async-signal-safety gymnastics in handlers.
 //
 //   msbistd [--port N] [--bind ADDR] [--workers N] [--io-threads N]
-//           [--max-threads-per-job N]
+//           [--max-threads-per-job N] [--max-queue-depth N]
+//           [--max-queued-per-tag N] [--retry-after-s S] [--aging-s S]
+//           [--idle-timeout-s S] [--max-requests-per-conn N]
+//           [--no-keepalive]
 //
 // --port 0 (the default) binds an ephemeral port; the printed
 // "listening on" line reports the real one, which is how the CI smoke
@@ -33,11 +36,28 @@ void usage(std::FILE* out) {
   std::fputs(
       "usage: msbistd [--port N] [--bind ADDR] [--workers N]\n"
       "               [--io-threads N] [--max-threads-per-job N]\n"
+      "               [--max-queue-depth N] [--max-queued-per-tag N]\n"
+      "               [--retry-after-s S] [--aging-s S]\n"
+      "               [--idle-timeout-s S] [--max-requests-per-conn N]\n"
+      "               [--no-keepalive]\n"
       "\n"
       "Long-running mixed-signal BIST test service. Serves the job API\n"
       "(POST /jobs, GET /jobs/{id}, GET /jobs/{id}/result, POST\n"
       "/jobs/{id}/cancel, /populations, /metrics, /healthz) until\n"
-      "SIGTERM/SIGINT, then drains gracefully.\n",
+      "SIGTERM/SIGINT, then drains gracefully.\n"
+      "\n"
+      "Load hardening:\n"
+      "  --max-queue-depth N       reject submits with 429 once N jobs\n"
+      "                            are queued (0 = unbounded, default)\n"
+      "  --max-queued-per-tag N    per-client_tag queue share (0 = off)\n"
+      "  --retry-after-s S         Retry-After hint on 429s (default 1)\n"
+      "  --aging-s S               queued jobs gain one priority level\n"
+      "                            per S seconds waited (default 5)\n"
+      "  --idle-timeout-s S        close idle keep-alive connections\n"
+      "                            after S seconds (default 5)\n"
+      "  --max-requests-per-conn N close connections after N requests\n"
+      "                            (0 = unlimited, default 1000)\n"
+      "  --no-keepalive            one request per connection\n",
       out);
 }
 
@@ -46,6 +66,14 @@ bool parse_size(const char* text, std::size_t& out) {
   const unsigned long long v = std::strtoull(text, &end, 10);
   if (end == text || *end != '\0') return false;
   out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_double(const char* text, double& out) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || v < 0.0) return false;
+  out = v;
   return true;
 }
 
@@ -59,6 +87,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
     std::size_t parsed = 0;
+    double parsed_d = 0.0;
     if (arg == "--help" || arg == "-h") {
       usage(stdout);
       return 0;
@@ -82,6 +111,36 @@ int main(int argc, char** argv) {
                parse_size(value, parsed)) {
       job_options.max_threads_per_job = parsed;
       ++i;
+    } else if (arg == "--retain-jobs" && value != nullptr &&
+               parse_size(value, parsed) && parsed > 0) {
+      job_options.retain_jobs = parsed;
+      ++i;
+    } else if (arg == "--max-queue-depth" && value != nullptr &&
+               parse_size(value, parsed)) {
+      job_options.max_queue_depth = parsed;
+      ++i;
+    } else if (arg == "--max-queued-per-tag" && value != nullptr &&
+               parse_size(value, parsed)) {
+      job_options.max_queued_per_tag = parsed;
+      ++i;
+    } else if (arg == "--retry-after-s" && value != nullptr &&
+               parse_double(value, parsed_d)) {
+      job_options.retry_after_s = parsed_d;
+      ++i;
+    } else if (arg == "--aging-s" && value != nullptr &&
+               parse_double(value, parsed_d)) {
+      job_options.aging_seconds = parsed_d;
+      ++i;
+    } else if (arg == "--idle-timeout-s" && value != nullptr &&
+               parse_double(value, parsed_d) && parsed_d > 0.0) {
+      http_options.idle_timeout_s = parsed_d;
+      ++i;
+    } else if (arg == "--max-requests-per-conn" && value != nullptr &&
+               parse_size(value, parsed)) {
+      http_options.max_requests_per_connection = parsed;
+      ++i;
+    } else if (arg == "--no-keepalive") {
+      http_options.keep_alive = false;
     } else {
       std::fprintf(stderr, "msbistd: bad argument \"%s\"\n", arg.c_str());
       usage(stderr);
@@ -101,6 +160,11 @@ int main(int argc, char** argv) {
     msbist::service::JobManager manager(job_options);
     manager.register_population(
         "default", msbist::service::lockstep_screen_population(32, 1995));
+
+    // Count server-synthesized 400/413 responses (oversized heads,
+    // bodies over max_body) into the same metrics as routed requests.
+    http_options.observe_internal_response =
+        msbist::service::make_internal_response_observer(manager);
 
     msbist::service::HttpServer server(
         http_options, msbist::service::make_api_handler(manager));

@@ -1,15 +1,22 @@
 // Loopback tests of the msbistd service stack: real sockets against an
 // ephemeral-port HttpServer fronting a JobManager, exercising the whole
 // submit -> poll -> result lifecycle, cancellation, structured errors,
-// per-job thread caps, metrics consistency, and the acceptance contract
-// that a lockstep batch over the wire is bit-identical to the direct
-// library call.
+// per-job thread caps, metrics consistency, keep-alive connection
+// reuse, bounded admission (429 + Retry-After), priority dispatch with
+// anti-starvation aging, and the acceptance contract that a lockstep
+// batch over the wire is bit-identical to the direct library call.
 #include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdint>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/job.h"
@@ -27,11 +34,28 @@ using namespace msbist;
 using core::JsonValue;
 using core::parse_json;
 
-/// One daemon-in-a-test: manager + listener on an ephemeral port.
+/// One daemon-in-a-test: manager + listener on an ephemeral port, with
+/// the same internal-response metrics wiring msbistd uses (so even
+/// server-synthesized 400/413s land in manager.metrics()).
 struct ServiceFixture {
-  explicit ServiceFixture(service::JobManagerOptions mopts = {})
+  static service::HttpServer::Options http_options() {
+    service::HttpServer::Options o;
+    o.bind_address = "127.0.0.1";
+    o.port = 0;
+    o.io_threads = 2;
+    return o;
+  }
+
+  static service::HttpServer::Options with_observer(
+      service::HttpServer::Options o, service::JobManager& m) {
+    o.observe_internal_response = service::make_internal_response_observer(m);
+    return o;
+  }
+
+  explicit ServiceFixture(service::JobManagerOptions mopts = {},
+                          service::HttpServer::Options hopts = http_options())
       : manager(mopts),
-        server({/*bind_address=*/"127.0.0.1", /*port=*/0, /*io_threads=*/2},
+        server(with_observer(std::move(hopts), manager),
                service::make_api_handler(manager)) {}
 
   service::HttpResponse request(const std::string& method,
@@ -64,9 +88,58 @@ struct ServiceFixture {
     return doc.find("id")->as_u64();
   }
 
+  /// Poll GET /jobs/{id} until it reports `state` (10 s deadline).
+  void await_state(std::uint64_t id, const std::string& state) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const JsonValue doc =
+          parse_json(request("GET", "/jobs/" + std::to_string(id)).body);
+      if (doc.find("state")->as_string() == state) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ADD_FAILURE() << "job " << id << " never reached state " << state;
+  }
+
+  /// Submit a long serial full-spec batch and wait until it occupies a
+  /// worker slot — the standard way these tests saturate a 1-worker
+  /// manager so later submissions stay queued. Cancel it when done.
+  std::uint64_t submit_blocker() {
+    const std::uint64_t id = submit(
+        R"({"kind":"batch","device_count":2000,"batch_seed":5,)"
+        R"("full_spec":true,"threads":1,"label":"blocker"})");
+    await_state(id, "running");
+    return id;
+  }
+
   service::JobManager manager;
   service::HttpServer server;
 };
+
+/// Send raw bytes to the server and collect everything it answers until
+/// it closes the connection — for abuse cases no well-formed client can
+/// produce (unparseable request lines, oversized bodies).
+std::string raw_exchange(std::uint16_t port, const std::string& wire) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
 
 TEST(Service, SubmitPollResultHappyPath) {
   ServiceFixture fx;
@@ -354,6 +427,244 @@ TEST(Service, DrainRejectsNewSubmissionsWith503) {
   EXPECT_EQ(resp.status, 503);
   const JsonValue health = parse_json(fx.request("GET", "/healthz").body);
   EXPECT_TRUE(health.find("draining")->as_bool());
+}
+
+// ---------------------------------------------------------------------
+// Keep-alive connection lifecycle.
+
+TEST(KeepAlive, TwoRequestsOneSocket) {
+  ServiceFixture fx;
+  service::HttpClient client(fx.server.port());
+  const auto first = client.request("GET", "/healthz");
+  const auto second = client.request("GET", "/healthz");
+  EXPECT_EQ(first.status, 200);
+  EXPECT_EQ(second.status, 200);
+  // One TCP connect served both requests.
+  EXPECT_EQ(client.connects(), 1u);
+  EXPECT_EQ(client.requests(), 2u);
+  EXPECT_EQ(first.headers.at("connection"), "keep-alive");
+
+  // The server saw the reuse too: this scrape rides a fresh connection,
+  // so http_connections >= 2 but exactly one connection was ever reused.
+  const JsonValue m = parse_json(fx.request("GET", "/metrics").body);
+  const JsonValue* counters = m.find("counters");
+  EXPECT_GE(counters->find("http_connections")->as_u64(), 2u);
+  EXPECT_EQ(counters->find("reused_connections")->as_u64(), 1u);
+  EXPECT_EQ(counters->find("keepalive_requests")->as_u64(), 1u);
+}
+
+TEST(KeepAlive, ConnectionCloseIsHonored) {
+  ServiceFixture fx;
+  service::HttpClient client(fx.server.port());
+  const auto first =
+      client.request("GET", "/healthz", "", /*close_connection=*/true);
+  EXPECT_EQ(first.status, 200);
+  EXPECT_EQ(first.headers.at("connection"), "close");
+  const auto second = client.request("GET", "/healthz");
+  EXPECT_EQ(second.status, 200);
+  // Connection: close forced a reconnect for the second request.
+  EXPECT_EQ(client.connects(), 2u);
+}
+
+TEST(KeepAlive, MaxRequestsPerConnectionCaps) {
+  auto hopts = ServiceFixture::http_options();
+  hopts.max_requests_per_connection = 2;
+  ServiceFixture fx({}, hopts);
+  service::HttpClient client(fx.server.port());
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(client.request("GET", "/healthz").status, 200);
+  }
+  // The server closes every connection after its second request, so six
+  // requests need exactly three connects.
+  EXPECT_EQ(client.connects(), 3u);
+}
+
+TEST(KeepAlive, InternalBadRequestIsCountedInMetrics) {
+  ServiceFixture fx;
+  // An unparseable request line never reaches the API handler: the
+  // server synthesizes the 400 itself. The observe_internal_response
+  // wiring must count it all the same.
+  const std::string raw =
+      raw_exchange(fx.server.port(), "THIS IS NOT HTTP\r\n\r\n");
+  EXPECT_NE(raw.find("400"), std::string::npos);
+
+  const JsonValue m = parse_json(fx.request("GET", "/metrics").body);
+  const JsonValue* counters = m.find("counters");
+  EXPECT_GE(counters->find("http_responses_4xx")->as_u64(), 1u);
+  // The request-accounting invariant survives server-internal errors:
+  // total == classes + the one in-flight scrape.
+  EXPECT_EQ(counters->find("http_requests_total")->as_u64(),
+            counters->find("http_responses_2xx")->as_u64() +
+                counters->find("http_responses_4xx")->as_u64() +
+                counters->find("http_responses_5xx")->as_u64() + 1);
+  // And the latency histogram observed the internal 400 too.
+  EXPECT_EQ(m.find("histograms")
+                    ->find("request_seconds")
+                    ->find("count")
+                    ->as_u64() +
+                1,
+            counters->find("http_requests_total")->as_u64());
+}
+
+// ---------------------------------------------------------------------
+// Bounded admission, priority dispatch, fairness accounting.
+
+TEST(Admission, QueueFullYields429WithRetryAfter) {
+  service::JobManagerOptions mopts;
+  mopts.workers = 1;
+  mopts.max_queue_depth = 1;
+  mopts.retry_after_s = 7.0;
+  ServiceFixture fx(mopts);
+
+  const std::uint64_t blocker = fx.submit_blocker();
+  // The single worker is busy; this one fills the whole queue...
+  const std::uint64_t queued = fx.submit(
+      R"({"kind":"batch","device_count":1,"tiers":["digital"],"threads":1})");
+  EXPECT_EQ(fx.manager.queue_depth(), 1u);
+
+  // ...so the next submission must bounce with a structured 429.
+  const auto resp = fx.request(
+      "POST", "/jobs",
+      R"({"kind":"batch","device_count":1,"tiers":["digital"],"threads":1})");
+  EXPECT_EQ(resp.status, 429) << resp.body;
+  EXPECT_EQ(resp.headers.at("retry-after"), "7");
+  const JsonValue doc = parse_json(resp.body);
+  EXPECT_EQ(doc.find("kind")->as_string(), "error");
+  EXPECT_EQ(doc.find("failure")->find("code")->as_string(), "overloaded");
+  EXPECT_NE(doc.find("failure")->find("detail")->as_string().find("queue"),
+            std::string::npos);
+
+  const JsonValue m = parse_json(fx.request("GET", "/metrics").body);
+  EXPECT_EQ(m.find("counters")->find("rejected_overload")->as_u64(), 1u);
+  EXPECT_EQ(m.find("gauges")->find("queue_depth")->as_u64(), 1u);
+
+  fx.request("POST", "/jobs/" + std::to_string(blocker) + "/cancel");
+  fx.await_terminal(blocker);
+  fx.await_terminal(queued);
+}
+
+TEST(Admission, PriorityOrderingUnderSaturation) {
+  service::JobManagerOptions mopts;
+  mopts.workers = 1;
+  mopts.aging_seconds = 1000.0;  // isolate pure priority ordering
+  ServiceFixture fx(mopts);
+
+  const std::uint64_t blocker = fx.submit_blocker();
+  const std::uint64_t low = fx.submit(
+      R"({"kind":"batch","device_count":1,"tiers":["digital"],"threads":1,)"
+      R"("priority":"low"})");
+  const std::uint64_t high = fx.submit(
+      R"({"kind":"batch","device_count":1,"tiers":["digital"],"threads":1,)"
+      R"("priority":"high"})");
+  const std::uint64_t normal = fx.submit(
+      R"({"kind":"batch","device_count":1,"tiers":["digital"],"threads":1})");
+
+  fx.request("POST", "/jobs/" + std::to_string(blocker) + "/cancel");
+  fx.await_terminal(blocker);
+  const JsonValue done_low = fx.await_terminal(low);
+  const JsonValue done_high = fx.await_terminal(high);
+  const JsonValue done_normal = fx.await_terminal(normal);
+
+  // One worker drains the queue strictly by priority: high before
+  // normal before low, regardless of submission order.
+  const auto started = [](const JsonValue& doc) {
+    return doc.find("times")->find("started_seconds")->as_double();
+  };
+  EXPECT_LT(started(done_high), started(done_normal));
+  EXPECT_LT(started(done_normal), started(done_low));
+}
+
+TEST(Admission, AgingPromotesStarvedLowPriority) {
+  service::JobManagerOptions mopts;
+  mopts.workers = 1;
+  mopts.aging_seconds = 0.05;
+  ServiceFixture fx(mopts);
+
+  const std::uint64_t blocker = fx.submit_blocker();
+  const std::uint64_t low = fx.submit(
+      R"({"kind":"batch","device_count":1,"tiers":["digital"],"threads":1,)"
+      R"("priority":"low"})");
+  // Let the low job age past 2 * aging_seconds: effective priority is
+  // now high, so a just-submitted normal job must not overtake it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const std::uint64_t normal = fx.submit(
+      R"({"kind":"batch","device_count":1,"tiers":["digital"],"threads":1})");
+
+  fx.request("POST", "/jobs/" + std::to_string(blocker) + "/cancel");
+  fx.await_terminal(blocker);
+  const JsonValue done_low = fx.await_terminal(low);
+  const JsonValue done_normal = fx.await_terminal(normal);
+  EXPECT_LT(done_low.find("times")->find("started_seconds")->as_double(),
+            done_normal.find("times")->find("started_seconds")->as_double());
+}
+
+TEST(Admission, CancelStillQueuedJob) {
+  service::JobManagerOptions mopts;
+  mopts.workers = 1;
+  ServiceFixture fx(mopts);
+
+  const std::uint64_t blocker = fx.submit_blocker();
+  const std::uint64_t queued = fx.submit(
+      R"({"kind":"batch","device_count":1,"tiers":["digital"],"threads":1})");
+  EXPECT_EQ(fx.manager.queue_depth(), 1u);
+
+  // Cancelling a queued job is immediate: no slot ever ran it.
+  EXPECT_EQ(
+      fx.request("POST", "/jobs/" + std::to_string(queued) + "/cancel").status,
+      200);
+  const JsonValue doc =
+      parse_json(fx.request("GET", "/jobs/" + std::to_string(queued)).body);
+  EXPECT_EQ(doc.find("state")->as_string(), "cancelled");
+  EXPECT_EQ(doc.find("times")->find("started_seconds"), nullptr);
+  EXPECT_EQ(fx.manager.queue_depth(), 0u);
+
+  fx.request("POST", "/jobs/" + std::to_string(blocker) + "/cancel");
+  fx.await_terminal(blocker);
+}
+
+TEST(Admission, PerTagQueueShareAndAccounting) {
+  service::JobManagerOptions mopts;
+  mopts.workers = 1;
+  mopts.max_queued_per_tag = 1;
+  ServiceFixture fx(mopts);
+
+  const std::uint64_t blocker = fx.submit_blocker();
+  const std::uint64_t alice1 = fx.submit(
+      R"({"kind":"batch","device_count":1,"tiers":["digital"],"threads":1,)"
+      R"("client_tag":"alice"})");
+  // alice already holds her full queue share; bob still fits.
+  const auto rejected = fx.request(
+      "POST", "/jobs",
+      R"({"kind":"batch","device_count":1,"tiers":["digital"],"threads":1,)"
+      R"("client_tag":"alice"})");
+  EXPECT_EQ(rejected.status, 429) << rejected.body;
+  EXPECT_NE(parse_json(rejected.body)
+                .find("failure")
+                ->find("detail")
+                ->as_string()
+                .find("alice"),
+            std::string::npos);
+  const std::uint64_t bob = fx.submit(
+      R"({"kind":"batch","device_count":1,"tiers":["digital"],"threads":1,)"
+      R"("client_tag":"bob"})");
+
+  fx.request("POST", "/jobs/" + std::to_string(blocker) + "/cancel");
+  fx.await_terminal(blocker);
+  fx.await_terminal(alice1);
+  fx.await_terminal(bob);
+
+  const JsonValue m = parse_json(fx.request("GET", "/metrics").body);
+  const JsonValue* clients = m.find("clients");
+  ASSERT_NE(clients, nullptr);
+  const JsonValue* alice = clients->find("alice");
+  ASSERT_NE(alice, nullptr);
+  EXPECT_EQ(alice->find("submitted")->as_u64(), 1u);
+  EXPECT_EQ(alice->find("rejected")->as_u64(), 1u);
+  EXPECT_EQ(alice->find("completed")->as_u64(), 1u);
+  const JsonValue* bob_row = clients->find("bob");
+  ASSERT_NE(bob_row, nullptr);
+  EXPECT_EQ(bob_row->find("submitted")->as_u64(), 1u);
+  EXPECT_EQ(bob_row->find("rejected")->as_u64(), 0u);
 }
 
 }  // namespace

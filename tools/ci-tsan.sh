@@ -7,9 +7,10 @@
 # Builds the tree with MSBIST_SANITIZE=thread (wired in the top-level
 # CMakeLists) and runs the concurrency-relevant tests: the fault/campaign
 # suites, the production batch engine (including the cross-thread-count
-# determinism test), the core ThreadPool tests, and the sparse/lockstep
-# batch engines (shared factorizations consumed across lanes). Any race
-# report is fatal.
+# determinism test), the core ThreadPool tests, the sparse/lockstep
+# batch engines (shared factorizations consumed across lanes), and the
+# service stack (keep-alive HTTP workers, bounded-admission dispatch).
+# Any race report is fatal.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,4 +21,4 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R '^(Campaign|CampaignParallel|CollapsedCampaign|Collapse|CollapseMap|Universe|SiteUniverse|Inject|ThreadPool|Production|SparseMatrix|SparseLu|BatchSparseLu|SparseBackend|BatchTransient|RunBatchLockstep)\.'
+  -R '^(Campaign|CampaignParallel|CollapsedCampaign|Collapse|CollapseMap|Universe|SiteUniverse|Inject|ThreadPool|Production|SparseMatrix|SparseLu|BatchSparseLu|SparseBackend|BatchTransient|RunBatchLockstep|Service|KeepAlive|Admission)\.'

@@ -1,0 +1,423 @@
+// msbist-loadgen — closed-loop load generator for msbistd.
+//
+// Spawns N worker threads, each owning ONE keep-alive HttpClient
+// connection to a running msbistd. Every worker drives a closed loop of
+// submit -> poll -> result cycles: it POSTs a small job, retries with
+// backoff while the daemon answers 429 (bounded admission), polls
+// GET /jobs/{id} until the job is terminal, and fetches the result.
+// Closed-loop means a worker never has more than one job in flight, so
+// offered load is workers / service-time — the classic way to probe a
+// queueing system without open-loop overload artifacts.
+//
+// The run report (JSON on stdout) carries everything the CI load gate
+// asserts on: throughput, submit-latency percentiles (p50/p95/p99),
+// end-to-end percentiles, error counts split into 429s (expected under
+// overload) and everything else (always a failure), and the
+// connection-reuse ratio measured client-side from HttpClient's
+// connect/request counters.
+//
+//   msbist-loadgen --port N [--workers N] [--jobs N] [--priority P]
+//                  [--device-count N] [--tag-prefix S] [--timeout-s S]
+//
+// Exit status: 0 when every accepted job reached a terminal state and
+// no non-429 errors occurred; 1 otherwise. Sustained 429s are NOT a
+// failure — structured backpressure is the behavior under test.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/json.h"
+#include "core/json_value.h"
+#include "service/http.h"
+
+namespace {
+
+using msbist::service::HttpClient;
+using msbist::service::HttpResponse;
+
+struct Options {
+  std::uint16_t port = 0;
+  std::size_t workers = 8;
+  std::size_t jobs_per_worker = 50;
+  std::string priority = "normal";  // low | normal | high | mix
+  std::size_t device_count = 1;
+  std::string tag_prefix = "loadgen";
+  double timeout_s = 120.0;  ///< per-job terminal-state deadline
+  double backoff_cap_s = 0.05;  ///< cap on honoring Retry-After in CI
+};
+
+/// Everything one worker measures; merged after join.
+struct WorkerStats {
+  std::vector<double> submit_seconds;  ///< accepted submits only
+  std::vector<double> cycle_seconds;   ///< submit -> terminal result
+  std::uint64_t completed = 0;         ///< accepted jobs that went terminal
+  std::uint64_t rejected_429 = 0;      ///< submit attempts bounced by admission
+  std::uint64_t errors = 0;            ///< non-429 failures of any kind
+  std::uint64_t submit_errors = 0;     ///< ...during POST /jobs
+  std::uint64_t poll_errors = 0;       ///< ...during GET /jobs/{id}
+  std::uint64_t result_errors = 0;     ///< ...during GET /jobs/{id}/result
+  std::uint64_t stuck = 0;             ///< accepted jobs never seen terminal
+  std::uint64_t requests = 0;          ///< HTTP requests issued
+  std::uint64_t connects = 0;          ///< TCP connects performed
+  std::string first_error;             ///< sample diagnosis of the first one
+
+  void record_error(std::uint64_t& category, const std::string& what) {
+    ++errors;
+    ++category;
+    if (first_error.empty()) first_error = what;
+  }
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Priority for worker i under the requested scheme. "mix" spreads
+/// workers over low/normal/high round-robin so priority dispatch is
+/// actually exercised.
+std::string priority_for(const Options& opt, std::size_t worker) {
+  if (opt.priority != "mix") return opt.priority;
+  static const char* kLevels[] = {"low", "normal", "high"};
+  return kLevels[worker % 3];
+}
+
+std::string job_body(const Options& opt, const std::string& priority,
+                     const std::string& tag) {
+  msbist::core::JsonWriter w;
+  w.begin_object()
+      .member("kind", "batch")
+      .member("device_count", opt.device_count)
+      .member("threads", std::size_t{1})
+      .member("priority", priority)
+      .member("client_tag", tag);
+  w.key("tiers").begin_array().value("digital").end_array();
+  w.end_object();
+  return w.str();
+}
+
+/// Retry-After header (integer seconds), clamped to the CI backoff cap
+/// so an overload run probes the queue often instead of sleeping it dry.
+double backoff_seconds(const Options& opt, const HttpResponse& resp) {
+  double hint = opt.backoff_cap_s;
+  const auto it = resp.headers.find("retry-after");
+  if (it != resp.headers.end()) {
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end != it->second.c_str() && v >= 0.0) hint = v;
+  }
+  return std::min(hint, opt.backoff_cap_s);
+}
+
+/// Parse {"id":N} out of the 202 job_accepted body; 0 on failure.
+std::uint64_t parse_job_id(const std::string& body) {
+  try {
+    const msbist::core::JsonValue doc = msbist::core::parse_json(body);
+    const msbist::core::JsonValue* id = doc.find("id");
+    if (id != nullptr && id->is_integer()) return id->as_u64();
+  } catch (const std::exception&) {
+  }
+  return 0;
+}
+
+/// Parse {"state":"..."} out of a job_status body; "" on failure.
+std::string parse_state(const std::string& body) {
+  try {
+    const msbist::core::JsonValue doc = msbist::core::parse_json(body);
+    const msbist::core::JsonValue* state = doc.find("state");
+    if (state != nullptr && state->is_string()) return state->as_string();
+  } catch (const std::exception&) {
+  }
+  return "";
+}
+
+bool is_terminal_state(const std::string& state) {
+  return !state.empty() && state != "queued" && state != "running";
+}
+
+void run_worker(const Options& opt, std::size_t index, WorkerStats& stats) {
+  const std::string priority = priority_for(opt, index);
+  const std::string tag = opt.tag_prefix + "-" + std::to_string(index);
+  const std::string body = job_body(opt, priority, tag);
+  HttpClient client(opt.port, opt.timeout_s);
+
+  for (std::size_t j = 0; j < opt.jobs_per_worker; ++j) {
+    const double cycle_start = now_seconds();
+    // Submit, backing off while admission bounces us.
+    std::uint64_t id = 0;
+    for (;;) {
+      const double t0 = now_seconds();
+      HttpResponse resp;
+      try {
+        resp = client.request("POST", "/jobs", body);
+      } catch (const std::exception& e) {
+        stats.record_error(stats.submit_errors,
+                           std::string("submit threw: ") + e.what());
+        break;
+      }
+      if (resp.status == 202) {
+        stats.submit_seconds.push_back(now_seconds() - t0);
+        id = parse_job_id(resp.body);
+        if (id == 0) {
+          stats.record_error(stats.submit_errors,
+                             "202 without a job id: " + resp.body);
+        }
+        break;
+      }
+      if (resp.status == 429) {
+        ++stats.rejected_429;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            backoff_seconds(opt, resp)));
+        continue;
+      }
+      stats.record_error(stats.submit_errors,
+                         "submit status " + std::to_string(resp.status) +
+                             ": " + resp.body);
+      break;
+    }
+    if (id == 0) continue;
+
+    // Poll until terminal.
+    const double deadline = cycle_start + opt.timeout_s;
+    bool terminal = false;
+    while (now_seconds() < deadline) {
+      HttpResponse resp;
+      try {
+        resp = client.request("GET", "/jobs/" + std::to_string(id));
+      } catch (const std::exception& e) {
+        stats.record_error(stats.poll_errors,
+                           std::string("poll threw: ") + e.what());
+        break;
+      }
+      if (resp.status != 200) {
+        stats.record_error(stats.poll_errors,
+                           "poll status " + std::to_string(resp.status) +
+                               ": " + resp.body);
+        break;
+      }
+      if (is_terminal_state(parse_state(resp.body))) {
+        terminal = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (!terminal) {
+      ++stats.stuck;
+      continue;
+    }
+
+    // Fetch the result (exercises the biggest response bodies).
+    try {
+      const HttpResponse resp =
+          client.request("GET", "/jobs/" + std::to_string(id) + "/result");
+      if (resp.status != 200) {
+        stats.record_error(stats.result_errors,
+                           "result status " + std::to_string(resp.status) +
+                               ": " + resp.body);
+        continue;
+      }
+    } catch (const std::exception& e) {
+      stats.record_error(stats.result_errors,
+                         std::string("result threw: ") + e.what());
+      continue;
+    }
+    ++stats.completed;
+    stats.cycle_seconds.push_back(now_seconds() - cycle_start);
+  }
+
+  stats.requests = client.requests();
+  stats.connects = client.connects();
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void write_percentiles(msbist::core::JsonWriter& w, const char* name,
+                       std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  w.key(name)
+      .begin_object()
+      .member("count", samples.size())
+      .member("p50", percentile(samples, 0.50))
+      .member("p95", percentile(samples, 0.95))
+      .member("p99", percentile(samples, 0.99))
+      .member("max", samples.empty() ? 0.0 : samples.back())
+      .end_object();
+}
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: msbist-loadgen --port N [--workers N] [--jobs N]\n"
+      "                      [--priority low|normal|high|mix]\n"
+      "                      [--device-count N] [--tag-prefix S]\n"
+      "                      [--timeout-s S]\n"
+      "\n"
+      "Closed-loop load generator for msbistd: N workers, each with one\n"
+      "keep-alive connection, each running --jobs submit/poll/result\n"
+      "cycles. Prints a JSON run report on stdout. Exits 1 on any\n"
+      "non-429 error or accepted job that never reached a terminal\n"
+      "state; structured 429 backpressure is expected, not a failure.\n",
+      out);
+}
+
+bool parse_size(const char* text, std::size_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    std::size_t parsed = 0;
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    }
+    if (arg == "--port" && value != nullptr && parse_size(value, parsed) &&
+        parsed > 0 && parsed <= 65535) {
+      opt.port = static_cast<std::uint16_t>(parsed);
+      ++i;
+    } else if (arg == "--workers" && value != nullptr &&
+               parse_size(value, parsed) && parsed > 0) {
+      opt.workers = parsed;
+      ++i;
+    } else if (arg == "--jobs" && value != nullptr &&
+               parse_size(value, parsed) && parsed > 0) {
+      opt.jobs_per_worker = parsed;
+      ++i;
+    } else if (arg == "--priority" && value != nullptr) {
+      opt.priority = value;
+      ++i;
+    } else if (arg == "--device-count" && value != nullptr &&
+               parse_size(value, parsed) && parsed > 0) {
+      opt.device_count = parsed;
+      ++i;
+    } else if (arg == "--tag-prefix" && value != nullptr) {
+      opt.tag_prefix = value;
+      ++i;
+    } else if (arg == "--timeout-s" && value != nullptr) {
+      char* end = nullptr;
+      const double v = std::strtod(value, &end);
+      if (end == value || *end != '\0' || v <= 0.0) {
+        std::fprintf(stderr, "msbist-loadgen: bad --timeout-s \"%s\"\n", value);
+        return 2;
+      }
+      opt.timeout_s = v;
+      ++i;
+    } else {
+      std::fprintf(stderr, "msbist-loadgen: bad argument \"%s\"\n",
+                   arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (opt.priority != "low" && opt.priority != "normal" &&
+      opt.priority != "high" && opt.priority != "mix") {
+    std::fprintf(stderr, "msbist-loadgen: bad --priority \"%s\"\n",
+                 opt.priority.c_str());
+    return 2;
+  }
+  if (opt.port == 0) {
+    std::fputs("msbist-loadgen: --port is required\n", stderr);
+    usage(stderr);
+    return 2;
+  }
+
+  std::vector<WorkerStats> per_worker(opt.workers);
+  std::vector<std::thread> threads;
+  threads.reserve(opt.workers);
+  const double wall_start = now_seconds();
+  for (std::size_t i = 0; i < opt.workers; ++i) {
+    threads.emplace_back(
+        [&opt, i, &per_worker] { run_worker(opt, i, per_worker[i]); });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_seconds = now_seconds() - wall_start;
+
+  WorkerStats total;
+  for (const WorkerStats& s : per_worker) {
+    total.submit_seconds.insert(total.submit_seconds.end(),
+                                s.submit_seconds.begin(),
+                                s.submit_seconds.end());
+    total.cycle_seconds.insert(total.cycle_seconds.end(),
+                               s.cycle_seconds.begin(),
+                               s.cycle_seconds.end());
+    total.completed += s.completed;
+    total.rejected_429 += s.rejected_429;
+    total.errors += s.errors;
+    total.submit_errors += s.submit_errors;
+    total.poll_errors += s.poll_errors;
+    total.result_errors += s.result_errors;
+    total.stuck += s.stuck;
+    total.requests += s.requests;
+    total.connects += s.connects;
+    if (total.first_error.empty()) total.first_error = s.first_error;
+  }
+  const double reuse_ratio =
+      total.requests == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(total.connects) /
+                      static_cast<double>(total.requests);
+
+  msbist::core::JsonWriter w;
+  w.begin_object()
+      .member("kind", "loadgen_report")
+      .member("schema_version", 1)
+      .member("workers", opt.workers)
+      .member("jobs_per_worker", opt.jobs_per_worker)
+      .member("priority", opt.priority)
+      .member("wall_seconds", wall_seconds)
+      .member("completed", total.completed)
+      .member("throughput_jobs_per_s",
+              wall_seconds > 0.0
+                  ? static_cast<double>(total.completed) / wall_seconds
+                  : 0.0)
+      .member("rejected_429", total.rejected_429)
+      .member("errors", total.errors)
+      .member("submit_errors", total.submit_errors)
+      .member("poll_errors", total.poll_errors)
+      .member("result_errors", total.result_errors)
+      .member("first_error", total.first_error)
+      .member("stuck", total.stuck)
+      .member("http_requests", total.requests)
+      .member("tcp_connects", total.connects)
+      .member("reuse_ratio", reuse_ratio);
+  write_percentiles(w, "submit_seconds", std::move(total.submit_seconds));
+  write_percentiles(w, "cycle_seconds", std::move(total.cycle_seconds));
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(opt.workers) * opt.jobs_per_worker;
+  if (total.errors > 0 || total.stuck > 0 || total.completed != expected) {
+    std::fprintf(stderr,
+                 "msbist-loadgen: FAIL (errors=%llu stuck=%llu "
+                 "completed=%llu/%llu)\n",
+                 static_cast<unsigned long long>(total.errors),
+                 static_cast<unsigned long long>(total.stuck),
+                 static_cast<unsigned long long>(total.completed),
+                 static_cast<unsigned long long>(expected));
+    return 1;
+  }
+  return 0;
+}
