@@ -1,0 +1,64 @@
+// Decode half of core::Failure's JSON rendering (the encode half is
+// Failure::to_json in core/error.h).
+//
+// Only the durability layer needs this: journal checkpoints persist
+// per-unit engine results — which may carry Failure records — and a
+// resumed run must restore them bit-identically so the recovered report
+// re-serializes to the same bytes. The decoder mirrors to_json's
+// presence rules exactly: optional members (time_s, sweep_value,
+// worst_node) set their has_*/non-empty flags if and only if present.
+#pragma once
+
+#include <string_view>
+
+#include "core/error.h"
+#include "core/json_value.h"
+
+namespace msbist::core {
+
+/// Inverse of to_string(ErrorCode). Unknown names (a future code read by
+/// an older binary) map to kInternal rather than failing recovery.
+inline ErrorCode parse_error_code(std::string_view name) {
+  for (int i = 0; i <= static_cast<int>(ErrorCode::kOverloaded); ++i) {
+    const auto code = static_cast<ErrorCode>(i);
+    if (name == to_string(code)) return code;
+  }
+  return ErrorCode::kInternal;
+}
+
+/// Rebuild a Failure from Failure::to_json output. Tolerant of missing
+/// members (defaults hold); wrong-typed members throw the JsonValue
+/// accessors' std::logic_error, which journal recovery treats as a
+/// corrupt record.
+inline Failure failure_from_json(const JsonValue& v) {
+  Failure f;
+  if (const JsonValue* code = v.find("code")) {
+    f.code = parse_error_code(code->as_string());
+  }
+  if (const JsonValue* analysis = v.find("analysis")) {
+    f.analysis = analysis->as_string();
+  }
+  if (const JsonValue* t = v.find("time_s")) {
+    f.time_s = t->as_double();
+    f.has_time = true;
+  }
+  if (const JsonValue* s = v.find("sweep_value")) {
+    f.sweep_value = s->as_double();
+    f.has_sweep_value = true;
+  }
+  if (const JsonValue* it = v.find("iterations")) {
+    f.iterations = static_cast<int>(it->as_i64());
+  }
+  if (const JsonValue* node = v.find("worst_node")) {
+    f.worst_node = node->as_string();
+    if (const JsonValue* upd = v.find("worst_update")) {
+      f.worst_update = upd->as_double();
+    }
+  }
+  if (const JsonValue* detail = v.find("detail")) {
+    f.detail = detail->as_string();
+  }
+  return f;
+}
+
+}  // namespace msbist::core

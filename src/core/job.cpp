@@ -111,6 +111,8 @@ JobRequest JobRequest::from_json(const JsonValue& v) {
       req.priority = parse_job_priority(require_string(val, "priority"));
     } else if (key == "client_tag") {
       req.client_tag = require_string(val, "client_tag");
+    } else if (key == "idempotency_key") {
+      req.idempotency_key = require_string(val, "idempotency_key");
     } else if (key == "device_count") {
       req.device_count = require_size(val, "device_count");
       if (req.device_count == 0) bad_request("device_count must be >= 1");
@@ -201,6 +203,7 @@ void JobRequest::to_json(JsonWriter& w) const {
   w.member("threads", static_cast<std::uint64_t>(threads))
       .member("priority", to_string(priority))
       .member("client_tag", client_tag);
+  if (!idempotency_key.empty()) w.member("idempotency_key", idempotency_key);
   w.key("limits");
   limits.to_json(w);
   w.end_object();

@@ -96,6 +96,11 @@ struct JobRequest {
   /// Who is submitting (free-form). The executor keeps per-tag fairness
   /// accounting and can cap any one tag's share of the admission queue.
   std::string client_tag;
+  /// Client-chosen deduplication token. A resubmit carrying a key the
+  /// executor has already accepted returns the existing job's id instead
+  /// of running the lot twice — the safe-retry contract for clients
+  /// whose 202 response was dropped by the network. Empty = no dedup.
+  std::string idempotency_key;
 
   // batch / lockstep_batch
   std::size_t device_count = 10;

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "analysis/diagnostic.h"
+#include "core/failure_json.h"
 #include "core/job.h"
 #include "core/thread_pool.h"
 #include "faults/collapse.h"
@@ -171,6 +172,26 @@ const CollapsedUniverse* checked_collapse(const std::vector<FaultSpec>& universe
   return cu;
 }
 
+/// Validate CampaignOptions::resume: its splice semantics assume every
+/// work item either ran to completion or will run now, which the
+/// stop_on_first_undetected prefix cut violates (a restored item past
+/// the would-be cut would resurrect discarded results).
+const CampaignResume* checked_resume(const CampaignOptions& options) {
+  if (options.resume != nullptr && options.stop_on_first_undetected) {
+    throw std::invalid_argument(
+        "campaign: resume is incompatible with stop_on_first_undetected");
+  }
+  return options.resume;
+}
+
+/// The resume entry for work item `index`, or nullptr to run it live.
+const FaultResult* resumed_item(const CampaignResume* resume,
+                                std::size_t index) {
+  if (resume == nullptr) return nullptr;
+  const auto it = resume->completed.find(index);
+  return it != resume->completed.end() ? &it->second : nullptr;
+}
+
 /// Expand per-representative results into the full report.
 void finalize_collapsed(CampaignReport& report, const CollapsedUniverse& cu,
                         const std::vector<FaultResult>& rep_results) {
@@ -231,6 +252,79 @@ void FaultResult::to_json(core::JsonWriter& w) const {
     failure.to_json(w);
   }
   w.end_object();
+}
+
+std::string encode_fault_checkpoint(const FaultResult& result) {
+  core::JsonWriter w;
+  w.begin_object();
+  w.key("fault").begin_object()
+      .member("kind", static_cast<std::uint64_t>(result.fault.kind))
+      .member("node_a", result.fault.node_a)
+      .member("node_b", result.fault.node_b)
+      .member("stuck_high", result.fault.stuck_high)
+      .member("label", result.fault.label)
+      .end_object();
+  w.member("detected", result.detected)
+      .member("score", result.score)
+      .member("detail", result.detail)
+      .member("errored", result.errored)
+      .member("timed_out", result.timed_out)
+      .member("detected_by_failure", result.detected_by_failure)
+      .member("elapsed_seconds", result.elapsed_seconds);
+  if (result.has_failure) {
+    w.key("failure");
+    result.failure.to_json(w);
+  }
+  w.end_object();
+  return w.str();
+}
+
+FaultResult decode_fault_checkpoint(const core::JsonValue& v) {
+  try {
+    const auto req = [](const core::JsonValue& obj,
+                        const char* key) -> const core::JsonValue& {
+      const core::JsonValue* m = obj.find(key);
+      if (m == nullptr) {
+        throw std::logic_error(std::string("missing checkpoint member \"") +
+                               key + "\"");
+      }
+      return *m;
+    };
+    if (!v.is_object()) throw std::logic_error("checkpoint must be an object");
+    const core::JsonValue& fault = req(v, "fault");
+    if (!fault.is_object()) {
+      throw std::logic_error("checkpoint fault must be an object");
+    }
+
+    FaultResult r;
+    const std::uint64_t kind = req(fault, "kind").as_u64();
+    if (kind > static_cast<std::uint64_t>(FaultKind::kBridge)) {
+      throw std::logic_error("unknown fault kind in checkpoint");
+    }
+    r.fault.kind = static_cast<FaultKind>(kind);
+    r.fault.node_a = static_cast<int>(req(fault, "node_a").as_i64());
+    r.fault.node_b = static_cast<int>(req(fault, "node_b").as_i64());
+    r.fault.stuck_high = req(fault, "stuck_high").as_bool();
+    r.fault.label = req(fault, "label").as_string();
+    r.detected = req(v, "detected").as_bool();
+    r.score = req(v, "score").as_double();
+    r.detail = req(v, "detail").as_string();
+    r.errored = req(v, "errored").as_bool();
+    r.timed_out = req(v, "timed_out").as_bool();
+    r.detected_by_failure = req(v, "detected_by_failure").as_bool();
+    r.elapsed_seconds = req(v, "elapsed_seconds").as_double();
+    if (const core::JsonValue* failure = v.find("failure")) {
+      r.has_failure = true;
+      r.failure = core::failure_from_json(*failure);
+    }
+    return r;
+  } catch (const std::logic_error& e) {
+    core::Failure f;
+    f.code = core::ErrorCode::kBadInput;
+    f.analysis = "faults/fault_checkpoint";
+    f.detail = e.what();
+    core::throw_failure(std::move(f));
+  }
 }
 
 core::Outcome CampaignReport::outcome() const {
@@ -320,6 +414,7 @@ CampaignReport run_campaign(const std::vector<FaultSpec>& universe,
   const auto t0 = Clock::now();
   CampaignReport report;
   report.threads_used = 1;
+  const CampaignResume* resume = checked_resume(options);
   // Joined (in its destructor) before the report reaches the caller.
   AbandonedWorkers reaper;
   if (const CollapsedUniverse* cu = checked_collapse(universe, options)) {
@@ -327,9 +422,16 @@ CampaignReport run_campaign(const std::vector<FaultSpec>& universe,
     std::vector<FaultResult> rep_results;
     rep_results.reserve(reps.size());
     for (std::size_t k = 0; k < reps.size(); ++k) {
+      if (const FaultResult* done = resumed_item(resume, k)) {
+        rep_results.push_back(*done);
+        continue;
+      }
       rep_results.push_back(run_one(test, universe[reps[k]], options, reaper));
       if (options.progress) {
         options.progress(k + 1, reps.size(), rep_results.back());
+      }
+      if (options.on_fault_complete) {
+        options.on_fault_complete(k, reps.size(), rep_results.back());
       }
     }
     finalize_collapsed(report, *cu, rep_results);
@@ -337,13 +439,21 @@ CampaignReport run_campaign(const std::vector<FaultSpec>& universe,
     return report;
   }
   report.results.reserve(universe.size());
-  for (const FaultSpec& f : universe) {
-    FaultResult r = run_one(test, f, options, reaper);
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    if (const FaultResult* done = resumed_item(resume, i)) {
+      tally(report, *done);
+      report.results.push_back(*done);
+      continue;
+    }
+    FaultResult r = run_one(test, universe[i], options, reaper);
     tally(report, r);
     report.results.push_back(std::move(r));
     if (options.progress) {
       options.progress(report.results.size(), universe.size(),
                        report.results.back());
+    }
+    if (options.on_fault_complete) {
+      options.on_fault_complete(i, universe.size(), report.results.back());
     }
     if (options.stop_on_first_undetected && !report.results.back().detected) {
       break;
@@ -359,6 +469,7 @@ CampaignReport run_campaign_parallel(const std::vector<FaultSpec>& universe,
                                      const CampaignOptions& options) {
   const auto t0 = Clock::now();
   const CollapsedUniverse* cu = checked_collapse(universe, options);
+  const CampaignResume* resume = checked_resume(options);
   // Work items: whole universe, or only the class representatives.
   const std::size_t n = cu != nullptr ? cu->map.simulated_count() : universe.size();
   std::size_t threads = options.threads != 0
@@ -379,6 +490,14 @@ CampaignReport run_campaign_parallel(const std::vector<FaultSpec>& universe,
   if (cu != nullptr) {
     const auto& reps = cu->map.representatives();
     std::vector<FaultResult> rep_slots(n);
+    std::vector<char> restored(n, 0);
+    if (resume != nullptr) {
+      for (const auto& [k, done] : resume->completed) {
+        if (k >= n) continue;
+        rep_slots[k] = done;
+        restored[k] = 1;
+      }
+    }
     std::atomic<std::size_t> next_rep{0};
     std::mutex rep_progress_mu;
     std::size_t rep_completed = 0;
@@ -386,10 +505,14 @@ CampaignReport run_campaign_parallel(const std::vector<FaultSpec>& universe,
       for (;;) {
         const std::size_t k = next_rep.fetch_add(1, std::memory_order_relaxed);
         if (k >= n) return;
+        if (restored[k] != 0) continue;
         rep_slots[k] = run_one(test, universe[reps[k]], options, reaper);
         if (options.progress) {
           std::lock_guard<std::mutex> lock(rep_progress_mu);
           options.progress(++rep_completed, n, rep_slots[k]);
+        }
+        if (options.on_fault_complete) {
+          options.on_fault_complete(k, n, rep_slots[k]);
         }
       }
     };
@@ -405,6 +528,14 @@ CampaignReport run_campaign_parallel(const std::vector<FaultSpec>& universe,
   // atomic counter and only ever write their own slot. wait_idle() orders
   // all slot writes before the assembly loop below.
   std::vector<FaultResult> slots(n);
+  std::vector<char> restored(n, 0);
+  if (resume != nullptr) {
+    for (const auto& [i, done] : resume->completed) {
+      if (i >= n) continue;
+      slots[i] = done;
+      restored[i] = 1;
+    }
+  }
   std::atomic<std::size_t> next{0};
   // Earliest undetected index seen so far (n = none). Claims are monotone,
   // so every index <= the final minimum is guaranteed to have run.
@@ -416,6 +547,7 @@ CampaignReport run_campaign_parallel(const std::vector<FaultSpec>& universe,
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
+      if (restored[i] != 0) continue;
       if (options.stop_on_first_undetected &&
           i > first_undetected.load(std::memory_order_acquire)) {
         return;  // later claims only grow past the cut — nothing left to do
@@ -431,6 +563,9 @@ CampaignReport run_campaign_parallel(const std::vector<FaultSpec>& universe,
       if (options.progress) {
         std::lock_guard<std::mutex> lock(progress_mu);
         options.progress(++completed, n, slots[i]);
+      }
+      if (options.on_fault_complete) {
+        options.on_fault_complete(i, n, slots[i]);
       }
     }
   };

@@ -21,11 +21,13 @@
 #include <chrono>
 #include <cstddef>
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/error.h"
+#include "core/json_value.h"
 #include "core/outcome.h"
 #include "faults/fault.h"
 
@@ -120,6 +122,33 @@ using FaultTestFn = std::function<FaultResult(const FaultSpec&)>;
 using ProgressCallback = std::function<void(
     std::size_t completed, std::size_t total, const FaultResult& result)>;
 
+/// Checkpoint hook: fired with the *work-item index* (universe index, or
+/// representative-list index under collapse) after each fault actually
+/// simulated in this run — never for items restored from a resume. The
+/// parallel engine calls it from worker threads concurrently; it must be
+/// thread-safe.
+using FaultCompleteCallback = std::function<void(
+    std::size_t index, std::size_t total, const FaultResult& result)>;
+
+/// Already-completed work items from a prior interrupted run of the SAME
+/// universe and options, keyed by work-item index (universe index
+/// normally; representative-list index under collapse — the same index
+/// FaultCompleteCallback reported). Restored items are spliced into
+/// their slots without re-simulating; for a deterministic test function
+/// the resumed report's canonical_outcomes() is bit-identical to an
+/// uninterrupted run.
+struct CampaignResume {
+  std::map<std::size_t, FaultResult> completed;
+};
+
+/// One fault's checkpoint payload: the fully typed FaultResult document
+/// (unlike device checkpoints there is no verbatim splice — collapse
+/// expansion rewrites restored results per member, so the result must be
+/// genuinely reconstructable). The decoder throws
+/// core::SolverError(kBadInput) on a malformed payload.
+std::string encode_fault_checkpoint(const FaultResult& result);
+FaultResult decode_fault_checkpoint(const core::JsonValue& v);
+
 struct CampaignOptions {
   /// Worker threads for run_campaign_parallel; 0 = hardware concurrency.
   /// Ignored by the serial engine.
@@ -150,6 +179,13 @@ struct CampaignOptions {
   /// count). Throws std::invalid_argument on a universe mismatch or when
   /// combined with stop_on_first_undetected.
   const CollapsedUniverse* collapse = nullptr;
+  /// Per-work-item checkpoint hook; see FaultCompleteCallback.
+  FaultCompleteCallback on_fault_complete;
+  /// Prior-run results to splice instead of re-simulating (not owned —
+  /// must outlive the call). Incompatible with stop_on_first_undetected
+  /// (the prefix cut depends on every item actually running in order);
+  /// combining them throws std::invalid_argument.
+  const CampaignResume* resume = nullptr;
 };
 
 /// Run the test against every fault in the universe, serially.

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/device.h"
+#include "core/failure_json.h"
 #include "core/job.h"
 #include "core/thread_pool.h"
 #include "faults/collapse.h"
@@ -145,6 +146,13 @@ void SpotCheckResult::to_json(core::JsonWriter& w) const {
 }
 
 void DeviceOutcome::to_json(core::JsonWriter& w) const {
+  // An outcome restored from a checkpoint replays the original run's
+  // document verbatim, so a resumed report's devices array is
+  // byte-identical to the uninterrupted run's.
+  if (!restored_json.empty()) {
+    w.raw_value(restored_json);
+    return;
+  }
   w.begin_object()
       .member("index", static_cast<std::uint64_t>(index))
       .member("seed", seed)
@@ -294,6 +302,160 @@ DeviceOutcome test_device(const DieSpec& spec, const TestPlan& plan) {
   }
   out.elapsed_seconds = seconds_since(t0);
   return out;
+}
+
+std::string encode_device_checkpoint(const DeviceOutcome& outcome) {
+  core::JsonWriter w;
+  w.begin_object();
+  // "canon": the typed scalars aggregate() and canonical_outcomes() read.
+  // Nested report types (AdcMetrics, BistReport) only expose one-way
+  // to_json — metrics even drops its curves on the wire — so a resumed
+  // outcome cannot be fully re-typed from its document. The canon sidecar
+  // carries exactly the fields downstream consumers touch; everything
+  // else rides in "data", the verbatim device document to_json splices.
+  w.key("canon").begin_object()
+      .member("seed", outcome.seed)
+      .member("label", outcome.label)
+      .member("pass", outcome.outcome.pass)
+      .member("detail", outcome.outcome.detail);
+  w.key("tiers_run").begin_array();
+  for (bist::Tier t : outcome.tiers_run) w.value(bist::to_string(t));
+  w.end_array();
+  w.key("failed_tiers").begin_array();
+  for (bist::Tier t : outcome.failed_tiers) w.value(bist::to_string(t));
+  w.end_array();
+  w.key("tier_pass").begin_object();
+  for (bist::Tier t : outcome.tiers_run) {
+    w.member(bist::to_string(t), outcome.bist.tier_pass(t));
+  }
+  w.end_object();
+  w.member("bist_pass", outcome.bist.pass);
+  bool ran_digital = false;
+  bool ran_analog = false;
+  for (bist::Tier t : outcome.tiers_run) {
+    if (t == bist::Tier::kDigital) ran_digital = true;
+    if (t == bist::Tier::kAnalog) ran_analog = true;
+  }
+  if (ran_digital) {
+    w.member("max_conversion_time_s", outcome.bist.digital.max_conversion_time_s);
+  }
+  if (ran_analog && !outcome.bist.analog.fall_times_s.empty()) {
+    w.member("first_fall_time_s", outcome.bist.analog.fall_times_s.front());
+  }
+  if (outcome.has_metrics) {
+    w.member("offset_lsb", outcome.metrics.offset_lsb)
+        .member("gain_error_lsb", outcome.metrics.gain_error_lsb)
+        .member("max_abs_inl", outcome.metrics.max_abs_inl)
+        .member("max_abs_dnl", outcome.metrics.max_abs_dnl);
+  }
+  if (outcome.spot_check_run) {
+    w.member("spot_injected",
+             static_cast<std::uint64_t>(outcome.spot_check.injected))
+        .member("spot_detected",
+                static_cast<std::uint64_t>(outcome.spot_check.detected))
+        .member("spot_simulated",
+                static_cast<std::uint64_t>(outcome.spot_check.simulated))
+        .member("spot_undetectable",
+                static_cast<std::uint64_t>(outcome.spot_check.undetectable));
+  }
+  w.member("degraded", outcome.degraded);
+  if (!outcome.failures.empty()) {
+    w.key("failures").begin_array();
+    for (const core::Failure& f : outcome.failures) f.to_json(w);
+    w.end_array();
+  }
+  w.member("elapsed_seconds", outcome.elapsed_seconds);
+  w.end_object();  // canon
+  w.key("data");
+  outcome.to_json(w);
+  w.end_object();
+  return w.str();
+}
+
+DeviceOutcome decode_device_checkpoint(const core::JsonValue& v) {
+  try {
+    const auto req = [](const core::JsonValue& obj,
+                        const char* key) -> const core::JsonValue& {
+      const core::JsonValue* m = obj.find(key);
+      if (m == nullptr) {
+        throw std::logic_error(std::string("missing checkpoint member \"") +
+                               key + "\"");
+      }
+      return *m;
+    };
+    const auto parse_tier = [](const std::string& name) {
+      for (bist::Tier t : bist::kAllTiers) {
+        if (name == bist::to_string(t)) return t;
+      }
+      throw std::logic_error("unknown tier \"" + name + "\" in checkpoint");
+    };
+    if (!v.is_object()) throw std::logic_error("checkpoint must be an object");
+    const core::JsonValue& canon = req(v, "canon");
+    const core::JsonValue& data = req(v, "data");
+    if (!canon.is_object() || !data.is_object()) {
+      throw std::logic_error("checkpoint canon/data must be objects");
+    }
+
+    DeviceOutcome out;
+    out.seed = req(canon, "seed").as_u64();
+    out.label = req(canon, "label").as_string();
+    out.outcome.pass = req(canon, "pass").as_bool();
+    out.outcome.detail = req(canon, "detail").as_string();
+    for (const core::JsonValue& t : req(canon, "tiers_run").items()) {
+      out.tiers_run.push_back(parse_tier(t.as_string()));
+    }
+    for (const core::JsonValue& t : req(canon, "failed_tiers").items()) {
+      out.failed_tiers.push_back(parse_tier(t.as_string()));
+    }
+    for (const auto& [name, val] : req(canon, "tier_pass").members()) {
+      const bool pass = val.as_bool();
+      switch (parse_tier(name)) {
+        case bist::Tier::kAnalog: out.bist.analog.pass = pass; break;
+        case bist::Tier::kRamp: out.bist.ramp.pass = pass; break;
+        case bist::Tier::kDigital: out.bist.digital.pass = pass; break;
+        case bist::Tier::kCompressed: out.bist.compressed.pass = pass; break;
+      }
+    }
+    out.bist.pass = req(canon, "bist_pass").as_bool();
+    if (const core::JsonValue* conv = canon.find("max_conversion_time_s")) {
+      out.bist.digital.max_conversion_time_s = conv->as_double();
+    }
+    if (const core::JsonValue* fall = canon.find("first_fall_time_s")) {
+      out.bist.analog.fall_times_s = {fall->as_double()};
+    }
+    if (const core::JsonValue* offset = canon.find("offset_lsb")) {
+      out.has_metrics = true;
+      out.metrics.offset_lsb = offset->as_double();
+      out.metrics.gain_error_lsb = req(canon, "gain_error_lsb").as_double();
+      out.metrics.max_abs_inl = req(canon, "max_abs_inl").as_double();
+      out.metrics.max_abs_dnl = req(canon, "max_abs_dnl").as_double();
+    }
+    if (const core::JsonValue* injected = canon.find("spot_injected")) {
+      out.spot_check_run = true;
+      out.spot_check.injected = static_cast<std::size_t>(injected->as_u64());
+      out.spot_check.detected =
+          static_cast<std::size_t>(req(canon, "spot_detected").as_u64());
+      out.spot_check.simulated =
+          static_cast<std::size_t>(req(canon, "spot_simulated").as_u64());
+      out.spot_check.undetectable =
+          static_cast<std::size_t>(req(canon, "spot_undetectable").as_u64());
+    }
+    out.degraded = req(canon, "degraded").as_bool();
+    if (const core::JsonValue* failures = canon.find("failures")) {
+      for (const core::JsonValue& f : failures->items()) {
+        out.failures.push_back(core::failure_from_json(f));
+      }
+    }
+    out.elapsed_seconds = req(canon, "elapsed_seconds").as_double();
+    out.restored_json = data.dump();
+    return out;
+  } catch (const std::logic_error& e) {
+    core::Failure f;
+    f.code = core::ErrorCode::kBadInput;
+    f.analysis = "production/device_checkpoint";
+    f.detail = e.what();
+    core::throw_failure(std::move(f));
+  }
 }
 
 double BatchReport::yield() const {
@@ -453,7 +615,8 @@ BatchReport aggregate(std::vector<DeviceOutcome> slots, std::size_t threads) {
 
 BatchReport run_batch(const std::vector<DieSpec>& population,
                       const TestPlan& plan, std::size_t threads,
-                      const DeviceTestFn& test_fn) {
+                      const DeviceTestFn& test_fn, const BatchResume* resume,
+                      const DeviceCompleteFn& on_complete) {
   const auto t0 = Clock::now();
   const std::size_t n = population.size();
   if (threads == 0) threads = core::ThreadPool::default_thread_count();
@@ -489,9 +652,27 @@ BatchReport run_batch(const std::vector<DieSpec>& population,
   };
 
   std::vector<DeviceOutcome> slots(n);
+  // Resume: splice prior-run outcomes into their slots before anything
+  // runs; workers skip those indices entirely. Checkpoints beyond the
+  // population (a resubmitted lot shrank) are ignored, not an error.
+  std::vector<char> restored(n, 0);
+  if (resume != nullptr) {
+    for (const auto& [i, done] : resume->completed) {
+      if (i >= n) continue;
+      slots[i] = done;
+      restored[i] = 1;
+    }
+  }
   if (threads <= 1) {
     for (std::size_t i = 0; i < n; ++i) {
+      if (restored[i] != 0) continue;
       slots[i] = run_one(population[i]);
+      // Stamp the slot index before the checkpoint hook fires: the
+      // checkpointed document is spliced verbatim on resume, so it must
+      // already carry its final position (aggregate() re-stamps typed
+      // outcomes but cannot reach inside a restored document).
+      slots[i].index = i;
+      if (on_complete) on_complete(i, slots[i]);
     }
     threads = 1;
   } else {
@@ -504,7 +685,10 @@ BatchReport run_batch(const std::vector<DieSpec>& population,
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
+        if (restored[i] != 0) continue;
         slots[i] = run_one(population[i]);
+        slots[i].index = i;  // before the hook — see the serial path
+        if (on_complete) on_complete(i, slots[i]);
       }
     };
     core::ThreadPool pool(threads);
@@ -522,7 +706,9 @@ BatchReport run_batch(const BatchConfig& cfg) {
 }
 
 BatchReport run_batch_lockstep(const std::vector<DieSpec>& population,
-                               const LockstepPlan& plan) {
+                               const LockstepPlan& plan,
+                               const BatchResume* resume,
+                               const DeviceCompleteFn& on_complete) {
   if (!plan.build || !plan.evaluate) {
     throw std::invalid_argument(
         "run_batch_lockstep: plan.build and plan.evaluate are required");
@@ -530,46 +716,68 @@ BatchReport run_batch_lockstep(const std::vector<DieSpec>& population,
   const auto t0 = Clock::now();
   const std::size_t n = population.size();
 
-  // Fabricate every die's netlist up front; the lockstep engine needs
-  // the whole population at once (that is what it amortizes over).
-  std::vector<circuit::Netlist> nets(n);
-  std::vector<circuit::Netlist*> variants(n);
+  std::vector<DeviceOutcome> slots(n);
+  std::vector<char> restored(n, 0);
+  if (resume != nullptr) {
+    for (const auto& [i, done] : resume->completed) {
+      if (i >= n) continue;
+      slots[i] = done;
+      restored[i] = 1;
+    }
+  }
+  // lane k of the (smaller) resumed march is population die live[k].
+  std::vector<std::size_t> live;
+  live.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    plan.build(population[i], nets[i]);
-    variants[i] = &nets[i];
+    if (restored[i] == 0) live.push_back(i);
   }
 
-  const circuit::BatchTransient engine(plan.transient);
-  const circuit::BatchTransientReport sim = engine.run(variants);
+  // Fabricate the incomplete dies' netlists up front; the lockstep
+  // engine needs its whole population at once (that is what it
+  // amortizes over).
+  std::vector<circuit::Netlist> nets(live.size());
+  std::vector<circuit::Netlist*> variants(live.size());
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    plan.build(population[live[k]], nets[k]);
+    variants[k] = &nets[k];
+  }
 
-  std::vector<DeviceOutcome> slots(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    DeviceOutcome& out = slots[i];
-    out.seed = population[i].seed;
-    out.label = population[i].label;
-    const circuit::BatchVariantOutcome& lane = sim.variants[i];
-    if (!lane.ok()) {
-      out.degraded = true;
-      out.failures.push_back(*lane.failure);
-      out.outcome = core::Outcome::fail("lockstep lane failed: " +
-                                        lane.failure->message());
-      continue;
-    }
-    try {
-      out.outcome = plan.evaluate(population[i], *lane.result);
-      if (out.outcome.pass && out.outcome.detail.empty()) {
-        out.outcome.detail = "pass";
+  if (!variants.empty()) {
+    const circuit::BatchTransient engine(plan.transient);
+    const circuit::BatchTransientReport sim = engine.run(variants);
+
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      const std::size_t i = live[k];
+      DeviceOutcome& out = slots[i];
+      out.index = i;  // before the hook fires — checkpoints splice verbatim
+      out.seed = population[i].seed;
+      out.label = population[i].label;
+      const circuit::BatchVariantOutcome& lane = sim.variants[k];
+      if (!lane.ok()) {
+        out.degraded = true;
+        out.failures.push_back(*lane.failure);
+        out.outcome = core::Outcome::fail("lockstep lane failed: " +
+                                          lane.failure->message());
+        if (on_complete) on_complete(i, out);
+        continue;
       }
-    } catch (const std::exception& e) {
-      out.degraded = true;
-      core::Failure f;
-      f.code = core::ErrorCode::kInternal;
-      f.analysis = "production/lockstep_evaluate";
-      f.detail = e.what();
-      out.failures.push_back(std::move(f));
-      out.outcome =
-          core::Outcome::fail("lockstep evaluate aborted: " +
-                              std::string(e.what()));
+      try {
+        out.outcome = plan.evaluate(population[i], *lane.result);
+        if (out.outcome.pass && out.outcome.detail.empty()) {
+          out.outcome.detail = "pass";
+        }
+      } catch (const std::exception& e) {
+        out.degraded = true;
+        core::Failure f;
+        f.code = core::ErrorCode::kInternal;
+        f.analysis = "production/lockstep_evaluate";
+        f.detail = e.what();
+        out.failures.push_back(std::move(f));
+        out.outcome =
+            core::Outcome::fail("lockstep evaluate aborted: " +
+                                std::string(e.what()));
+      }
+      if (on_complete) on_complete(i, out);
     }
   }
 

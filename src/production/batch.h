@@ -20,6 +20,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "bist/controller.h"
 #include "circuit/batch_transient.h"
 #include "core/error.h"
+#include "core/json_value.h"
 #include "core/outcome.h"
 #include "production/plan.h"
 #include "production/stats.h"
@@ -92,6 +94,13 @@ struct DeviceOutcome {
 
   core::Outcome outcome;      ///< overall verdict for this device
   double elapsed_seconds = 0.0;  ///< timing; excluded from canonical text
+
+  /// Set only on outcomes restored from a checkpoint: the original run's
+  /// serialized device document, spliced verbatim by to_json so a
+  /// resumed BatchReport's devices array is byte-identical to the
+  /// uninterrupted run's (decode_device_checkpoint restores the typed
+  /// fields aggregation and canonical_outcomes read alongside it).
+  std::string restored_json;
 
   void to_json(core::JsonWriter& w) const;
 };
@@ -166,14 +175,40 @@ DeviceOutcome test_device(const DieSpec& spec, const TestPlan& plan);
 /// report.
 using DeviceTestFn = std::function<DeviceOutcome(const DieSpec&, const TestPlan&)>;
 
+/// Invoked after die `index` finishes testing (never for dies restored
+/// from a resume): the executor's checkpoint hook. Called from engine
+/// worker threads — must be thread-safe.
+using DeviceCompleteFn =
+    std::function<void(std::size_t index, const DeviceOutcome& outcome)>;
+
+/// Already-completed dies from a prior interrupted run of the SAME
+/// population and plan, keyed by batch index. The engines splice these
+/// into their slots without re-testing; with deterministic seeding the
+/// resumed report's outcome fields are bit-identical to an
+/// uninterrupted run (timing fields carry the original run's values).
+struct BatchResume {
+  std::map<std::size_t, DeviceOutcome> completed;
+};
+
+/// One die's checkpoint payload: a JSON document with a "canon" object
+/// (the typed scalars aggregation and canonical_outcomes need) and the
+/// verbatim "data" device document to_json splices back. The decoder
+/// throws core::SolverError(kBadInput) on a malformed payload.
+std::string encode_device_checkpoint(const DeviceOutcome& outcome);
+DeviceOutcome decode_device_checkpoint(const core::JsonValue& v);
+
 /// Fabricate-and-test an explicit population. threads as in BatchConfig;
 /// test_fn defaults to test_device. Per-die exceptions are isolated: a
 /// test_fn that throws (typed core::SolverError or anything else) yields
 /// a degraded failing DeviceOutcome carrying the Failure record, never an
-/// aborted batch.
+/// aborted batch. `resume` (optional) pre-fills the listed slots and
+/// skips testing them; `on_complete` fires after each die actually
+/// tested in this run.
 BatchReport run_batch(const std::vector<DieSpec>& population,
                       const TestPlan& plan, std::size_t threads = 1,
-                      const DeviceTestFn& test_fn = {});
+                      const DeviceTestFn& test_fn = {},
+                      const BatchResume* resume = nullptr,
+                      const DeviceCompleteFn& on_complete = {});
 
 /// make_population + run_batch.
 BatchReport run_batch(const BatchConfig& cfg);
@@ -206,7 +241,17 @@ struct LockstepPlan {
 /// when build() violates the shared-topology contract and
 /// core::SingularMatrixError when a die's matrix defeats even private
 /// re-pivoting (see circuit/batch_transient.h).
+///
+/// Resume semantics: lanes listed in `resume` are excluded from the
+/// lockstep march entirely (their netlists are never built) and their
+/// restored outcomes spliced into the report; the remaining lanes march
+/// as a smaller population. The march itself is atomic — checkpoints
+/// (`on_complete`, fired per lane after evaluation) only exist once the
+/// whole march lands, so a crash mid-march restarts the incomplete
+/// lanes, never resumes half a march.
 BatchReport run_batch_lockstep(const std::vector<DieSpec>& population,
-                               const LockstepPlan& plan);
+                               const LockstepPlan& plan,
+                               const BatchResume* resume = nullptr,
+                               const DeviceCompleteFn& on_complete = {});
 
 }  // namespace msbist::production

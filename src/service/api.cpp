@@ -82,27 +82,33 @@ HttpResponse submit_job(JobManager& manager, const HttpRequest& req) {
   } catch (const core::SolverError& e) {
     return failure_response(400, e.failure());
   }
-  std::uint64_t id = 0;
+  SubmitResult result;
   try {
-    id = manager.submit(std::move(request));
+    result = manager.submit_request(std::move(request));
   } catch (const core::SolverError& e) {
     if (e.code() == core::ErrorCode::kOverloaded) {
       return overloaded_response(manager, e.failure());
     }
     return failure_response(400, e.failure());
   } catch (const std::runtime_error& e) {
-    // submit() only throws runtime_error for the drain race.
+    // submit_request() only throws runtime_error for the drain race.
     return error_response(503, core::ErrorCode::kInternal, "job_manager",
                           e.what());
   }
   core::JsonWriter w;
   w.begin_object();
   core::write_report_envelope(w, "job_accepted");
-  w.member("id", id)
-      .member("state", "queued")
-      .member("status_url", "/jobs/" + std::to_string(id))
-      .end_object();
-  return HttpResponse::json(202, w.str());
+  w.member("id", result.id);
+  // A duplicate idempotency_key answers 200 with the existing job (it
+  // may be in any state by now); a fresh admission answers the usual
+  // 202 queued.
+  if (result.deduplicated) {
+    w.member("deduplicated", true);
+  } else {
+    w.member("state", "queued");
+  }
+  w.member("status_url", "/jobs/" + std::to_string(result.id)).end_object();
+  return HttpResponse::json(result.deduplicated ? 200 : 202, w.str());
 }
 
 HttpResponse job_status(const JobSnapshot& snap) {
@@ -244,20 +250,32 @@ HttpResponse metrics(JobManager& manager) {
     clients.push_back({s.tag, s.submitted, s.rejected, s.completed, s.queued,
                        s.running});
   }
+  const JournalStatus journal = manager.journal_status();
   core::JsonWriter w;
   manager.metrics().to_json(w, running, queued, manager.queue_depth(),
                             manager.populations().size(),
-                            manager.now_seconds(), clients);
+                            manager.now_seconds(), clients, journal.gauges);
   return HttpResponse::json(200, w.str());
 }
 
 HttpResponse healthz(JobManager& manager) {
+  const JournalStatus journal = manager.journal_status();
   core::JsonWriter w;
   w.begin_object();
   core::write_report_envelope(w, "health");
   w.member("status", manager.draining() ? "draining" : "ok")
-      .member("draining", manager.draining())
-      .end_object();
+      .member("draining", manager.draining());
+  if (journal.enabled) {
+    w.key("recovery")
+        .begin_object()
+        .member("clean_shutdown", journal.clean_shutdown)
+        .member("recovered_jobs", journal.recovered_jobs)
+        .member("resumed_jobs", journal.resumed_jobs)
+        .member("skipped_records", journal.gauges.skipped_records)
+        .member("degraded", journal.degraded)
+        .end_object();
+  }
+  w.end_object();
   return HttpResponse::json(200, w.str());
 }
 

@@ -47,6 +47,25 @@ tsrt::CircuitKind parse_circuit(const std::string& name) {
               "\" (expected op1_follower or sc_integrator_comparator)");
 }
 
+/// Decode an executor's resume map into a typed BatchResume. Entries
+/// beyond the population or failing to decode are dropped: those units
+/// simply re-run — a corrupt checkpoint must never fail the job.
+production::BatchResume decode_batch_resume(
+    const std::map<std::size_t, std::string>* resume, std::size_t total) {
+  production::BatchResume out;
+  if (resume == nullptr) return out;
+  for (const auto& [unit, payload] : *resume) {
+    if (unit >= total) continue;
+    try {
+      out.completed[unit] =
+          production::decode_device_checkpoint(core::parse_json(payload));
+    } catch (const std::exception&) {
+      // re-run this unit
+    }
+  }
+  return out;
+}
+
 DispatchResult run_batch_job(const core::JobRequest& req,
                              const std::vector<production::DieSpec>& population,
                              const DispatchHooks& hooks) {
@@ -56,7 +75,8 @@ DispatchResult run_batch_job(const core::JobRequest& req,
   plan.fault_spot_check = req.fault_spot_check;
 
   const std::size_t total = population.size();
-  auto done = std::make_shared<std::atomic<std::size_t>>(0);
+  const production::BatchResume resume = decode_batch_resume(hooks.resume, total);
+  auto done = std::make_shared<std::atomic<std::size_t>>(resume.completed.size());
   auto stopped = std::make_shared<std::atomic<bool>>(false);
 
   production::DeviceTestFn test_fn;
@@ -77,10 +97,19 @@ DispatchResult run_batch_job(const core::JobRequest& req,
       return out;
     };
   }
+  production::DeviceCompleteFn on_complete;
+  if (hooks.unit_complete) {
+    on_complete = [hooks, total](std::size_t index,
+                                 const production::DeviceOutcome& outcome) {
+      hooks.unit_complete(index, total,
+                          production::encode_device_checkpoint(outcome));
+    };
+  }
 
   DispatchResult res;
+  res.resumed_units = resume.completed.size();
   res.batch = production::run_batch(population, plan, effective_threads(req),
-                                    test_fn);
+                                    test_fn, &resume, on_complete);
   res.stopped = stopped->load(std::memory_order_relaxed);
   res.report_kind = "batch_report";
   if (!res.stopped) {
@@ -103,15 +132,36 @@ DispatchResult run_lockstep_job(const core::JobRequest& req,
     res.outcome = core::Outcome::fail("job stopped before start");
     return res;
   }
-  if (hooks.progress) hooks.progress(0, 1);
   (void)req;
 
+  const std::size_t total = population.size();
+  const production::BatchResume resume = decode_batch_resume(hooks.resume, total);
+  auto done = std::make_shared<std::atomic<std::size_t>>(resume.completed.size());
+  if (hooks.progress) {
+    hooks.progress(done->load(std::memory_order_relaxed), total);
+  }
+  production::DeviceCompleteFn on_complete;
+  if (hooks.unit_complete || hooks.progress) {
+    on_complete = [hooks, done, total](std::size_t index,
+                                       const production::DeviceOutcome& outcome) {
+      if (hooks.unit_complete) {
+        hooks.unit_complete(index, total,
+                            production::encode_device_checkpoint(outcome));
+      }
+      if (hooks.progress) {
+        const std::size_t n = done->fetch_add(1, std::memory_order_relaxed) + 1;
+        hooks.progress(n, total);
+      }
+    };
+  }
+
   DispatchResult res;
-  res.batch = production::run_batch_lockstep(population, lockstep_screen_plan());
+  res.resumed_units = resume.completed.size();
+  res.batch = production::run_batch_lockstep(population, lockstep_screen_plan(),
+                                             &resume, on_complete);
   res.report_kind = "batch_report";
   res.outcome = res.batch->outcome();
   res.report_json = core::to_json(*res.batch);
-  if (hooks.progress) hooks.progress(1, 1);
   return res;
 }
 
@@ -146,14 +196,37 @@ DispatchResult run_campaign_job(const core::JobRequest& req,
     return r;
   };
 
+  // Decode prior-run checkpoints (work-item indexed; entries that fail
+  // to decode are dropped and their faults re-run).
+  faults::CampaignResume resume;
+  if (hooks.resume != nullptr) {
+    for (const auto& [unit, payload] : *hooks.resume) {
+      try {
+        resume.completed[unit] =
+            faults::decode_fault_checkpoint(core::parse_json(payload));
+      } catch (const std::exception&) {
+        // re-run this fault
+      }
+    }
+  }
+  const std::size_t resumed = resume.completed.size();
+
   faults::CampaignOptions copts;
   copts.threads = effective_threads(req);
   if (hooks.progress) {
-    copts.progress = [hooks](std::size_t completed, std::size_t total,
-                             const faults::FaultResult&) {
-      hooks.progress(completed, total);
+    copts.progress = [hooks, resumed](std::size_t completed, std::size_t total,
+                                      const faults::FaultResult&) {
+      hooks.progress(completed + resumed, total);
     };
   }
+  if (hooks.unit_complete) {
+    copts.on_fault_complete = [hooks](std::size_t index, std::size_t total,
+                                      const faults::FaultResult& result) {
+      hooks.unit_complete(index, total,
+                          faults::encode_fault_checkpoint(result));
+    };
+  }
+  if (resumed > 0) copts.resume = &resume;
 
   // The collapse analysis must outlive the engine call.
   std::optional<faults::CollapsedUniverse> cu;
@@ -165,6 +238,7 @@ DispatchResult run_campaign_job(const core::JobRequest& req,
   }
 
   DispatchResult res;
+  res.resumed_units = resumed;
   res.campaign = copts.threads > 1
                      ? faults::run_campaign_parallel(universe, test, copts)
                      : faults::run_campaign(universe, test, copts);

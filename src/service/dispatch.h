@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,15 +33,31 @@
 
 namespace msbist::service {
 
-/// Executor-provided hooks. Both are optional and must be thread-safe:
+/// Executor-provided hooks. All are optional and must be thread-safe:
 /// the engines invoke them from worker threads.
 struct DispatchHooks {
   /// Polled between units of work (per die / per fault). Returning true
   /// makes dispatch wind down early: remaining units are skipped and the
   /// result comes back with stopped = true (report discarded).
   std::function<bool()> should_stop;
-  /// Incremental progress: units completed so far / total units.
+  /// Incremental progress: units completed so far / total units. With a
+  /// resume, `done` starts at the restored-unit count.
   std::function<void(std::size_t done, std::size_t total)> progress;
+  /// Checkpoint hook: fired after each unit actually executed in this
+  /// run (never for restored units) with the unit's engine checkpoint
+  /// document — the executor journals it for crash resume.
+  std::function<void(std::size_t unit, std::size_t total,
+                     const std::string& checkpoint_json)>
+      unit_complete;
+  /// Prior-run checkpoints to splice instead of re-executing: unit index
+  /// -> the checkpoint_json a previous unit_complete reported (not owned;
+  /// must outlive the dispatch call). Entries that fail to decode are
+  /// dropped — that unit simply re-runs. Unit indexing is per-engine:
+  /// batch/lockstep use the die's batch index; campaigns use the
+  /// work-item index (universe index, or representative index under
+  /// collapse). Applies to batch, lockstep, and campaign kinds;
+  /// testability jobs (single indivisible unit) ignore it.
+  const std::map<std::size_t, std::string>* resume = nullptr;
 };
 
 /// What a job produced. `outcome` is the engine verdict (a failing lot
@@ -52,6 +69,9 @@ struct DispatchResult {
   std::string report_kind;   ///< e.g. "batch_report"
   std::string report_json;   ///< the full report document
   bool stopped = false;      ///< wound down early via should_stop
+  /// Units restored from DispatchHooks::resume instead of re-executed
+  /// (0 without a resume).
+  std::size_t resumed_units = 0;
 
   // Typed payloads for in-process callers (exactly one is set, matching
   // the request kind; testability sets both study fields).

@@ -5,9 +5,34 @@
 #include <utility>
 
 #include "core/error.h"
+#include "core/failure_json.h"
+#include "core/json_value.h"
 #include "service/dispatch.h"
 
 namespace msbist::service {
+
+namespace {
+
+/// Map a journaled terminal-state name back onto JobState. Unknown names
+/// (a newer schema, a corrupted-but-CRC-valid record) degrade to kFailed
+/// rather than resurrecting the job as runnable.
+JobState parse_terminal_state(std::string_view name) {
+  if (name == "succeeded") return JobState::kSucceeded;
+  if (name == "cancelled") return JobState::kCancelled;
+  if (name == "timed_out") return JobState::kTimedOut;
+  return JobState::kFailed;
+}
+
+/// Render one JSON document to text (the journal stores payload text,
+/// not trees).
+template <typename T>
+std::string to_json_text(const T& value) {
+  core::JsonWriter w;
+  value.to_json(w);
+  return w.str();
+}
+
+}  // namespace
 
 const char* to_string(JobState s) {
   switch (s) {
@@ -40,6 +65,14 @@ void JobSnapshot::to_json(core::JsonWriter& w) const {
   if (failure.code != core::ErrorCode::kNone) {
     w.key("failure");
     failure.to_json(w);
+  }
+  if (recovered) {
+    w.key("recovery")
+        .begin_object()
+        .member("recovered", true)
+        .member("resumed_from_checkpoint", resumed_units > 0)
+        .member("resumed_units", resumed_units)
+        .end_object();
   }
   w.key("times")
       .begin_object()
@@ -74,12 +107,164 @@ struct JobManager::Job {
   double queued_seconds = 0.0;
   double started_seconds = 0.0;
   double finished_seconds = 0.0;
+
+  // Durability (see service/journal.h).
+  /// Checkpoints replayed from the journal, spliced into the dispatch
+  /// via DispatchHooks::resume. Stable for the job's lifetime once
+  /// recover_jobs() fills it, so the pointer handed to dispatch is safe.
+  std::map<std::size_t, std::string> resume_data;
+  bool recovered = false;        ///< rebuilt from the journal at boot
+  std::size_t resumed_units = 0; ///< units spliced instead of re-run
 };
 
 JobManager::JobManager(JobManagerOptions options)
-    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+    : options_(std::move(options)), epoch_(std::chrono::steady_clock::now()) {
+  if (!options_.state_dir.empty()) {
+    JournalOptions jopts;
+    jopts.state_dir = options_.state_dir;
+    jopts.fsync_every_records =
+        std::max<std::size_t>(1, options_.journal_fsync_every);
+    jopts.retain_terminal = options_.retain_jobs;
+    journal_ = std::make_unique<Journal>(std::move(jopts));
+    restore_terminal_jobs();
+  }
   pool_ = std::make_unique<core::ThreadPool>(
       std::max<std::size_t>(1, options_.workers));
+}
+
+/// Constructor half of recovery: put every journaled *terminal* job
+/// straight back into the table so /jobs/{id} and /jobs/{id}/result
+/// answer across a restart, and advance next_id_ past everything the
+/// previous life issued. Interrupted jobs wait for recover_jobs() —
+/// they need the population registry, which the daemon fills after
+/// construction.
+void JobManager::restore_terminal_jobs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, rec] : journal_->recovered().jobs) {
+    next_id_ = std::max(next_id_, id + 1);
+    if (!rec.has_result || rec.request_json.empty()) continue;
+
+    auto job = std::make_shared<Job>();
+    try {
+      job->request = core::JobRequest::from_json_text(rec.request_json);
+    } catch (const std::exception&) {
+      continue;  // unreadable envelope: drop the historical job
+    }
+    job->id = id;
+    job->state = parse_terminal_state(rec.result_state);
+    try {
+      const core::JsonValue v = core::parse_json(rec.outcome_json);
+      if (!v.is_null()) {
+        if (const core::JsonValue* pass = v.find("pass")) {
+          job->outcome.pass = pass->as_bool();
+        }
+        if (const core::JsonValue* detail = v.find("detail")) {
+          job->outcome.detail = detail->as_string();
+        }
+      }
+    } catch (const std::exception&) {
+    }
+    if (!rec.failure_json.empty()) {
+      try {
+        job->failure = core::failure_from_json(core::parse_json(rec.failure_json));
+      } catch (const std::exception&) {
+      }
+    }
+    job->report_kind = rec.report_kind;
+    if (rec.report_json != "null") job->report_json = rec.report_json;
+    job->recovered = true;
+    // Timestamps belong to the previous process' clock: zeroed, and
+    // to_json omits started/finished when 0.
+    jobs_.emplace(id, job);
+    if (!job->request.idempotency_key.empty()) {
+      idempotency_[job->request.idempotency_key] = id;
+    }
+    ++recovered_jobs_;
+    metrics_.jobs_recovered.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void JobManager::recover_jobs() {
+  std::vector<std::shared_ptr<Job>> readmitted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!journal_ || recovery_done_) return;
+    recovery_done_ = true;
+    for (const auto& [id, rec] : journal_->recovered().jobs) {
+      if (rec.has_result || rec.request_json.empty()) continue;
+
+      auto job = std::make_shared<Job>();
+      try {
+        job->request = core::JobRequest::from_json_text(rec.request_json);
+      } catch (const std::exception&) {
+        continue;
+      }
+      job->id = id;
+      job->recovered = true;
+      ++recovered_jobs_;
+      metrics_.jobs_recovered.fetch_add(1, std::memory_order_relaxed);
+
+      if (!job->request.population.empty()) {
+        const auto it = populations_.find(job->request.population);
+        if (it == populations_.end()) {
+          // The population was not re-registered after the restart: the
+          // job cannot run again. Resolve it failed — and journal that
+          // verdict so the next restart does not retry either.
+          job->state = JobState::kFailed;
+          job->failure.code = core::ErrorCode::kBadInput;
+          job->failure.analysis = "recovery";
+          job->failure.detail = "recovered job references unknown population \"" +
+                                job->request.population + "\"";
+          job->finished_seconds = now_seconds();
+          jobs_.emplace(id, job);
+          journal_->append_result(id, "failed", "null",
+                                  to_json_text(job->failure), "", "null");
+          metrics_.jobs_failed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        job->population = it->second;
+      }
+
+      job->resume_data = rec.checkpoints;
+      job->state = JobState::kQueued;
+      job->queued_seconds = now_seconds();
+      job->done.store(rec.checkpoints.size(), std::memory_order_relaxed);
+      job->total.store(rec.checkpoint_total, std::memory_order_relaxed);
+      jobs_.emplace(id, job);
+      pending_.push_back(job);
+      ++tags_[job->request.client_tag].queued;
+      if (!job->request.idempotency_key.empty()) {
+        idempotency_[job->request.idempotency_key] = id;
+      }
+      if (!rec.checkpoints.empty()) {
+        ++resumed_jobs_;
+        metrics_.jobs_resumed.fetch_add(1, std::memory_order_relaxed);
+      }
+      readmitted.push_back(job);
+    }
+  }
+  for (std::size_t i = 0; i < readmitted.size(); ++i) {
+    pool_->submit([this] { run_next(); });
+  }
+}
+
+JournalStatus JobManager::journal_status() {
+  JournalStatus st;
+  if (!journal_) return st;
+  st.enabled = true;
+  st.clean_shutdown = journal_->recovered().clean_shutdown;
+  st.degraded = journal_->degraded();
+  st.gauges.journal_bytes = journal_->bytes();
+  st.gauges.journal_segments = journal_->segments();
+  st.gauges.skipped_records = journal_->recovered().skipped_records;
+  // The degraded counter lives in the journal; mirror it into the atomic
+  // the /metrics document reads.
+  metrics_.journal_degraded.store(journal_->degraded_events(),
+                                  std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  st.recovered_jobs = recovered_jobs_;
+  st.resumed_jobs = resumed_jobs_;
+  return st;
 }
 
 JobManager::~JobManager() { drain(/*hard=*/true); }
@@ -90,7 +275,7 @@ double JobManager::now_seconds() const {
       .count();
 }
 
-std::uint64_t JobManager::submit(core::JobRequest request) {
+SubmitResult JobManager::submit_request(core::JobRequest request) {
   if (draining_.load(std::memory_order_relaxed)) {
     throw std::runtime_error("job manager is draining");
   }
@@ -107,6 +292,16 @@ std::uint64_t JobManager::submit(core::JobRequest request) {
   std::uint64_t id = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Idempotent resubmit: a key the executor already accepted answers
+    // with the existing job — before admission control, because a retry
+    // of an accepted job must not bounce off a full queue.
+    if (!job->request.idempotency_key.empty()) {
+      const auto it = idempotency_.find(job->request.idempotency_key);
+      if (it != idempotency_.end() && jobs_.count(it->second) != 0) {
+        metrics_.jobs_deduplicated.fetch_add(1, std::memory_order_relaxed);
+        return {it->second, true};
+      }
+    }
     if (!job->request.population.empty()) {
       const auto it = populations_.find(job->request.population);
       if (it == populations_.end()) {
@@ -127,11 +322,18 @@ std::uint64_t JobManager::submit(core::JobRequest request) {
     TagCounts& tag = tags_[job->request.client_tag];
     ++tag.submitted;
     ++tag.queued;
+    if (!job->request.idempotency_key.empty()) {
+      idempotency_[job->request.idempotency_key] = id;
+    }
     evict_terminal_locked();
+    // Journal the admission before the 202 leaves the process: a crash
+    // after this point re-admits the job instead of forgetting it. The
+    // journal has its own lock and never throws (it degrades).
+    if (journal_) journal_->append_admit(id, to_json_text(job->request));
   }
   metrics_.jobs_submitted.fetch_add(1, std::memory_order_relaxed);
   pool_->submit([this] { run_next(); });
-  return id;
+  return {id, false};
 }
 
 void JobManager::admit_locked(const core::JobRequest& request) {
@@ -203,6 +405,7 @@ std::shared_ptr<JobManager::Job> JobManager::take_next_locked() {
   TagCounts& tag = tags_[job->request.client_tag];
   --tag.queued;
   ++tag.running;
+  if (journal_) journal_->append_state(job->id, "running");
   return job;
 }
 
@@ -250,16 +453,28 @@ void JobManager::execute(const std::shared_ptr<Job>& job) {
     job->total.store(total, std::memory_order_relaxed);
     job->done.store(done, std::memory_order_relaxed);
   };
+  if (journal_) {
+    Journal* journal = journal_.get();
+    hooks.unit_complete = [journal, job](std::size_t unit, std::size_t total,
+                                         const std::string& checkpoint_json) {
+      journal->append_checkpoint(job->id, unit, total, checkpoint_json);
+    };
+  }
+  // resume_data is only ever filled by recover_jobs() before the job is
+  // queued, so handing dispatch a pointer into the job is safe.
+  if (!job->resume_data.empty()) hooks.resume = &job->resume_data;
 
   JobState final_state = JobState::kSucceeded;
   core::Outcome outcome;
   core::Failure failure;
   std::string report_json;
   std::string report_kind;
+  std::size_t resumed_units = 0;
   try {
     DispatchResult result = job->population
                                 ? dispatch(request, *job->population, hooks)
                                 : dispatch(request, hooks);
+    resumed_units = result.resumed_units;
     if (result.stopped) {
       if (job->deadline_hit.load(std::memory_order_relaxed)) {
         final_state = JobState::kTimedOut;
@@ -286,6 +501,16 @@ void JobManager::execute(const std::shared_ptr<Job>& job) {
     failure.detail = e.what();
   }
 
+  // WAL ordering: the terminal record hits the journal before memory —
+  // a crash between the two re-runs nothing (the journal already knows
+  // the verdict). The result fsyncs immediately.
+  if (journal_) {
+    journal_->append_result(
+        job->id, to_string(final_state), to_json_text(outcome),
+        failure.code != core::ErrorCode::kNone ? to_json_text(failure) : "",
+        report_kind, report_json.empty() ? "null" : report_json);
+  }
+
   {
     std::lock_guard<std::mutex> lock(mu_);
     job->state = final_state;
@@ -293,10 +518,14 @@ void JobManager::execute(const std::shared_ptr<Job>& job) {
     job->failure = std::move(failure);
     job->report_json = std::move(report_json);
     job->report_kind = std::move(report_kind);
+    job->resumed_units = resumed_units;
     job->finished_seconds = now_seconds();
     TagCounts& tag = tags_[job->request.client_tag];
     --tag.running;
     ++tag.completed;
+  }
+  if (resumed_units > 0) {
+    metrics_.units_resumed.fetch_add(resumed_units, std::memory_order_relaxed);
   }
   metrics_.job_seconds.observe(job->finished_seconds - job->started_seconds);
   switch (final_state) {
@@ -331,6 +560,8 @@ JobSnapshot JobManager::snapshot_locked(const Job& job) const {
   s.queued_seconds = job.queued_seconds;
   s.started_seconds = job.started_seconds;
   s.finished_seconds = job.finished_seconds;
+  s.recovered = job.recovered;
+  s.resumed_units = job.resumed_units;
   return s;
 }
 
@@ -370,6 +601,9 @@ bool JobManager::cancel(std::uint64_t id) {
     --tag.queued;
     ++tag.completed;
     metrics_.jobs_cancelled.fetch_add(1, std::memory_order_relaxed);
+    if (journal_) {
+      journal_->append_result(job.id, "cancelled", "null", "", "", "null");
+    }
   }
   return true;
 }
@@ -423,6 +657,10 @@ void JobManager::drain(bool hard) {
     }
   }
   pool_->wait_idle();
+  // Every slot idle and nothing can be admitted any more: the journal's
+  // final record is the clean-shutdown marker, so the next boot knows
+  // nothing was interrupted.
+  if (journal_) journal_->append_clean_shutdown();
 }
 
 void JobManager::evict_terminal_locked() {
@@ -435,6 +673,13 @@ void JobManager::evict_terminal_locked() {
       }
     }
     if (victim == jobs_.end()) break;  // everything live; keep them all
+    const std::string& key = victim->second->request.idempotency_key;
+    if (!key.empty()) {
+      const auto idem = idempotency_.find(key);
+      if (idem != idempotency_.end() && idem->second == victim->first) {
+        idempotency_.erase(idem);
+      }
+    }
     jobs_.erase(victim);
   }
 }

@@ -47,12 +47,14 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/job.h"
 #include "core/outcome.h"
 #include "core/thread_pool.h"
 #include "production/batch.h"
+#include "service/journal.h"
 #include "service/metrics.h"
 
 namespace msbist::service {
@@ -89,8 +91,16 @@ struct JobSnapshot {
   double queued_seconds = 0.0;   ///< since service start
   double started_seconds = 0.0;  ///< 0 while queued
   double finished_seconds = 0.0; ///< 0 until terminal
+  /// True for jobs rebuilt from the journal after a restart (both
+  /// re-admitted interrupted jobs and restored terminal ones).
+  bool recovered = false;
+  /// Work units spliced from journal checkpoints instead of re-executed
+  /// (set once the job completes; 0 for from-scratch runs).
+  std::size_t resumed_units = 0;
 
-  /// The status document served by GET /jobs/{id}.
+  /// The status document served by GET /jobs/{id}. Recovery fields are
+  /// emitted only for recovered jobs, so pre-durability documents are
+  /// byte-identical.
   void to_json(core::JsonWriter& w) const;
 };
 
@@ -134,6 +144,31 @@ struct JobManagerOptions {
   /// raises its effective priority one level (low -> normal -> high).
   /// 0 disables aging.
   double aging_seconds = 5.0;
+  /// Durable state directory (see service/journal.h). Empty = run
+  /// in-memory only, the pre-durability behavior.
+  std::string state_dir;
+  /// Journal fsync batching for checkpoint-class records (1 = every
+  /// record; see JournalOptions::fsync_every_records).
+  std::size_t journal_fsync_every = 8;
+};
+
+/// What submit() resolved to: a fresh job, or — when the request carried
+/// an idempotency_key the executor has already accepted — the id of the
+/// existing job, so a client retrying a dropped 202 never runs the lot
+/// twice.
+struct SubmitResult {
+  std::uint64_t id = 0;
+  bool deduplicated = false;
+};
+
+/// Durability/recovery status for /healthz and /metrics.
+struct JournalStatus {
+  bool enabled = false;         ///< a --state-dir journal is attached
+  bool clean_shutdown = false;  ///< previous process drained cleanly
+  bool degraded = false;        ///< journal switched off by a write failure
+  std::uint64_t recovered_jobs = 0;
+  std::uint64_t resumed_jobs = 0;
+  JournalGauges gauges;
 };
 
 class JobManager {
@@ -150,7 +185,26 @@ class JobManager {
   /// core::SolverError(kOverloaded) when bounded admission rejects the
   /// job (queue full / tag over its share), and std::runtime_error when
   /// draining.
-  std::uint64_t submit(core::JobRequest request);
+  std::uint64_t submit(core::JobRequest request) {
+    return submit_request(std::move(request)).id;
+  }
+
+  /// submit() plus idempotency: a request whose idempotency_key matches
+  /// a still-retained job short-circuits to that job's id with
+  /// deduplicated = true (no admission checks, nothing enqueued).
+  SubmitResult submit_request(core::JobRequest request);
+
+  /// Re-admit the non-terminal jobs replayed from the journal (terminal
+  /// ones are restored in the constructor so /jobs/{id}/result works
+  /// immediately). Called by the daemon *after* register_population so
+  /// recovered jobs can resolve their populations; a no-op without a
+  /// journal, on a clean-shutdown journal, and on second call.
+  void recover_jobs();
+
+  /// Durability status snapshot for /healthz and /metrics (all-zeros
+  /// when running without state_dir). Non-const: it refreshes the
+  /// journal_degraded metric from the journal's counter.
+  JournalStatus journal_status();
 
   std::optional<JobSnapshot> get(std::uint64_t id) const;
   std::vector<JobSnapshot> list() const;
@@ -203,6 +257,7 @@ class JobManager {
   void execute(const std::shared_ptr<Job>& job);
   JobSnapshot snapshot_locked(const Job& job) const;
   void evict_terminal_locked();
+  void restore_terminal_jobs();
 
   JobManagerOptions options_;
   ServiceMetrics metrics_;
@@ -214,7 +269,15 @@ class JobManager {
   std::vector<std::shared_ptr<Job>> pending_;
   std::map<std::string, TagCounts> tags_;
   std::map<std::string, std::vector<production::DieSpec>> populations_;
+  /// idempotency_key -> job id, maintained alongside jobs_ (entries die
+  /// with their job at eviction; rebuilt from the journal at boot).
+  std::map<std::string, std::uint64_t> idempotency_;
   std::uint64_t next_id_ = 1;
+  /// Durable state layer; null without state_dir.
+  std::unique_ptr<Journal> journal_;
+  bool recovery_done_ = false;      ///< recover_jobs() already ran
+  std::uint64_t recovered_jobs_ = 0;
+  std::uint64_t resumed_jobs_ = 0;
   std::atomic<bool> draining_{false};
   // Last: workers touch everything above, so the pool must die first.
   std::unique_ptr<core::ThreadPool> pool_;

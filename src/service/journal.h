@@ -1,0 +1,189 @@
+// Write-ahead job journal: the daemon's durable state layer.
+//
+// msbistd holds every job in memory (service/job_manager.h), so before
+// this layer a crash — OOM kill, power cut, operator SIGKILL — forgot
+// every queued job, every running lot, and every finished report. The
+// journal makes the executor's state survive: each job event is appended
+// to a CRC-framed JSON-lines log under --state-dir *before* it takes
+// effect in memory, and a restarted daemon replays the log to re-admit
+// interrupted jobs and resume lot-scale work from its last checkpoint.
+//
+// Record framing. One record per line:
+//
+//   <crc32-hex> <payload-json>\n
+//
+// where crc32-hex is core::crc32 of exactly the payload bytes, rendered
+// as 8 lowercase hex digits. Recovery verifies the checksum before ever
+// parsing the payload, so a torn final record (crash mid-write), a
+// bit-rotted line, or stray garbage is *skipped and counted* — never a
+// reason to refuse startup. Payload types:
+//
+//   {"type":"admit","id":N,"request":{...}}          full JobRequest envelope
+//   {"type":"state","id":N,"state":"running"}        lifecycle transition
+//   {"type":"checkpoint","id":N,"unit":i,"total":T,"data":{...}}
+//                                                    one work unit's result
+//   {"type":"result","id":N,"state":"succeeded","outcome":{...},
+//    "failure":{...}?,"report_kind":"...","report":{...}}
+//   {"type":"clean_shutdown"}                        drain marker
+//
+// fsync policy. Admissions, results, and the shutdown marker are rare
+// and valuable: they fsync immediately. Checkpoints and state changes
+// are frequent and individually cheap to lose (a lost checkpoint just
+// re-tests one die): they batch, fsyncing every fsync_every_records
+// appends. A SIGKILL loses only data never write()n — the page cache
+// survives process death — so batching only risks loss on power/kernel
+// failure, bounded to the batch window.
+//
+// Segments and compaction. Records append to journal-NNNNNN.wal. At
+// open, the journal replays every segment and rewrites the *compacted*
+// state (per job: admit, latest state, live checkpoints, result) into a
+// fresh segment, deleting the old ones — so the log never accumulates
+// history across restarts. The same compaction runs online once a
+// segment outgrows max_segment_bytes. Terminal jobs beyond
+// retain_terminal (newest kept) are evicted at compaction.
+//
+// Failure posture. The journal is an availability feature and must
+// never become an outage: any append-path failure (ENOSPC, EIO, short
+// write) flips the journal into degraded mode — one warning on stderr,
+// a counter for /metrics, and every later append a silent no-op. The
+// daemon keeps serving from memory exactly as it did before this layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include <sys/types.h>
+
+namespace msbist::service {
+
+struct JournalOptions {
+  /// Directory holding the segments; created if absent.
+  std::string state_dir;
+  /// Batched-class records (checkpoints, state changes) appended between
+  /// fsyncs. 1 = sync every record (the crash-test setting).
+  std::size_t fsync_every_records = 8;
+  /// Online compaction threshold: once the live segment outgrows this
+  /// many bytes *of appends*, the journal rewrites its compacted state
+  /// into a fresh segment.
+  std::size_t max_segment_bytes = 4u << 20;
+  /// Terminal jobs whose results survive compaction (newest by id).
+  /// Mirrors JobManagerOptions::max_terminal_jobs so /result keeps
+  /// working across a restart.
+  std::size_t retain_terminal = 64;
+  /// Test seam: substitute for ::write on the append path (failure
+  /// injection — ENOSPC, short writes). Null = real write.
+  std::function<ssize_t(int fd, const void* buf, std::size_t count)>
+      write_override;
+};
+
+/// Everything the replay learned about one job.
+struct RecoveredJob {
+  std::string request_json;  ///< admit envelope (JobRequest::to_json text)
+  std::string state;         ///< latest lifecycle state seen ("" = none)
+  /// unit index -> checkpoint "data" payload (engine-specific document).
+  std::map<std::size_t, std::string> checkpoints;
+  std::size_t checkpoint_total = 0;  ///< "total" of the latest checkpoint
+  bool has_result = false;
+  std::string result_state;   ///< terminal state of the result record
+  std::string outcome_json;   ///< Outcome document
+  std::string failure_json;   ///< Failure document; empty = none
+  std::string report_kind;
+  std::string report_json;    ///< full engine report document
+};
+
+struct RecoveredState {
+  /// Job id -> replayed job, admission order (ids are monotone).
+  std::map<std::uint64_t, RecoveredJob> jobs;
+  /// True when the previous process drained and wrote the marker as its
+  /// last record: nothing was interrupted.
+  bool clean_shutdown = false;
+  /// Lines whose checksum or JSON failed verification (torn tail, rot).
+  std::size_t skipped_records = 0;
+};
+
+class Journal {
+ public:
+  /// Opens the journal: creates state_dir if needed, replays every
+  /// existing segment into recovered(), rewrites the compacted state as
+  /// a fresh segment, and deletes the old ones. Throws
+  /// core::SolverError(kInternal) only when the directory itself cannot
+  /// be created or a first segment cannot be opened — segment *content*
+  /// problems are skipped and counted, never fatal.
+  explicit Journal(JournalOptions options);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// State replayed at open (immutable snapshot of the previous life).
+  const RecoveredState& recovered() const { return recovered_; }
+
+  // Append one record. All appends are thread-safe and never throw: a
+  // failing append degrades the journal (see degraded()) and returns.
+  void append_admit(std::uint64_t id, std::string_view request_json);
+  void append_state(std::uint64_t id, std::string_view state);
+  void append_checkpoint(std::uint64_t id, std::size_t unit,
+                         std::size_t total, std::string_view data_json);
+  void append_result(std::uint64_t id, std::string_view state,
+                     std::string_view outcome_json,
+                     std::string_view failure_json,  // "" = no failure
+                     std::string_view report_kind,
+                     std::string_view report_json);
+  void append_clean_shutdown();
+
+  /// Force any batched records to disk now.
+  void sync();
+
+  /// True once an append-path failure switched the journal off; the
+  /// daemon keeps running from memory.
+  bool degraded() const;
+  /// Append-path failures observed (normally 0, or 1 once degraded —
+  /// appends after the switch are no-ops, not repeated failures).
+  std::uint64_t degraded_events() const;
+  /// Bytes in the live segment (compacted snapshot + appends).
+  std::uint64_t bytes() const;
+  /// Live segment files on disk.
+  std::size_t segments() const;
+
+  /// Frame one payload as a journal line: "<crc32-hex> <payload>\n".
+  /// Exposed for tests and for hand-building recovery corpora.
+  static std::string frame(std::string_view payload);
+
+  /// Replay a state directory without opening it for append (no
+  /// compaction, no mutation): the read-only half of the constructor,
+  /// exposed for tests and offline inspection. A missing directory is an
+  /// empty state.
+  static RecoveredState replay(const std::string& state_dir);
+
+ private:
+  void degrade_locked(const char* what);
+  bool write_all_locked(std::string_view data);
+  void append_locked(std::string_view payload, bool always_sync);
+  void apply_locked(const std::string& payload);
+  void compact_locked();
+  void evict_terminal_locked();
+  bool open_segment_locked(std::uint64_t seq);
+
+  JournalOptions options_;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::uint64_t next_seq_ = 1;           ///< seq of the NEXT segment to create
+  std::string live_segment_;             ///< path of the open segment
+  std::uint64_t live_bytes_ = 0;         ///< bytes written to the open segment
+  std::uint64_t appended_since_compact_ = 0;
+  std::size_t unsynced_records_ = 0;
+  bool degraded_ = false;
+  std::uint64_t degraded_events_ = 0;
+  std::size_t segment_count_ = 0;
+  RecoveredState recovered_;             ///< snapshot at open; never mutated
+  /// Compaction tail table: the journal's own replay of everything it
+  /// has recovered *and* appended, so it can rewrite minimal state
+  /// without the JobManager's cooperation.
+  std::map<std::uint64_t, RecoveredJob> table_;
+};
+
+}  // namespace msbist::service

@@ -95,6 +95,14 @@ struct ClientMetricsRow {
   std::uint64_t running = 0;
 };
 
+/// Durability gauges sampled from the journal at scrape time (zeros
+/// when the daemon runs without --state-dir).
+struct JournalGauges {
+  std::uint64_t journal_bytes = 0;       ///< live segment size
+  std::uint64_t journal_segments = 0;    ///< segment files on disk
+  std::uint64_t skipped_records = 0;     ///< corrupt lines skipped at boot
+};
+
 /// All counters the daemon exports. Field names are the wire names.
 struct ServiceMetrics {
   // HTTP surface.
@@ -122,6 +130,19 @@ struct ServiceMetrics {
   LatencyHistogram job_seconds;       ///< running -> terminal
   LatencyHistogram job_queue_seconds; ///< submit -> running
 
+  // Durability layer (see service/journal.h).
+  /// Jobs rebuilt from the journal at boot (terminal + re-admitted).
+  std::atomic<std::uint64_t> jobs_recovered{0};
+  /// Interrupted jobs re-admitted with at least one usable checkpoint.
+  std::atomic<std::uint64_t> jobs_resumed{0};
+  /// Work units (dies / faults) restored from checkpoints instead of
+  /// re-simulated across all resumed jobs.
+  std::atomic<std::uint64_t> units_resumed{0};
+  /// Journal append-path failures that flipped durability off.
+  std::atomic<std::uint64_t> journal_degraded{0};
+  /// Duplicate submissions answered from the idempotency index.
+  std::atomic<std::uint64_t> jobs_deduplicated{0};
+
   void count_response(int status) {
     if (status >= 500) {
       http_responses_5xx.fetch_add(1, std::memory_order_relaxed);
@@ -137,7 +158,8 @@ struct ServiceMetrics {
   void to_json(core::JsonWriter& w, std::uint64_t jobs_running,
                std::uint64_t jobs_queued, std::uint64_t queue_depth,
                std::uint64_t population_count, double uptime_seconds,
-               const std::vector<ClientMetricsRow>& clients) const {
+               const std::vector<ClientMetricsRow>& clients,
+               const JournalGauges& journal = {}) const {
     w.begin_object()
         .member("kind", "service_metrics")
         .member("schema_version", 2)
@@ -166,6 +188,13 @@ struct ServiceMetrics {
         .member("jobs_failed", jobs_failed.load(std::memory_order_relaxed))
         .member("jobs_cancelled", jobs_cancelled.load(std::memory_order_relaxed))
         .member("jobs_timed_out", jobs_timed_out.load(std::memory_order_relaxed))
+        .member("jobs_recovered", jobs_recovered.load(std::memory_order_relaxed))
+        .member("jobs_resumed", jobs_resumed.load(std::memory_order_relaxed))
+        .member("units_resumed", units_resumed.load(std::memory_order_relaxed))
+        .member("journal_degraded",
+                journal_degraded.load(std::memory_order_relaxed))
+        .member("jobs_deduplicated",
+                jobs_deduplicated.load(std::memory_order_relaxed))
         .end_object();
     w.key("gauges")
         .begin_object()
@@ -173,6 +202,9 @@ struct ServiceMetrics {
         .member("jobs_queued", jobs_queued)
         .member("queue_depth", queue_depth)
         .member("populations", population_count)
+        .member("journal_bytes", journal.journal_bytes)
+        .member("journal_segments", journal.journal_segments)
+        .member("journal_skipped_records", journal.skipped_records)
         .end_object();
     w.key("clients").begin_object();
     for (const ClientMetricsRow& row : clients) {

@@ -15,7 +15,12 @@
 //           [--max-threads-per-job N] [--max-queue-depth N]
 //           [--max-queued-per-tag N] [--retry-after-s S] [--aging-s S]
 //           [--idle-timeout-s S] [--max-requests-per-conn N]
-//           [--no-keepalive]
+//           [--no-keepalive] [--state-dir DIR] [--fsync-every N]
+//
+// With --state-dir, jobs are journaled to a write-ahead log under DIR
+// (see service/journal.h): a killed daemon restarted on the same DIR
+// re-admits interrupted jobs and resumes lot-scale work from its last
+// per-die / per-fault checkpoint.
 //
 // --port 0 (the default) binds an ephemeral port; the printed
 // "listening on" line reports the real one, which is how the CI smoke
@@ -39,7 +44,7 @@ void usage(std::FILE* out) {
       "               [--max-queue-depth N] [--max-queued-per-tag N]\n"
       "               [--retry-after-s S] [--aging-s S]\n"
       "               [--idle-timeout-s S] [--max-requests-per-conn N]\n"
-      "               [--no-keepalive]\n"
+      "               [--no-keepalive] [--state-dir DIR] [--fsync-every N]\n"
       "\n"
       "Long-running mixed-signal BIST test service. Serves the job API\n"
       "(POST /jobs, GET /jobs/{id}, GET /jobs/{id}/result, POST\n"
@@ -57,7 +62,15 @@ void usage(std::FILE* out) {
       "                            after S seconds (default 5)\n"
       "  --max-requests-per-conn N close connections after N requests\n"
       "                            (0 = unlimited, default 1000)\n"
-      "  --no-keepalive            one request per connection\n",
+      "  --no-keepalive            one request per connection\n"
+      "\n"
+      "Durability:\n"
+      "  --state-dir DIR           journal jobs to a write-ahead log under\n"
+      "                            DIR; a restart on the same DIR recovers\n"
+      "                            and resumes interrupted jobs (default:\n"
+      "                            in-memory only)\n"
+      "  --fsync-every N           fsync batched journal records every N\n"
+      "                            appends (1 = every record, default 8)\n",
       out);
 }
 
@@ -141,6 +154,13 @@ int main(int argc, char** argv) {
       ++i;
     } else if (arg == "--no-keepalive") {
       http_options.keep_alive = false;
+    } else if (arg == "--state-dir" && value != nullptr && *value != '\0') {
+      job_options.state_dir = value;
+      ++i;
+    } else if (arg == "--fsync-every" && value != nullptr &&
+               parse_size(value, parsed) && parsed > 0) {
+      job_options.journal_fsync_every = parsed;
+      ++i;
     } else {
       std::fprintf(stderr, "msbistd: bad argument \"%s\"\n", arg.c_str());
       usage(stderr);
@@ -160,6 +180,20 @@ int main(int argc, char** argv) {
     msbist::service::JobManager manager(job_options);
     manager.register_population(
         "default", msbist::service::lockstep_screen_population(32, 1995));
+    // After the registry is populated: re-admit jobs the previous life
+    // left interrupted (no-op without --state-dir / after clean drains).
+    manager.recover_jobs();
+    const msbist::service::JournalStatus recovery = manager.journal_status();
+    if (recovery.enabled && !recovery.clean_shutdown) {
+      std::fprintf(stderr,
+                   "msbistd: unclean shutdown detected: recovered %llu "
+                   "job(s), resuming %llu from checkpoints (%llu corrupt "
+                   "journal record(s) skipped)\n",
+                   static_cast<unsigned long long>(recovery.recovered_jobs),
+                   static_cast<unsigned long long>(recovery.resumed_jobs),
+                   static_cast<unsigned long long>(
+                       recovery.gauges.skipped_records));
+    }
 
     // Count server-synthesized 400/413 responses (oversized heads,
     // bodies over max_body) into the same metrics as routed requests.

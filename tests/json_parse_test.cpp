@@ -157,4 +157,46 @@ TEST(JobRequestWire, RejectionsAreTypedBadInput) {
   expect_bad(R"({"kind":"batch","schema_version":99})");  // future schema
 }
 
+TEST(JobRequestWire, IdempotencyKeyRoundTrips) {
+  core::JobRequest req;
+  req.kind = core::JobKind::kBatch;
+  req.idempotency_key = "lot-7/retry";
+  const core::JobRequest back =
+      core::JobRequest::from_json_text(core::to_json(req));
+  EXPECT_EQ(back.idempotency_key, "lot-7/retry");
+  // Absent key stays absent — and an empty one is not emitted, so the
+  // journal's admit records don't grow a vestigial field.
+  const core::JobRequest plain = core::JobRequest::from_json_text(
+      R"({"kind":"batch"})");
+  EXPECT_TRUE(plain.idempotency_key.empty());
+  EXPECT_EQ(core::to_json(plain).find("idempotency_key"), std::string::npos);
+}
+
+// Torn journal payloads: a record cut mid-write is invalid JSON at
+// whatever byte the crash landed on. Every truncation prefix of a
+// well-formed journal payload must fail cleanly (throw, never hang or
+// accept), which is what lets recovery treat CRC-passing-but-unparseable
+// lines as skippable instead of trusting a prefix parse.
+TEST(JsonParse, EveryTruncationOfAJournalRecordIsRejected) {
+  const std::string payload =
+      R"({"type":"checkpoint","id":3,"unit":1,"total":4,)"
+      R"("data":{"canon":{"seed":7,"pass":true},"data":{"index":1}}})";
+  ASSERT_NO_THROW((void)parse_json(payload));
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_THROW((void)parse_json(payload.substr(0, cut)), std::exception)
+        << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST(JsonParse, JournalPayloadsWithTrailingGarbageAreRejected) {
+  // A torn tail can also glue the NEXT record onto a complete payload
+  // (no trailing newline on the torn line). The parser must reject the
+  // merged line rather than silently taking the first document.
+  EXPECT_THROW(
+      (void)parse_json(R"({"type":"clean_shutdown"} {"type":"state"})"),
+      std::exception);
+  EXPECT_THROW((void)parse_json(R"({"type":"admit","id":1}x)"),
+               std::exception);
+}
+
 }  // namespace

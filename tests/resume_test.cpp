@@ -1,0 +1,344 @@
+// Checkpointed resume of the lot-scale engines: device/fault checkpoint
+// encode/decode round-trips, run_batch / run_batch_lockstep /
+// run_campaign resume bit-identity against uninterrupted runs, and the
+// dispatch-layer wiring (DispatchHooks::unit_complete / resume).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/job.h"
+#include "core/json_value.h"
+#include "core/outcome.h"
+#include "faults/campaign.h"
+#include "faults/universe.h"
+#include "production/batch.h"
+#include "service/dispatch.h"
+
+namespace {
+
+using namespace msbist;
+using core::JsonValue;
+using core::parse_json;
+
+/// Strip the per-run timing fields a resumed report legitimately differs
+/// in: batch wall clock, and elapsed_seconds on the dies actually
+/// RE-tested (restored dies splice the original run's document verbatim,
+/// original timing included).
+JsonValue strip_batch_timing(JsonValue report) {
+  report.erase("wall_seconds");
+  report.erase("cpu_seconds");
+  report.erase("devices_per_second");
+  if (const JsonValue* devices = report.find("devices")) {
+    JsonValue cleaned = JsonValue::array();
+    for (JsonValue d : devices->items()) {
+      d.erase("elapsed_seconds");
+      cleaned.push_back(std::move(d));
+    }
+    report.set("devices", std::move(cleaned));
+  }
+  return report;
+}
+
+faults::FaultTestFn deterministic_probe() {
+  return [](const faults::FaultSpec& f) {
+    faults::FaultResult r;
+    r.fault = f;
+    r.detected = f.kind != faults::FaultKind::kBridge;
+    r.score = static_cast<double>(f.node_a) * 0.25;
+    r.detail = "probe " + f.label;
+    return r;
+  };
+}
+
+TEST(Resume, DeviceCheckpointRoundTripsByteIdentical) {
+  const auto population = production::paper_population();
+  const production::DeviceOutcome original =
+      production::test_device(population.front(), production::TestPlan::full());
+
+  const std::string checkpoint = production::encode_device_checkpoint(original);
+  const production::DeviceOutcome restored =
+      production::decode_device_checkpoint(parse_json(checkpoint));
+
+  // The restored outcome serializes byte-identically (verbatim splice)…
+  EXPECT_EQ(core::to_json(restored), core::to_json(original));
+  // …and its typed canon side carries what aggregation needs.
+  EXPECT_EQ(restored.seed, original.seed);
+  EXPECT_EQ(restored.label, original.label);
+  EXPECT_EQ(restored.outcome.pass, original.outcome.pass);
+  EXPECT_EQ(restored.tiers_run, original.tiers_run);
+  EXPECT_EQ(restored.has_metrics, original.has_metrics);
+  EXPECT_EQ(restored.spot_check_run, original.spot_check_run);
+  EXPECT_DOUBLE_EQ(restored.elapsed_seconds, original.elapsed_seconds);
+}
+
+TEST(Resume, FaultCheckpointRoundTripsIncludingFailure) {
+  faults::FaultResult original;
+  original.fault = {faults::FaultKind::kBridge, 3, 5, false, "R3||R5"};
+  original.detected = true;
+  original.detected_by_failure = true;
+  original.score = 0.625;
+  original.detail = "solver rejected the bridged macro";
+  original.has_failure = true;
+  original.failure.code = core::ErrorCode::kSingularMatrix;
+  original.failure.analysis = "campaign";
+  original.failure.detail = "singular matrix";
+  original.elapsed_seconds = 0.0125;
+
+  const faults::FaultResult restored = faults::decode_fault_checkpoint(
+      parse_json(faults::encode_fault_checkpoint(original)));
+  EXPECT_EQ(core::to_json(restored), core::to_json(original));
+  EXPECT_EQ(restored.fault.kind, original.fault.kind);
+  EXPECT_EQ(restored.fault.label, original.fault.label);
+  EXPECT_TRUE(restored.has_failure);
+  EXPECT_EQ(restored.failure.code, core::ErrorCode::kSingularMatrix);
+}
+
+TEST(Resume, MalformedCheckpointsThrowBadInput) {
+  for (const char* bad : {"{}", "[1,2]", R"({"canon":{}})"}) {
+    try {
+      (void)production::decode_device_checkpoint(parse_json(bad));
+      FAIL() << "device checkpoint " << bad << " should not decode";
+    } catch (const core::SolverError& e) {
+      EXPECT_EQ(e.code(), core::ErrorCode::kBadInput);
+    }
+  }
+  try {
+    (void)faults::decode_fault_checkpoint(parse_json("{}"));
+    FAIL() << "fault checkpoint should not decode";
+  } catch (const core::SolverError& e) {
+    EXPECT_EQ(e.code(), core::ErrorCode::kBadInput);
+  }
+}
+
+TEST(Resume, BatchResumeMatchesUninterruptedRun) {
+  const auto population = production::paper_population();
+  const production::TestPlan plan = production::TestPlan::bist_only();
+
+  // Uninterrupted control run, capturing every die's checkpoint — the
+  // exact stream a daemon would have journaled before the "crash".
+  std::map<std::size_t, std::string> checkpoints;
+  const production::BatchReport control = production::run_batch(
+      population, plan, 1, {}, nullptr,
+      [&checkpoints](std::size_t index,
+                     const production::DeviceOutcome& outcome) {
+        checkpoints[index] = production::encode_device_checkpoint(outcome);
+      });
+  ASSERT_EQ(checkpoints.size(), population.size());
+
+  // "Crash" after the first half: decode those checkpoints back and
+  // resume. The resumed report must match the control bit-for-bit on
+  // everything but batch-level wall clock.
+  production::BatchResume resume;
+  for (std::size_t i = 0; i < population.size() / 2; ++i) {
+    resume.completed.emplace(
+        i, production::decode_device_checkpoint(parse_json(checkpoints[i])));
+  }
+  std::size_t retested = 0;
+  const production::BatchReport resumed = production::run_batch(
+      population, plan, 1, {}, &resume,
+      [&retested](std::size_t, const production::DeviceOutcome&) {
+        ++retested;
+      });
+
+  EXPECT_EQ(retested, population.size() - resume.completed.size());
+  EXPECT_EQ(resumed.canonical_outcomes(), control.canonical_outcomes());
+  EXPECT_EQ(strip_batch_timing(parse_json(core::to_json(resumed))).dump(),
+            strip_batch_timing(parse_json(core::to_json(control))).dump());
+}
+
+TEST(Resume, LockstepResumeMarchesOnlyLiveLanes) {
+  const auto population = service::lockstep_screen_population(8, 20260808);
+  const production::LockstepPlan plan = service::lockstep_screen_plan();
+
+  std::map<std::size_t, std::string> checkpoints;
+  const production::BatchReport control = production::run_batch_lockstep(
+      population, plan, nullptr,
+      [&checkpoints](std::size_t index,
+                     const production::DeviceOutcome& outcome) {
+        checkpoints[index] = production::encode_device_checkpoint(outcome);
+      });
+  ASSERT_EQ(checkpoints.size(), population.size());
+
+  // Restore a non-contiguous subset (lanes 0, 2, 5) so the live-lane
+  // index remap is actually exercised.
+  production::BatchResume resume;
+  for (const std::size_t lane : {std::size_t{0}, std::size_t{2}, std::size_t{5}}) {
+    resume.completed.emplace(lane, production::decode_device_checkpoint(
+                                       parse_json(checkpoints[lane])));
+  }
+  std::size_t retested = 0;
+  const production::BatchReport resumed = production::run_batch_lockstep(
+      population, plan, &resume,
+      [&retested](std::size_t, const production::DeviceOutcome&) {
+        ++retested;
+      });
+
+  EXPECT_EQ(retested, population.size() - resume.completed.size());
+  EXPECT_EQ(resumed.canonical_outcomes(), control.canonical_outcomes());
+  EXPECT_EQ(strip_batch_timing(parse_json(core::to_json(resumed))).dump(),
+            strip_batch_timing(parse_json(core::to_json(control))).dump());
+}
+
+TEST(Resume, CampaignResumeSerialAndParallel) {
+  const auto universe = faults::op1_fault_universe();
+  const auto probe = deterministic_probe();
+
+  std::map<std::size_t, std::string> checkpoints;
+  faults::CampaignOptions record;
+  record.on_fault_complete = [&checkpoints](std::size_t index, std::size_t,
+                                            const faults::FaultResult& r) {
+    checkpoints[index] = faults::encode_fault_checkpoint(r);
+  };
+  const faults::CampaignReport control =
+      faults::run_campaign(universe, probe, record);
+  ASSERT_EQ(checkpoints.size(), universe.size());
+
+  faults::CampaignResume resume;
+  for (std::size_t i = 0; i < universe.size() / 2; ++i) {
+    resume.completed.emplace(
+        i, faults::decode_fault_checkpoint(parse_json(checkpoints[i])));
+  }
+
+  for (const bool parallel : {false, true}) {
+    faults::CampaignOptions opts;
+    opts.threads = parallel ? 4 : 0;
+    opts.resume = &resume;
+    std::size_t resimulated = 0;
+    opts.on_fault_complete = [&resimulated](std::size_t, std::size_t,
+                                            const faults::FaultResult&) {
+      ++resimulated;
+    };
+    const faults::CampaignReport resumed =
+        parallel ? faults::run_campaign_parallel(universe, probe, opts)
+                 : faults::run_campaign(universe, probe, opts);
+    EXPECT_EQ(resimulated, universe.size() - resume.completed.size());
+    EXPECT_EQ(resumed.canonical_outcomes(), control.canonical_outcomes());
+    EXPECT_EQ(resumed.detected_count, control.detected_count);
+    EXPECT_EQ(resumed.simulated_count, control.simulated_count);
+    ASSERT_EQ(resumed.results.size(), universe.size());
+    for (std::size_t i = 0; i < universe.size(); ++i) {
+      EXPECT_EQ(resumed.results[i].fault.label, universe[i].label);
+    }
+  }
+}
+
+TEST(Resume, ResumeIsIncompatibleWithStopOnFirstUndetected) {
+  faults::CampaignResume resume;
+  faults::CampaignOptions opts;
+  opts.resume = &resume;
+  opts.stop_on_first_undetected = true;
+  EXPECT_THROW(
+      faults::run_campaign(faults::sc_fault_universe(), deterministic_probe(),
+                           opts),
+      std::invalid_argument);
+}
+
+// --- Dispatch-layer wiring: the path the daemon actually takes --------
+
+core::JobRequest small_batch_request() {
+  core::JobRequest req;
+  req.kind = core::JobKind::kBatch;
+  req.device_count = 6;
+  req.batch_seed = 777;
+  req.threads = 1;
+  return req;
+}
+
+TEST(Resume, DispatchBatchResumesFromJournaledCheckpoints) {
+  const core::JobRequest req = small_batch_request();
+
+  std::map<std::size_t, std::string> checkpoints;
+  service::DispatchHooks record;
+  record.unit_complete = [&checkpoints](std::size_t unit, std::size_t,
+                                        const std::string& checkpoint_json) {
+    checkpoints[unit] = checkpoint_json;
+  };
+  const service::DispatchResult control = service::dispatch(req, record);
+  ASSERT_EQ(checkpoints.size(), req.device_count);
+  EXPECT_EQ(control.resumed_units, 0u);
+
+  std::map<std::size_t, std::string> half(checkpoints.begin(),
+                                          std::next(checkpoints.begin(), 3));
+  service::DispatchHooks hooks;
+  hooks.resume = &half;
+  std::size_t retested = 0;
+  hooks.unit_complete = [&retested](std::size_t, std::size_t,
+                                    const std::string&) { ++retested; };
+  const service::DispatchResult resumed = service::dispatch(req, hooks);
+
+  EXPECT_EQ(resumed.resumed_units, 3u);
+  EXPECT_EQ(retested, req.device_count - 3);
+  EXPECT_EQ(strip_batch_timing(parse_json(resumed.report_json)).dump(),
+            strip_batch_timing(parse_json(control.report_json)).dump());
+}
+
+TEST(Resume, DispatchDropsUndecodableCheckpointsAndRetests) {
+  const core::JobRequest req = small_batch_request();
+  const service::DispatchResult control = service::dispatch(req);
+
+  // A journal can replay a checkpoint whose payload no longer decodes
+  // (schema drift, partial corruption under a valid CRC). The dispatch
+  // drops it and re-tests that unit rather than failing the job.
+  std::map<std::size_t, std::string> resume;
+  resume[0] = R"({"definitely":"not a checkpoint"})";
+  resume[99] = R"({"canon":{},"data":{}})";  // out of range: ignored
+  service::DispatchHooks hooks;
+  hooks.resume = &resume;
+  const service::DispatchResult resumed = service::dispatch(req, hooks);
+
+  EXPECT_EQ(resumed.resumed_units, 0u);
+  EXPECT_TRUE(resumed.outcome.pass == control.outcome.pass);
+  EXPECT_EQ(strip_batch_timing(parse_json(resumed.report_json)).dump(),
+            strip_batch_timing(parse_json(control.report_json)).dump());
+}
+
+TEST(Resume, DispatchCampaignResumeWithCollapse) {
+  core::JobRequest req;
+  req.kind = core::JobKind::kFaultCampaign;
+  req.circuit = "op1_follower";
+  req.collapse = true;
+  req.threads = 1;
+
+  std::map<std::size_t, std::string> checkpoints;
+  std::size_t total_units = 0;
+  service::DispatchHooks record;
+  record.unit_complete = [&](std::size_t unit, std::size_t total,
+                             const std::string& checkpoint_json) {
+    checkpoints[unit] = checkpoint_json;
+    total_units = total;
+  };
+  const service::DispatchResult control = service::dispatch(req, record);
+  ASSERT_GT(checkpoints.size(), 2u);
+  // Under collapse the work items are class representatives: fewer than
+  // the full universe.
+  ASSERT_EQ(checkpoints.size(), total_units);
+
+  std::map<std::size_t, std::string> half(checkpoints.begin(),
+                                          std::next(checkpoints.begin(), 2));
+  service::DispatchHooks hooks;
+  hooks.resume = &half;
+  const service::DispatchResult resumed = service::dispatch(req, hooks);
+
+  EXPECT_EQ(resumed.resumed_units, 2u);
+  JsonValue control_report = parse_json(control.report_json);
+  JsonValue resumed_report = parse_json(resumed.report_json);
+  control_report.erase("wall_seconds");
+  control_report.erase("cpu_seconds");
+  resumed_report.erase("wall_seconds");
+  resumed_report.erase("cpu_seconds");
+  // Per-fault elapsed times differ between runs; the engine-level
+  // canonical text (which excludes timing) must not.
+  EXPECT_EQ(control.campaign->canonical_outcomes(),
+            resumed.campaign->canonical_outcomes());
+  EXPECT_EQ(resumed_report.find("detected_count")->as_u64(),
+            control_report.find("detected_count")->as_u64());
+  EXPECT_EQ(resumed_report.find("simulated_count")->as_u64(),
+            control_report.find("simulated_count")->as_u64());
+}
+
+}  // namespace

@@ -8,12 +8,15 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <thread>
 #include <utility>
@@ -27,6 +30,7 @@
 #include "service/dispatch.h"
 #include "service/http.h"
 #include "service/job_manager.h"
+#include "service/journal.h"
 
 namespace {
 
@@ -255,7 +259,9 @@ TEST(Service, MalformedRequestsAre400WithStructuredFailure) {
 }
 
 TEST(Service, ConcurrentJobsWithDistinctThreadCaps) {
-  ServiceFixture fx({/*workers=*/2});
+  service::JobManagerOptions two_workers;
+  two_workers.workers = 2;
+  ServiceFixture fx(two_workers);
   // Both jobs ask for four engine threads but carry different per-job
   // caps; the engine must fan out no wider than each job's own limit.
   const std::uint64_t one = fx.submit(
@@ -665,6 +671,218 @@ TEST(Admission, PerTagQueueShareAndAccounting) {
   ASSERT_NE(bob_row, nullptr);
   EXPECT_EQ(bob_row->find("submitted")->as_u64(), 1u);
   EXPECT_EQ(bob_row->find("rejected")->as_u64(), 0u);
+}
+
+// --- Durability: idempotent submits, journal recovery over the wire ---
+
+/// A fresh, empty state directory under the test temp root (leftover
+/// segments from a previous run of the same test are removed).
+std::string fresh_state_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/msbist_service_" + name;
+  ::mkdir(dir.c_str(), 0777);
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (const dirent* e = ::readdir(d)) {
+      const std::string entry = e->d_name;
+      if (entry == "." || entry == "..") continue;
+      ::unlink((dir + "/" + entry).c_str());
+    }
+    ::closedir(d);
+  }
+  return dir;
+}
+
+service::JobManagerOptions durable_options(const std::string& state_dir) {
+  service::JobManagerOptions o;
+  o.state_dir = state_dir;
+  o.journal_fsync_every = 1;
+  return o;
+}
+
+TEST(Durability, IdempotencyKeyDeduplicatesResubmits) {
+  ServiceFixture fx;
+  const std::string body =
+      R"({"kind":"batch","device_count":2,"batch_seed":3,"tiers":["digital"],)"
+      R"("threads":1,"idempotency_key":"lot-42-submit"})";
+  const auto first = fx.request("POST", "/jobs", body);
+  ASSERT_EQ(first.status, 202) << first.body;
+  const std::uint64_t id = parse_json(first.body).find("id")->as_u64();
+
+  // A client retry of the same submission (lost 202, crashed script)
+  // answers 200 with the existing job instead of admitting a duplicate.
+  const auto retry = fx.request("POST", "/jobs", body);
+  EXPECT_EQ(retry.status, 200) << retry.body;
+  const JsonValue doc = parse_json(retry.body);
+  EXPECT_EQ(doc.find("id")->as_u64(), id);
+  EXPECT_TRUE(doc.find("deduplicated")->as_bool());
+  EXPECT_EQ(doc.find("state"), nullptr);
+
+  // Still deduplicated after the job finishes — the key maps to the
+  // retained job for as long as the job itself is queryable.
+  fx.await_terminal(id);
+  const auto late = fx.request("POST", "/jobs", body);
+  EXPECT_EQ(late.status, 200) << late.body;
+  EXPECT_EQ(parse_json(late.body).find("id")->as_u64(), id);
+
+  // A different key is a different job.
+  const std::uint64_t other = fx.submit(
+      R"({"kind":"batch","device_count":2,"batch_seed":3,"tiers":["digital"],)"
+      R"("threads":1,"idempotency_key":"lot-43-submit"})");
+  EXPECT_NE(other, id);
+  fx.await_terminal(other);
+
+  const JsonValue m = parse_json(fx.request("GET", "/metrics").body);
+  EXPECT_EQ(m.find("counters")->find("jobs_deduplicated")->as_u64(), 2u);
+  EXPECT_EQ(m.find("counters")->find("jobs_submitted")->as_u64(), 2u);
+}
+
+TEST(Durability, ResultsSurviveCleanRestart) {
+  const std::string dir = fresh_state_dir("clean_restart");
+  std::uint64_t id = 0;
+  std::string result_body;
+  {
+    ServiceFixture fx(durable_options(dir));
+    id = fx.submit(
+        R"({"kind":"batch","device_count":3,"batch_seed":11,)"
+        R"("tiers":["digital"],"threads":1})");
+    const JsonValue done = fx.await_terminal(id);
+    ASSERT_EQ(done.find("state")->as_string(), "succeeded");
+    result_body =
+        fx.request("GET", "/jobs/" + std::to_string(id) + "/result").body;
+    fx.manager.drain(/*hard=*/false);  // writes the clean-shutdown marker
+  }
+  {
+    ServiceFixture fx(durable_options(dir));
+    fx.manager.recover_jobs();
+    // Clean shutdown: the result is queryable again, byte-identical to
+    // the previous life's answer, with nothing to resume.
+    const JsonValue health = parse_json(fx.request("GET", "/healthz").body);
+    const JsonValue* recovery = health.find("recovery");
+    ASSERT_NE(recovery, nullptr);
+    EXPECT_TRUE(recovery->find("clean_shutdown")->as_bool());
+    EXPECT_EQ(recovery->find("resumed_jobs")->as_u64(), 0u);
+    EXPECT_EQ(recovery->find("recovered_jobs")->as_u64(), 1u);
+
+    const auto resp =
+        fx.request("GET", "/jobs/" + std::to_string(id) + "/result");
+    ASSERT_EQ(resp.status, 200) << resp.body;
+    EXPECT_EQ(resp.body, result_body);
+
+    const JsonValue status =
+        parse_json(fx.request("GET", "/jobs/" + std::to_string(id)).body);
+    const JsonValue* marker = status.find("recovery");
+    ASSERT_NE(marker, nullptr);
+    EXPECT_TRUE(marker->find("recovered")->as_bool());
+    // Restored terminal, not resumed: nothing came from a checkpoint.
+    EXPECT_FALSE(marker->find("resumed_from_checkpoint")->as_bool());
+  }
+}
+
+TEST(Durability, UncleanJournalRecoversResumesAndCompletes) {
+  const std::string dir = fresh_state_dir("unclean_resume");
+  const std::string body =
+      R"({"kind":"batch","device_count":4,"batch_seed":7,)"
+      R"("tiers":["digital"],"threads":1})";
+  const core::JobRequest req = core::JobRequest::from_json_text(body);
+
+  // Control: the same request executed uninterrupted, and the first two
+  // units' checkpoints exactly as a journaling daemon would record them.
+  const service::DispatchResult control = service::dispatch(req);
+  std::map<std::size_t, std::string> checkpoints;
+  service::DispatchHooks capture;
+  capture.unit_complete = [&](std::size_t unit, std::size_t,
+                              const std::string& cp) {
+    if (unit < 2) checkpoints[unit] = cp;
+  };
+  service::dispatch(req, capture);
+  ASSERT_EQ(checkpoints.size(), 2u);
+
+  // Fabricate the crash: a journal holding the admission, the running
+  // transition, and two checkpoints — and no clean-shutdown marker.
+  {
+    service::JournalOptions jo;
+    jo.state_dir = dir;
+    jo.fsync_every_records = 1;
+    service::Journal journal(jo);
+    journal.append_admit(1, core::to_json(req));
+    journal.append_state(1, "running");
+    for (const auto& [unit, cp] : checkpoints) {
+      journal.append_checkpoint(1, unit, 4, cp);
+    }
+  }
+
+  ServiceFixture fx(durable_options(dir));
+  fx.manager.recover_jobs();
+
+  const JsonValue done = fx.await_terminal(1);
+  EXPECT_EQ(done.find("state")->as_string(), "succeeded");
+  const JsonValue* marker = done.find("recovery");
+  ASSERT_NE(marker, nullptr);
+  EXPECT_TRUE(marker->find("recovered")->as_bool());
+  EXPECT_TRUE(marker->find("resumed_from_checkpoint")->as_bool());
+  EXPECT_EQ(marker->find("resumed_units")->as_u64(), 2u);
+
+  // The resumed lot's report is identical to the uninterrupted control
+  // on everything but wall-clock timing.
+  const JsonValue result = parse_json(fx.request("GET", "/jobs/1/result").body);
+  ASSERT_NE(result.find("report"), nullptr);
+  EXPECT_EQ(strip_timing(*result.find("report")).dump(),
+            strip_timing(parse_json(control.report_json)).dump());
+
+  const JsonValue health = parse_json(fx.request("GET", "/healthz").body);
+  const JsonValue* recovery = health.find("recovery");
+  ASSERT_NE(recovery, nullptr);
+  EXPECT_FALSE(recovery->find("clean_shutdown")->as_bool());
+  EXPECT_EQ(recovery->find("recovered_jobs")->as_u64(), 1u);
+  EXPECT_EQ(recovery->find("resumed_jobs")->as_u64(), 1u);
+
+  JsonValue m;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    m = parse_json(fx.request("GET", "/metrics").body);
+    if (m.find("counters")->find("units_resumed")->as_u64() == 2u) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const JsonValue* counters = m.find("counters");
+  EXPECT_EQ(counters->find("jobs_recovered")->as_u64(), 1u);
+  EXPECT_EQ(counters->find("jobs_resumed")->as_u64(), 1u);
+  EXPECT_EQ(counters->find("units_resumed")->as_u64(), 2u);
+  const JsonValue* gauges = m.find("gauges");
+  EXPECT_GT(gauges->find("journal_bytes")->as_u64(), 0u);
+  EXPECT_GE(gauges->find("journal_segments")->as_u64(), 1u);
+}
+
+TEST(Durability, RecoveredJobWithUnknownPopulationFailsOnce) {
+  const std::string dir = fresh_state_dir("unknown_population");
+  const core::JobRequest req = core::JobRequest::from_json_text(
+      R"({"kind":"lockstep_batch","population":"gone-lot"})");
+  {
+    service::JournalOptions jo;
+    jo.state_dir = dir;
+    jo.fsync_every_records = 1;
+    service::Journal journal(jo);
+    journal.append_admit(1, core::to_json(req));
+    journal.append_state(1, "running");
+  }
+  {
+    ServiceFixture fx(durable_options(dir));
+    fx.manager.recover_jobs();
+    // The population registry of the new life doesn't know "gone-lot":
+    // the job fails with a structured error instead of wedging recovery.
+    const JsonValue done = fx.await_terminal(1);
+    EXPECT_EQ(done.find("state")->as_string(), "failed");
+    ASSERT_NE(done.find("failure"), nullptr);
+  }
+  {
+    // And the failure was journaled: the next restart sees a terminal
+    // job, not a third attempt.
+    ServiceFixture fx(durable_options(dir));
+    fx.manager.recover_jobs();
+    const JsonValue health = parse_json(fx.request("GET", "/healthz").body);
+    EXPECT_EQ(health.find("recovery")->find("resumed_jobs")->as_u64(), 0u);
+    const JsonValue status = parse_json(fx.request("GET", "/jobs/1").body);
+    EXPECT_EQ(status.find("state")->as_string(), "failed");
+  }
 }
 
 }  // namespace

@@ -1,0 +1,175 @@
+#!/usr/bin/env bash
+# Crash-recovery gate: boot a Release msbistd on a --state-dir journal,
+# submit a lot-scale batch job, SIGKILL the daemon mid-lot, restart it
+# on the same state directory, and assert the recovery contract.
+# Mirrors the "crash" CI job:
+#
+#   tools/ci-crash.sh [build-dir] [dies] [kill-after-dies]
+#
+# Assertions:
+#   1. The restarted daemon detects the unclean shutdown, re-admits the
+#      interrupted job under its original id, and runs it to completion.
+#   2. The resumed report's die results are identical to an
+#      uninterrupted control run of the same lot — modulo wall-clock
+#      timing only (batch wall/cpu seconds, per-die elapsed seconds on
+#      re-tested dies).
+#   3. Zero duplicated and zero lost dies: exactly one result per die
+#      index, every index present.
+#   4. The resume measurably beat from-scratch: /metrics shows
+#      jobs_recovered and jobs_resumed of 1 and units_resumed at least
+#      the checkpoint threshold — the restarted daemon re-simulated
+#      strictly fewer dies than the lot holds.
+#   5. A second clean restart finds a clean-shutdown marker and the
+#      journaled terminal result still queryable (no third execution).
+#
+# The verdict is left in CRASHTEST.json (uploaded as a CI artifact).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-crash}"
+DIES="${2:-160}"
+KILL_AFTER="${3:-30}"
+STATE_DIR="$(mktemp -d)"
+JOB_BODY="{\"kind\":\"batch\",\"device_count\":$DIES,\"batch_seed\":777,\
+\"full_spec\":true,\"threads\":1,\"label\":\"crash-lot\",\
+\"idempotency_key\":\"crash-gate-lot\"}"
+
+# Release without -Werror, same as the bench/load gates: GCC 12's
+# libstdc++ emits a known -Wrestrict false positive at -O2.
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target msbistd
+
+daemon=""
+log=""
+cleanup() {
+  [ -n "$daemon" ] && kill -9 "$daemon" 2>/dev/null || true
+  rm -rf "$STATE_DIR"
+}
+trap cleanup EXIT
+
+# Boot one daemon and wait for its port. Sets $daemon, $log, $port.
+boot() {
+  log="$(mktemp)"
+  # --fsync-every 1: the crash-test setting — every checkpoint is
+  # write()n AND fsync()ed before the next die starts, so a SIGKILL at
+  # any instant loses at most the die in flight.
+  "$BUILD_DIR"/src/msbistd --port 0 --workers 1 \
+    --state-dir "$STATE_DIR" --fsync-every 1 "$@" >"$log" 2>&1 &
+  daemon=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/^msbistd listening on .*:\([0-9]*\)$/\1/p' "$log")"
+    [ -n "$port" ] && break
+    kill -0 "$daemon" 2>/dev/null || { cat "$log"; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$port" ] || { echo "msbistd never reported its port"; cat "$log"; exit 1; }
+}
+
+await_result() { # await_result PORT ID OUT_FILE
+  local p="$1" id="$2" out="$3" state=""
+  for _ in $(seq 1 600); do
+    state="$(curl -sSf "http://127.0.0.1:$p/jobs/$id" |
+      python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')"
+    case "$state" in
+      succeeded) curl -sSf "http://127.0.0.1:$p/jobs/$id/result" >"$out"; return 0 ;;
+      queued|running) sleep 0.1 ;;
+      *) echo "job $id ended $state"; return 1 ;;
+    esac
+  done
+  echo "job $id never finished"; return 1
+}
+
+# --- Control: the same lot, uninterrupted ----------------------------
+boot
+control_port="$port"
+curl -sSf -X POST "http://127.0.0.1:$control_port/jobs" -d "$JOB_BODY" > /dev/null
+await_result "$control_port" 1 control-result.json
+kill -TERM "$daemon"; wait "$daemon" || true
+daemon=""
+rm -rf "$STATE_DIR"; mkdir -p "$STATE_DIR"
+
+# --- Crash run: SIGKILL mid-lot --------------------------------------
+boot
+curl -sSf -X POST "http://127.0.0.1:$port/jobs" -d "$JOB_BODY" > /dev/null
+done_dies=0
+for _ in $(seq 1 600); do
+  done_dies="$(curl -sSf "http://127.0.0.1:$port/jobs/1" |
+    python3 -c 'import json,sys; print(json.load(sys.stdin)["progress"]["done"])')"
+  [ "$done_dies" -ge "$KILL_AFTER" ] && break
+  sleep 0.05
+done
+[ "$done_dies" -ge "$KILL_AFTER" ] || {
+  echo "lot never reached $KILL_AFTER dies (at $done_dies)"; exit 1; }
+kill -9 "$daemon"
+wait "$daemon" 2>/dev/null || true
+daemon=""
+echo "crash gate: SIGKILLed mid-lot at $done_dies/$DIES dies"
+
+# --- Restart on the same state dir: recover, resume, complete --------
+boot
+grep -q "unclean shutdown detected" "$log" || {
+  echo "restarted daemon did not report the unclean shutdown"; cat "$log"; exit 1; }
+await_result "$port" 1 resumed-result.json
+curl -sSf "http://127.0.0.1:$port/metrics" > resumed-metrics.json
+curl -sSf "http://127.0.0.1:$port/healthz" > resumed-healthz.json
+
+python3 - "$DIES" "$KILL_AFTER" <<'EOF'
+import json, sys
+dies, kill_after = int(sys.argv[1]), int(sys.argv[2])
+
+def canon(path):
+    report = json.load(open(path))["report"]
+    for k in ("wall_seconds", "cpu_seconds", "devices_per_second"):
+        report.pop(k, None)
+    for d in report["devices"]:
+        d.pop("elapsed_seconds", None)
+    return report
+
+control, resumed = canon("control-result.json"), canon("resumed-result.json")
+indexes = [d["index"] for d in resumed["devices"]]
+assert len(indexes) == dies, f"lost dies: {len(indexes)}/{dies}"
+assert len(set(indexes)) == dies, "duplicated die indexes after resume"
+assert sorted(indexes) == list(range(dies)), "die index set is not 0..N-1"
+assert resumed == control, "resumed report differs from uninterrupted control"
+
+m = json.load(open("resumed-metrics.json"))
+c, g = m["counters"], m["gauges"]
+assert c["jobs_recovered"] == 1, c
+assert c["jobs_resumed"] == 1, c
+resumed_units = c["units_resumed"]
+assert kill_after <= resumed_units < dies, \
+    f"units_resumed {resumed_units} not in [{kill_after}, {dies})"
+assert g["journal_bytes"] > 0 and g["journal_segments"] >= 1, g
+
+h = json.load(open("resumed-healthz.json"))["recovery"]
+assert h["clean_shutdown"] is False and h["resumed_jobs"] == 1, h
+
+json.dump({
+    "kind": "crash_test",
+    "dies": dies,
+    "killed_after_dies": kill_after,
+    "units_resumed": resumed_units,
+    "dies_retested": dies - resumed_units,
+    "journal_bytes": g["journal_bytes"],
+    "journal_segments": g["journal_segments"],
+    "journal_degraded": c.get("journal_degraded", 0),
+    "report_identical_modulo_timing": True,
+}, open("CRASHTEST.json", "w"), indent=2)
+print("crash gate: resumed %d/%d dies from checkpoints, re-tested %d, "
+      "report identical to control" % (resumed_units, dies, dies - resumed_units))
+EOF
+
+# --- Second restart: clean drain leaves nothing to redo --------------
+kill -TERM "$daemon"; wait "$daemon" || true
+daemon=""
+boot
+if grep -q "unclean shutdown detected" "$log"; then
+  echo "clean drain did not write the shutdown marker"; cat "$log"; exit 1
+fi
+state="$(curl -sSf "http://127.0.0.1:$port/jobs/1" |
+  python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')"
+[ "$state" = "succeeded" ] || { echo "journaled result lost: $state"; exit 1; }
+kill -TERM "$daemon"; wait "$daemon" || true
+daemon=""
+echo "crash gate: journaled result survives a clean restart"

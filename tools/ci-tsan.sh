@@ -8,9 +8,10 @@
 # CMakeLists) and runs the concurrency-relevant tests: the fault/campaign
 # suites, the production batch engine (including the cross-thread-count
 # determinism test), the core ThreadPool tests, the sparse/lockstep
-# batch engines (shared factorizations consumed across lanes), and the
-# service stack (keep-alive HTTP workers, bounded-admission dispatch).
-# Any race report is fatal.
+# batch engines (shared factorizations consumed across lanes), the
+# service stack (keep-alive HTTP workers, bounded-admission dispatch),
+# and the durability layer (journal appends from worker threads,
+# checkpointed resume, recovery). Any race report is fatal.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,4 +22,4 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R '^(Campaign|CampaignParallel|CollapsedCampaign|Collapse|CollapseMap|Universe|SiteUniverse|Inject|ThreadPool|Production|SparseMatrix|SparseLu|BatchSparseLu|SparseBackend|BatchTransient|RunBatchLockstep|Service|KeepAlive|Admission)\.'
+  -R '^(Campaign|CampaignParallel|CollapsedCampaign|Collapse|CollapseMap|Universe|SiteUniverse|Inject|ThreadPool|Production|SparseMatrix|SparseLu|BatchSparseLu|SparseBackend|BatchTransient|RunBatchLockstep|Service|KeepAlive|Admission|Durability|Journal|Resume)\.'

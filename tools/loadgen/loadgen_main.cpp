@@ -142,6 +142,22 @@ bool is_terminal_state(const std::string& state) {
   return !state.empty() && state != "queued" && state != "running";
 }
 
+/// Scrape uptime_seconds from GET /metrics; negative on any failure.
+/// A fresh connection per scrape, so a daemon restart between the start
+/// and end scrapes cannot break it via a dead keep-alive socket.
+double scrape_uptime(const Options& opt) {
+  try {
+    HttpClient client(opt.port, opt.timeout_s);
+    const HttpResponse resp = client.request("GET", "/metrics");
+    if (resp.status != 200) return -1.0;
+    const msbist::core::JsonValue doc = msbist::core::parse_json(resp.body);
+    const msbist::core::JsonValue* uptime = doc.find("uptime_seconds");
+    if (uptime != nullptr && uptime->is_number()) return uptime->as_double();
+  } catch (const std::exception&) {
+  }
+  return -1.0;
+}
+
 void run_worker(const Options& opt, std::size_t index, WorkerStats& stats) {
   const std::string priority = priority_for(opt, index);
   const std::string tag = opt.tag_prefix + "-" + std::to_string(index);
@@ -346,6 +362,7 @@ int main(int argc, char** argv) {
   std::vector<WorkerStats> per_worker(opt.workers);
   std::vector<std::thread> threads;
   threads.reserve(opt.workers);
+  const double uptime_start = scrape_uptime(opt);
   const double wall_start = now_seconds();
   for (std::size_t i = 0; i < opt.workers; ++i) {
     threads.emplace_back(
@@ -353,6 +370,17 @@ int main(int argc, char** argv) {
   }
   for (std::thread& t : threads) t.join();
   const double wall_seconds = now_seconds() - wall_start;
+  const double uptime_end = scrape_uptime(opt);
+
+  // Restart detection: the daemon's uptime clock only resets when the
+  // process does, so an end-of-run uptime short of start-uptime + run
+  // wall time (with slack for scrape latency) means the daemon went
+  // down and came back mid-run.
+  std::uint64_t restarts_observed = 0;
+  if (uptime_start >= 0.0 && uptime_end >= 0.0 &&
+      uptime_end + 0.5 < uptime_start + wall_seconds) {
+    restarts_observed = 1;
+  }
 
   WorkerStats total;
   for (const WorkerStats& s : per_worker) {
@@ -401,7 +429,10 @@ int main(int argc, char** argv) {
       .member("stuck", total.stuck)
       .member("http_requests", total.requests)
       .member("tcp_connects", total.connects)
-      .member("reuse_ratio", reuse_ratio);
+      .member("reuse_ratio", reuse_ratio)
+      .member("uptime_start_seconds", uptime_start)
+      .member("uptime_end_seconds", uptime_end)
+      .member("daemon_restarts_observed", restarts_observed);
   write_percentiles(w, "submit_seconds", std::move(total.submit_seconds));
   write_percentiles(w, "cycle_seconds", std::move(total.cycle_seconds));
   w.end_object();
